@@ -1,0 +1,109 @@
+"""Figs. 1-3 — circuit identities and teleportation.
+
+Fig. 1(a): CNOT from CZ + Hadamards; Fig. 1(b): measured reset via
+deferred measurement; Fig. 2: fanout parallelizes controlled gates;
+Fig. 3: fanout + unfanout = teleportation (1 EPR pair, 2 classical bits).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.teleport import run_teleport_demo
+from repro.qmpi import qmpi_run
+from repro.sim import StateVector
+from repro.sim import gates as G
+
+
+def test_fig1a_cnot_equals_h_cz_h(benchmark):
+    def build():
+        ih = np.kron(G.I2, G.H)
+        return ih @ G.CZ @ ih
+
+    m = benchmark(build)
+    assert np.allclose(m, G.CX)
+    print("\nFig. 1(a): CNOT = (1 (x) H) CZ (1 (x) H) ✓")
+
+
+def test_fig1b_measured_reset(benchmark):
+    """Resetting a fanned-out |0>-destined target with H + measure + Z is
+    equivalent to the uncomputing CNOT."""
+
+    def run():
+        # Reference: fanout then uncompute with CNOT.
+        sv = StateVector(2, seed=0)
+        sv.ry(0, 0.9)
+        sv.cnot(0, 1)
+        sv.cnot(0, 1)
+        ref = sv.statevector()
+        # Measured variant: H + measure + conditional Z on the source.
+        out = []
+        for seed in range(4):
+            sv2 = StateVector(2, seed=seed)
+            sv2.ry(0, 0.9)
+            sv2.cnot(0, 1)
+            sv2.h(1)
+            if sv2.measure(1):
+                sv2.z(0)
+            sv2.postselect(1, 0) if False else None
+            out.append(sv2.prob_one(0))
+        return ref, out
+
+    ref, probs = benchmark(run)
+    for p in probs:
+        assert p == pytest.approx(math.sin(0.45) ** 2, abs=1e-9)
+    print("\nFig. 1(b): measured reset preserves the source state ✓")
+
+
+def test_fig2_fanout_parallel_controls(benchmark):
+    """Fanout the control, apply U1/U2 controlled on different copies,
+    unfanout: equals both gates controlled on the original."""
+
+    def run():
+        sv = StateVector(3, seed=0)
+        sv.ry(0, 1.1)  # control superposition
+        sv.ry(1, 0.3)
+        sv.ry(2, -0.7)
+        ref = sv.copy()
+        # reference: both gates controlled on qubit 0
+        ref.apply_controlled(G.rx(0.5), [0], [1])
+        ref.apply_controlled(G.rz(0.8), [0], [2])
+        # fanout version
+        (aux,) = sv.alloc(1)
+        sv.cnot(0, aux)
+        sv.apply_controlled(G.rx(0.5), [0], [1])
+        sv.apply_controlled(G.rz(0.8), [aux], [2])
+        sv.cnot(0, aux)
+        sv.release(aux)
+        return ref.statevector(), sv.statevector()
+
+    a, b = benchmark(run)
+    assert np.allclose(a, b, atol=1e-10)
+    print("\nFig. 2: fanned-out control applies gates in parallel ✓")
+
+
+def test_fig3_teleportation(benchmark):
+    p1, snap = benchmark(lambda: run_teleport_demo(theta=1.234, phi=0.5))
+    assert p1 == pytest.approx(math.sin(0.617) ** 2, abs=1e-9)
+    assert (snap.epr_pairs, snap.classical_bits) == (1, 2)
+    print(f"\nFig. 3: teleportation = fanout + unfanout; 1 EPR pair, "
+          f"2 classical bits (measured: {snap.epr_pairs}, {snap.classical_bits}) ✓")
+
+
+def test_fig3_fanout_unfanout_identity(benchmark):
+    def prog(qc):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(1)
+            qc.ry(q[0], 0.7)
+            qc.send(q, 1)   # Fanout(1 -> 2)
+            qc.unsend(q, 1)  # Unfanout(2 -> 1)
+            return qc.prob_one(q[0])
+        t = qc.alloc_qmem(1)
+        qc.recv(t, 0)
+        qc.unrecv(t, 0)
+        return None
+
+    world = benchmark(lambda: qmpi_run(2, prog, seed=0))
+    assert world.results[0] == pytest.approx(math.sin(0.35) ** 2, abs=1e-9)
+    print("\nFig. 3(a,b): fanout then unfanout restores the original ✓")

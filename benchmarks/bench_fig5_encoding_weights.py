@@ -1,0 +1,54 @@
+"""Fig. 5 — qubits per Hamiltonian term: Jordan-Wigner vs Bravyi-Kitaev.
+
+Histogram of the number of qubits each encoded Hamiltonian term acts on,
+for a hydrogen ring in STO-3G. Default ring: 12 atoms (seconds);
+``REPRO_RING_ATOMS=32`` reproduces the paper's 64-qubit system.
+
+Expected shape (must match the paper): JW has a heavy tail reaching the
+full register width (64 for H32), BK concentrates at O(log n) weights.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem import support_histogram
+
+
+@pytest.mark.parametrize("encoding", ["jw", "bk"])
+def test_fig5_histogram(benchmark, ring_hamiltonian, encoding):
+    counts = benchmark(lambda: support_histogram(ring_hamiltonian, encoding))
+    n_so = ring_hamiltonian.n_spin_orbitals
+    total = int(counts.sum())
+    maxw = max(i for i, c in enumerate(counts) if c)
+    mean = float(sum(i * c for i, c in enumerate(counts)) / total)
+    benchmark.extra_info["total_terms"] = total
+    benchmark.extra_info["max_weight"] = maxw
+    benchmark.extra_info["mean_weight"] = round(mean, 2)
+    print(f"\nFig. 5 [{encoding.upper()}] — ring with {n_so} spin orbitals, "
+          f"{total} Pauli strings, max weight {maxw}, mean {mean:.2f}")
+    peak = counts.max()
+    for w, c in enumerate(counts):
+        if c:
+            bar = "#" * max(1, int(40 * np.log10(c + 1) / np.log10(peak + 1)))
+            print(f"  {w:3d} | {bar} {c}")
+    if encoding == "jw":
+        assert maxw == n_so  # JW reaches the full register
+    else:
+        assert maxw < n_so  # BK strictly narrower (O(log n))
+
+
+def test_fig5_shape_comparison(benchmark, ring_hamiltonian):
+    jw, bk = benchmark(
+        lambda: (
+            support_histogram(ring_hamiltonian, "jw"),
+            support_histogram(ring_hamiltonian, "bk"),
+        )
+    )
+    assert jw.sum() == bk.sum()  # identical term-count convention
+    jw_max = max(i for i, c in enumerate(jw) if c)
+    bk_max = max(i for i, c in enumerate(bk) if c)
+    n_so = ring_hamiltonian.n_spin_orbitals
+    print(f"\nFig. 5 shape: JW max weight {jw_max} (= {n_so}), "
+          f"BK max weight {bk_max} (≈ O(log n))")
+    assert jw_max == n_so
+    assert bk_max <= 3 * int(np.ceil(np.log2(n_so))) + 4

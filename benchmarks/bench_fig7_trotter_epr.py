@@ -1,0 +1,52 @@
+"""Fig. 7 — EPR pairs per first-order Trotter step vs node count.
+
+The four series of the paper: {Bravyi-Kitaev, Jordan-Wigner} x {in-place,
+const-depth}, for a hydrogen ring in STO-3G with spin orbitals fixed
+blockwise to nodes. Default ring: 12 atoms; REPRO_RING_ATOMS=32 gives the
+paper's exact workload (H32, 64 qubits, node counts 1..64, EPR counts
+around 1e7 at N=64 — same order as the paper's y-axis).
+
+Shape requirements (validated below, matching the published figure):
+* zero communication at N=1, growth with N;
+* const-depth needs exactly half the EPR pairs of in-place;
+* BK is cheaper than JW once the register is spread over many nodes,
+  while at coarse granularity the two are comparable (crossover).
+"""
+
+import pytest
+
+from repro.chem import epr_sweep
+
+
+def _node_counts(n_so):
+    return tuple(n for n in (1, 2, 4, 8, 16, 32, 64) if n_so % n == 0)
+
+
+def test_fig7_sweep(benchmark, ring_hamiltonian):
+    nodes = _node_counts(ring_hamiltonian.n_spin_orbitals)
+    rows = benchmark(lambda: epr_sweep(ring_hamiltonian, node_counts=nodes))
+    series = {}
+    for r in rows:
+        series.setdefault((r.encoding, r.method), {})[r.n_nodes] = r.epr_pairs
+    print(f"\nFig. 7 — EPR pairs per Trotter step "
+          f"({ring_hamiltonian.n_spin_orbitals} spin orbitals, block placement):")
+    print("series".ljust(18) + "".join(f"{n:>12d}" for n in nodes))
+    for (enc, meth), vals in sorted(series.items()):
+        label = f"{enc.upper()} ({'in-place' if meth == 'inplace' else 'const.-depth'})"
+        print(label.ljust(18) + "".join(f"{vals[n]:>12,d}" for n in nodes))
+        benchmark.extra_info[label] = vals[max(nodes)]
+
+    for enc in ("bk", "jw"):
+        inp = series[(enc, "inplace")]
+        cst = series[(enc, "constdepth")]
+        assert inp[1] == 0 and cst[1] == 0
+        for n in nodes[1:]:
+            assert inp[n] == 2 * cst[n]  # factor-2 between the circuits
+            assert inp[n] > 0
+        # monotone growth with node count
+        vals = [inp[n] for n in nodes]
+        assert all(a <= b for a, b in zip(vals, vals[1:]))
+    # JW's wide strings dominate at the finest granularity
+    finest = nodes[-1]
+    if finest >= 16:
+        assert series[("jw", "inplace")][finest] > series[("bk", "inplace")][finest]

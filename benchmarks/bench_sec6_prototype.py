@@ -1,0 +1,65 @@
+"""§6 — prototype microbenchmarks: the EPR example and simulator throughput."""
+
+import numpy as np
+import pytest
+
+from repro.qmpi import qmpi_run
+from repro.sim import StateVector
+
+
+def test_sec6_epr_example(benchmark):
+    """The paper's §6 listing: two ranks share an EPR pair and agree."""
+
+    def prog(qc):
+        qubit = qc.alloc_qmem(1)
+        dest = 1 if qc.rank == 0 else 0
+        qc.prepare_epr(qubit[0], dest, 0)
+        return qc.measure(qubit[0])
+
+    world = benchmark(lambda: qmpi_run(2, prog, seed=0))
+    assert world.results[0] == world.results[1]
+    print(f"\n§6 example: both ranks measured {world.results[0]} "
+          f"({world.ledger.epr_pairs} EPR pair)")
+
+
+@pytest.mark.parametrize("n_qubits", [10, 16, 20])
+def test_gate_throughput(benchmark, n_qubits):
+    """Single-qubit gate application cost vs register size (the engine's
+    2^n scaling, relevant for sizing distributed test programs)."""
+    sv = StateVector(n_qubits, seed=0)
+
+    def run():
+        for q in range(n_qubits):
+            sv.h(q)
+
+    benchmark(run)
+    assert sv.norm() == pytest.approx(1.0)
+
+
+def test_cnot_ladder_throughput(benchmark):
+    sv = StateVector(16, seed=0)
+    sv.h(0)
+
+    def run():
+        for i in range(15):
+            sv.cnot(i, i + 1)
+
+    benchmark(run)
+    assert sv.norm() == pytest.approx(1.0)
+
+
+def test_distributed_overhead(benchmark):
+    """QMPI round-trip overhead: teleport one qubit between two ranks,
+    including thread spawn, rendezvous, and classical fixups."""
+
+    def prog(qc):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(1)
+            qc.send_move(q, 1)
+        else:
+            t = qc.alloc_qmem(1)
+            qc.recv_move(t, 0)
+        return True
+
+    world = benchmark(lambda: qmpi_run(2, prog, seed=0))
+    assert all(world.results)

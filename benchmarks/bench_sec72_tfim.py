@@ -1,0 +1,81 @@
+"""§7.2 — TFIM per-Trotter-step delay and the S=1 penalty.
+
+Regenerates the section's analysis table: D_Trotter = 2(n/N)D_R, the
+step delay max(D_T, 2E) for S >= 2 vs max(D_T, 2E + 2D_R) for S = 1,
+the event engine's agreement with both, and the node-count guidance
+N <= E^-1 n D_R. Also runs the distributed Listing-1 program and reports
+its measured EPR budget.
+"""
+
+import pytest
+
+from repro.apps.tfim import tfim_program
+from repro.qmpi import qmpi_run
+from repro.sendq import SendqParams, analysis, programs, schedule
+
+
+def _per_step(n_spins, n_nodes, S, E, D_R, steps=5):
+    p = SendqParams(N=n_nodes, S=S, E=E, D_R=D_R)
+    t1 = schedule(programs.tfim_step_program(n_spins, n_nodes, steps - 1), p).makespan
+    t2 = schedule(programs.tfim_step_program(n_spins, n_nodes, steps), p).makespan
+    return t2 - t1
+
+
+def test_sec72_delay_table(benchmark):
+    n_spins, E, D_R = 16, 4.0, 1.0
+
+    def run():
+        rows = []
+        for n_nodes in (2, 4, 8, 16):
+            d_t = analysis.tfim_trotter_compute_delay(
+                n_spins, SendqParams(N=n_nodes, D_R=D_R)
+            )
+            f2 = analysis.tfim_step_delay(n_spins, SendqParams(N=n_nodes, S=2, E=E, D_R=D_R))
+            f1 = analysis.tfim_step_delay(n_spins, SendqParams(N=n_nodes, S=1, E=E, D_R=D_R))
+            e2 = _per_step(n_spins, n_nodes, 2, E, D_R)
+            e1 = _per_step(n_spins, n_nodes, 1, E, D_R)
+            rows.append((n_nodes, d_t, f2, e2, f1, e1))
+        return rows
+
+    rows = benchmark(run)
+    print(f"\n§7.2 — TFIM n={n_spins}, E={E}, D_R={D_R}:")
+    print(f"{'N':>4} {'D_Trotter':>10} {'S=2 form':>9} {'S=2 eng':>8} "
+          f"{'S=1 form':>9} {'S=1 eng':>8}")
+    for n_nodes, d_t, f2, e2, f1, e1 in rows:
+        print(f"{n_nodes:>4} {d_t:>10.1f} {f2:>9.1f} {e2:>8.1f} {f1:>9.1f} {e1:>8.1f}")
+        assert e2 == pytest.approx(f2)
+        assert e1 == pytest.approx(f1)
+    # the S=1 penalty appears exactly when communication-bound
+    assert rows[-1][5] > rows[-1][3]
+
+
+def test_sec72_node_count_guidance(benchmark):
+    def run():
+        return [
+            (E, analysis.tfim_max_nodes(64, SendqParams(E=E, D_R=1.0)))
+            for E in (0.5, 1.0, 2.0, 8.0, 64.0)
+        ]
+
+    rows = benchmark(run)
+    print("\n§7.2 — max nodes with communication hidden (n=64, D_R=1):")
+    for E, nmax in rows:
+        print(f"  E={E:>5}: N <= {nmax}")
+    assert rows[0][1] > rows[-1][1]
+    print(f"  S=1 escape hatch: N >= ceil(n/(Q-1)) = "
+          f"{analysis.tfim_min_nodes_for_s2(64, 5)} for Q=5")
+
+
+def test_sec72_listing1_epr_budget(benchmark):
+    # the distributed program's measured budget: N boundary terms/step
+    n_ranks, steps = 3, 2
+
+    def run():
+        return qmpi_run(
+            n_ranks, tfim_program, args=(0.5, 0.5, 0.1, 1, steps), seed=0, timeout=120
+        )
+
+    world = benchmark(run)
+    snap = world.ledger.snapshot()
+    assert snap.epr_pairs == n_ranks * steps
+    print(f"\n§7.2 Listing 1 ({n_ranks} ranks, {steps} Trotter steps): "
+          f"{snap.epr_pairs} EPR pairs, {snap.classical_bits} classical bits")

@@ -1,0 +1,94 @@
+"""Table 1 — resources per qubit for the four basic primitives + inverses.
+
+Regenerates the table's EPR-pair and classical-bit counts from the live
+resource ledger and benchmarks each primitive end to end (including the
+full state-vector simulation underneath).
+"""
+
+import pytest
+
+from repro.qmpi import PARITY, qmpi_run
+from repro.sendq.analysis import table1
+
+N_REDUCE = 4
+
+
+def _copy_roundtrip():
+    def prog(qc):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(1)
+            qc.h(q[0])
+            qc.send(q, 1)
+            qc.unsend(q, 1)
+        else:
+            t = qc.alloc_qmem(1)
+            qc.recv(t, 0)
+            qc.unrecv(t, 0)
+        qc.barrier()
+
+    return qmpi_run(2, prog, seed=0)
+
+
+def _move_roundtrip():
+    def prog(qc):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(1)
+            qc.h(q[0])
+            qc.send_move(q, 1)
+            qc.unsend_move(1, 1)
+        else:
+            t = qc.alloc_qmem(1)
+            qc.recv_move(t, 0)
+            qc.unrecv_move(t, 0)
+        qc.barrier()
+
+    return qmpi_run(2, prog, seed=0)
+
+
+def _reduce_roundtrip():
+    def prog(qc):
+        q = qc.alloc_qmem(1)
+        if qc.rank % 2:
+            qc.x(q[0])
+        _, h = qc.reduce(q, op=PARITY, root=0)
+        qc.unreduce(h)
+        qc.barrier()
+
+    return qmpi_run(N_REDUCE, prog, seed=0, timeout=60)
+
+
+def _scan_roundtrip():
+    def prog(qc):
+        q = qc.alloc_qmem(1)
+        if qc.rank % 2:
+            qc.x(q[0])
+        _, h = qc.scan(q, op=PARITY)
+        qc.unscan(h)
+        qc.barrier()
+
+    return qmpi_run(N_REDUCE, prog, seed=0, timeout=60)
+
+
+@pytest.mark.parametrize(
+    "name,runner,fwd,inv",
+    [
+        ("copy", _copy_roundtrip, "copy", "uncopy"),
+        ("move", _move_roundtrip, "move", "unmove"),
+        ("reduce", _reduce_roundtrip, "reduce", "unreduce"),
+        ("scan", _scan_roundtrip, "scan", "unscan"),
+    ],
+)
+def test_table1(benchmark, name, runner, fwd, inv):
+    world = benchmark(runner)
+    snap = world.ledger.snapshot()
+    n = 2 if name in ("copy", "move") else N_REDUCE
+    ref = table1(n)
+    expect_epr = ref[fwd]["epr"] + ref[inv]["epr"]
+    expect_bits = ref[fwd]["cbits"] + ref[inv]["cbits"]
+    assert (snap.epr_pairs, snap.classical_bits) == (expect_epr, expect_bits)
+    benchmark.extra_info["epr_pairs (op+inverse)"] = snap.epr_pairs
+    benchmark.extra_info["classical_bits (op+inverse)"] = snap.classical_bits
+    print(
+        f"\nTable 1 [{name} + {inv}] N={n}: measured EPR={snap.epr_pairs} "
+        f"bits={snap.classical_bits}  |  paper: EPR={expect_epr} bits={expect_bits}"
+    )

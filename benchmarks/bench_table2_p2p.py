@@ -1,0 +1,65 @@
+"""Table 2 — point-to-point primitives and their resource classes."""
+
+import pytest
+
+from repro.qmpi import qmpi_run
+
+COPY = ("send", "bsend", "ssend", "rsend")
+
+
+@pytest.mark.parametrize("variant", COPY)
+def test_send_variants_copy_class(benchmark, variant):
+    def prog(qc):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(1)
+            getattr(qc, variant)(q, 1)
+        else:
+            t = qc.alloc_qmem(1)
+            qc.recv(t, 0)
+        qc.barrier()
+
+    world = benchmark(lambda: qmpi_run(2, prog, seed=0))
+    snap = world.ledger.snapshot()
+    assert (snap.epr_pairs, snap.classical_bits) == (1, 1)
+    print(f"\nTable 2 [QMPI_{variant.capitalize()}]: copy class -> 1 EPR, 1 bit ✓")
+
+
+def test_sendrecv(benchmark):
+    def prog(qc):
+        sq = qc.alloc_qmem(1)
+        rq = qc.alloc_qmem(1)
+        qc.sendrecv(sq, 1 - qc.rank, rq, 1 - qc.rank)
+        qc.barrier()
+
+    world = benchmark(lambda: qmpi_run(2, prog, seed=0))
+    snap = world.ledger.snapshot()
+    assert (snap.epr_pairs, snap.classical_bits) == (2, 2)
+    print("\nTable 2 [QMPI_Sendrecv]: copy class x2 -> 2 EPR, 2 bits ✓")
+
+
+def test_sendrecv_replace_move_class(benchmark):
+    def prog(qc):
+        q = qc.alloc_qmem(1)
+        qc.sendrecv_replace(q, 1 - qc.rank, 1 - qc.rank)
+        qc.barrier()
+
+    world = benchmark(lambda: qmpi_run(2, prog, seed=0))
+    snap = world.ledger.snapshot()
+    assert (snap.epr_pairs, snap.classical_bits) == (2, 4)
+    print("\nTable 2 [QMPI_Sendrecv_replace]: move class x2 -> 2 EPR, 4 bits ✓")
+
+
+def test_move_pair(benchmark):
+    def prog(qc):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(1)
+            qc.send_move(q, 1)
+        else:
+            t = qc.alloc_qmem(1)
+            qc.recv_move(t, 0)
+        qc.barrier()
+
+    world = benchmark(lambda: qmpi_run(2, prog, seed=0))
+    snap = world.ledger.snapshot()
+    assert (snap.epr_pairs, snap.classical_bits) == (1, 2)
+    print("\nTable 2 [QMPI_Send_move/Recv_move]: move class -> 1 EPR, 2 bits ✓")

@@ -1,0 +1,141 @@
+"""Table 3 — collectives and their resource classes (N = 3 ranks)."""
+
+import pytest
+
+from repro.qmpi import PARITY, qmpi_run
+
+N = 3
+
+
+def _run(prog, timeout=90.0):
+    return qmpi_run(N, prog, seed=0, timeout=timeout)
+
+
+def test_bcast(benchmark):
+    def prog(qc):
+        q = qc.alloc_qmem(1)
+        qc.bcast(q, root=0)
+        qc.barrier()
+
+    w = benchmark(lambda: _run(prog))
+    assert w.ledger.snapshot().epr_pairs == N - 1
+    print(f"\nTable 3 [QMPI_Bcast]: copy class -> {N-1} EPR ✓")
+
+
+def test_gather_and_move(benchmark):
+    def prog(qc):
+        q = qc.alloc_qmem(1)
+        qc.gather(q, root=0)
+        qc.barrier()
+
+    w = benchmark(lambda: _run(prog))
+    assert w.ledger.snapshot().epr_pairs == N - 1
+    print(f"\nTable 3 [QMPI_Gather]: copy class -> {N-1} EPR ✓")
+
+    def prog_move(qc):
+        q = qc.alloc_qmem(1)
+        qc.gather_move(q, root=0)
+        qc.barrier()
+
+    w = _run(prog_move)
+    s = w.ledger.snapshot()
+    assert (s.epr_pairs, s.classical_bits) == (N - 1, 2 * (N - 1))
+    print(f"Table 3 [QMPI_Gather_move]: move class -> {N-1} EPR, {2*(N-1)} bits ✓")
+
+
+def test_scatter(benchmark):
+    def prog(qc):
+        if qc.rank == 0:
+            reg = qc.alloc_qmem(N)
+            qc.scatter(reg, None, root=0)
+        else:
+            t = qc.alloc_qmem(1)
+            qc.scatter(None, t, root=0)
+        qc.barrier()
+
+    w = benchmark(lambda: _run(prog))
+    assert w.ledger.snapshot().epr_pairs == N - 1
+    print(f"\nTable 3 [QMPI_Scatter]: copy class -> {N-1} EPR ✓")
+
+
+def test_allgather(benchmark):
+    def prog(qc):
+        q = qc.alloc_qmem(1)
+        qc.allgather(q)
+        qc.barrier()
+
+    w = benchmark(lambda: _run(prog))
+    assert w.ledger.snapshot().epr_pairs == N * (N - 1)
+    print(f"\nTable 3 [QMPI_Allgather]: copy class per source -> {N*(N-1)} EPR ✓")
+
+
+def test_alltoall_copy_and_move(benchmark):
+    def prog(qc):
+        q = qc.alloc_qmem(N)
+        qc.alltoall(q)
+        qc.barrier()
+
+    w = benchmark(lambda: _run(prog))
+    assert w.ledger.snapshot().epr_pairs == N * (N - 1)
+    print(f"\nTable 3 [QMPI_Alltoall]: copy class -> {N*(N-1)} EPR ✓")
+
+    def prog_move(qc):
+        q = qc.alloc_qmem(N)
+        qc.alltoall_move(q)
+        qc.barrier()
+
+    w = _run(prog_move)
+    s = w.ledger.snapshot()
+    assert (s.epr_pairs, s.classical_bits) == (N * (N - 1), 2 * N * (N - 1))
+    print(f"Table 3 [QMPI_Alltoall_move]: move class -> {N*(N-1)} EPR, "
+          f"{2*N*(N-1)} bits ✓")
+
+
+def test_reduce_and_allreduce(benchmark):
+    def prog(qc):
+        q = qc.alloc_qmem(1)
+        _, h = qc.reduce(q, op=PARITY, root=0)
+        qc.unreduce(h)
+        qc.barrier()
+
+    w = benchmark(lambda: _run(prog))
+    s = w.ledger.snapshot()
+    assert (s.epr_pairs, s.classical_bits) == (N - 1, 2 * (N - 1))
+    print(f"\nTable 3 [QMPI_Reduce+Unreduce]: reduce class -> {N-1} EPR, "
+          f"{2*(N-1)} bits ✓")
+
+    def prog_all(qc):
+        q = qc.alloc_qmem(1)
+        qc.allreduce(q, op=PARITY)
+        qc.barrier()
+
+    w = _run(prog_all)
+    assert w.ledger.snapshot().epr_pairs == 2 * (N - 1)
+    print(f"Table 3 [QMPI_Allreduce]: reduce + copy -> {2*(N-1)} EPR ✓")
+
+
+def test_scan_exscan(benchmark):
+    def prog(qc):
+        q = qc.alloc_qmem(1)
+        _, h = qc.scan(q, op=PARITY)
+        qc.unscan(h)
+        qc.barrier()
+
+    w = benchmark(lambda: _run(prog))
+    s = w.ledger.snapshot()
+    assert (s.epr_pairs, s.classical_bits) == (N - 1, 2 * (N - 1))
+    print(f"\nTable 3 [QMPI_Scan+Unscan]: scan class -> {N-1} EPR, "
+          f"{2*(N-1)} bits ✓")
+
+
+def test_reduce_scatter_block(benchmark):
+    def prog(qc):
+        q = qc.alloc_qmem(N)
+        _, hs = qc.reduce_scatter_block(q, op=PARITY)
+        qc.unreduce_scatter_block(hs)
+        qc.barrier()
+
+    w = benchmark(lambda: _run(prog, timeout=120.0))
+    assert w.ledger.snapshot().epr_pairs == N * (N - 1)
+    print(f"\nTable 3 [QMPI_Reduce_scatter_block]: reduce class per block -> "
+          f"{N*(N-1)} EPR ✓")

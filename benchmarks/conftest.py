@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Ring size for the chemistry figures defaults to 12 atoms so the whole
+suite stays fast; set ``REPRO_RING_ATOMS=32`` to regenerate the paper's
+exact H32 system (adds ~10 s for integrals + RHF).
+"""
+
+import os
+
+import pytest
+
+
+def ring_atoms() -> int:
+    return int(os.environ.get("REPRO_RING_ATOMS", "12"))
+
+
+@pytest.fixture(scope="session")
+def ring_hamiltonian():
+    from repro.chem import build_hamiltonian, hydrogen_ring, run_rhf
+
+    n = ring_atoms()
+    rhf = run_rhf(hydrogen_ring(n, 1.8))
+    return build_hamiltonian(rhf)

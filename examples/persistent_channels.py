@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""§4.7 — persistent requests: pre-established EPR pools.
+
+A PersistentChannel stockpiles EPR pairs before any data exists; the
+transfers themselves then need only classical bits ("zero quantum
+communication depth"). The ledger proves it: all EPR pairs are created
+during setup, none during the timed transfer phase. Run:
+
+    python examples/persistent_channels.py
+"""
+
+from repro.qmpi import PersistentChannel, qmpi_run
+
+
+def program(qc, n_messages):
+    peer = 1 - qc.rank
+    # Phase 1: set up the pool (this is where ALL quantum communication
+    # happens; in a real machine it overlaps with preceding computation).
+    channel = PersistentChannel(qc, peer, slots=n_messages, tag=7)
+    qc.barrier()
+    setup = qc.ledger.snapshot()
+
+    # Phase 2: stream messages — classical bits only.
+    if qc.rank == 0:
+        for i in range(n_messages):
+            q = qc.alloc_qmem(1)
+            qc.ry(q[0], 0.1 * (i + 1))
+            channel.send_move(q)
+        out = None
+    else:
+        probs = []
+        for i in range(n_messages):
+            (q,) = channel.recv_move(1)
+            probs.append(round(qc.prob_one(q), 6))
+        out = probs
+    qc.barrier()
+    stream = qc.ledger.snapshot().delta(setup)
+    return out, (stream.epr_pairs, stream.classical_bits)
+
+
+def main():
+    n_messages = 4
+    world = qmpi_run(2, program, args=(n_messages,), seed=0)
+    probs, _ = world.results[1]
+    _, (epr_during_stream, bits) = world.results[0]
+    print(f"teleported {n_messages} states; receiver P(1) per message: {probs}")
+    print(f"EPR pairs created during streaming: {epr_during_stream} (all were "
+          f"pre-established)")
+    print(f"classical bits during streaming: {bits} (2 per teleported qubit)")
+    total = world.ledger.snapshot()
+    print(f"total EPR pairs overall: {total.epr_pairs} (= pool size {n_messages})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Listing 1 — distributed TFIM time evolution with an annealing schedule.
+
+Four spins on two quantum ranks anneal from the transverse-field ground
+state |+...+> (g=1, J=0) to a classical antiferromagnetic Ising model
+(g=0, J=1). With J > 0 the ZZ coupling is antiferromagnetic, so a slow
+anneal should end in a Néel-ordered bitstring (0101 or 1010 around the
+ring). Run:
+
+    python examples/tfim_annealing.py
+"""
+
+from collections import Counter
+
+from repro.apps.tfim import run_annealing
+
+
+def main():
+    n_ranks, spins_per_rank = 2, 2
+    shots = 12
+    counts: Counter = Counter()
+    for seed in range(shots):
+        outcomes, ledger = run_annealing(
+            n_ranks=n_ranks,
+            num_local_spins=spins_per_rank,
+            num_annealing_steps=24,
+            num_trotter=2,
+            time=0.9,
+            seed=seed,
+        )
+        counts["".join(map(str, outcomes))] += 1
+    print(f"{shots} annealing runs on {n_ranks} ranks x {spins_per_rank} spins:")
+    for bits, c in counts.most_common():
+        neel = " <- Neel ordered" if bits in ("0101", "1010") else ""
+        print(f"  {bits}: {c}{neel}")
+    neel_frac = (counts["0101"] + counts["1010"]) / shots
+    print(f"\nNeel fraction: {neel_frac:.2f} (a slow anneal drives this toward 1)")
+    print(f"EPR pairs for the last run: {ledger.epr_pairs}, "
+          f"classical bits: {ledger.classical_bits}")
+
+
+if __name__ == "__main__":
+    main()

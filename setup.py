@@ -1,0 +1,7 @@
+"""Shim for environments without the `wheel` package (legacy editable
+installs: ``pip install -e . --no-use-pep517 --no-build-isolation``).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

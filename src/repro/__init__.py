@@ -1,0 +1,31 @@
+"""repro — Distributed Quantum Computing with QMPI (SC 2021), reproduced.
+
+Subpackages
+-----------
+``repro.qmpi``
+    The paper's contribution: the quantum Message Passing Interface —
+    EPR establishment, copy/move point-to-point with inverses, all
+    collectives of Tables 2-3, reversible reductions, persistent
+    requests, and the resource ledger.
+``repro.sendq``
+    The SENDQ performance model: parameters (S, E, N, D, Q), the closed
+    forms of §5/§7, and a discrete-event scheduler that validates them.
+``repro.mpi``
+    In-process classical MPI substrate (threads as ranks).
+``repro.sim``
+    Full state-vector simulator with the §6 prototype's architecture.
+``repro.chem``
+    STO-3G/RHF/Jordan-Wigner/Bravyi-Kitaev chemistry substrate for the
+    Figs. 5 and 7 workloads.
+``repro.apps``
+    Distributed applications: teleportation, cat states, the Fig. 6
+    parity circuits, and the Listing-1 TFIM program.
+``repro.exact``
+    Dense references (exp(-iHt), Pauli matrices) for validation.
+
+Entry point: :func:`repro.qmpi.qmpi_run`.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["qmpi", "sendq", "mpi", "sim", "chem", "apps", "exact", "__version__"]

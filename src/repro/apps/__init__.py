@@ -1,0 +1,5 @@
+"""Distributed quantum applications built on QMPI (§7 of the paper)."""
+
+from . import ghz, parity, teleport, tfim
+
+__all__ = ["teleport", "ghz", "parity", "tfim"]

@@ -1,0 +1,55 @@
+"""Teleportation demos (Fig. 3): move semantics end to end."""
+
+from __future__ import annotations
+
+from ..qmpi.api import QmpiComm, qmpi_run
+
+__all__ = ["teleport_program", "run_teleport_demo", "relay_program", "run_relay_demo"]
+
+
+def teleport_program(qc: QmpiComm, theta: float, phi: float):
+    """Rank 0 prepares Ry(theta) then Rz(phi) |0> and teleports it to the
+    last rank, which reports its |1>-probability."""
+    last = qc.size - 1
+    if qc.rank == 0:
+        q = qc.alloc_qmem(1)
+        qc.ry(q[0], theta)
+        qc.rz(q[0], phi)
+        if last != 0:
+            qc.send_move(q, last)
+            return None
+        return qc.prob_one(q[0])
+    if qc.rank == last:
+        t = qc.alloc_qmem(1)
+        qc.recv_move(t, 0)
+        return qc.prob_one(t[0])
+    return None
+
+
+def run_teleport_demo(theta: float = 1.234, phi: float = 0.5, n_ranks: int = 2, seed=0):
+    """Returns (received |1>-probability, ledger snapshot)."""
+    world = qmpi_run(n_ranks, teleport_program, args=(theta, phi), seed=seed)
+    return world.results[n_ranks - 1], world.ledger.snapshot()
+
+
+def relay_program(qc: QmpiComm, theta: float):
+    """Teleport a state along the whole chain of ranks (0 -> 1 -> ... ->
+    N-1), one hop at a time: N-1 EPR pairs, 2(N-1) classical bits."""
+    if qc.rank == 0:
+        q = qc.alloc_qmem(1)
+        qc.ry(q[0], theta)
+        if qc.size > 1:
+            qc.send_move(q, 1)
+            return None
+        return qc.prob_one(q[0])
+    t = qc.alloc_qmem(1)
+    qc.recv_move(t, qc.rank - 1)
+    if qc.rank < qc.size - 1:
+        qc.send_move(t, qc.rank + 1)
+        return None
+    return qc.prob_one(t[0])
+
+
+def run_relay_demo(theta: float = 0.777, n_ranks: int = 4, seed=0):
+    world = qmpi_run(n_ranks, relay_program, args=(theta,), seed=seed)
+    return world.results[n_ranks - 1], world.ledger.snapshot()

@@ -1,0 +1,57 @@
+"""STO-3G basis for hydrogen.
+
+Each hydrogen carries one contracted s-function: three primitive
+Gaussians fitted to a Slater 1s with exponent zeta = 1.24 (the standard
+STO-3G hydrogen). Only s-functions appear for hydrogen systems, which is
+why all molecular integrals have closed forms (see integrals.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .geometry import Molecule
+
+__all__ = ["ContractedGaussian", "sto3g_hydrogen", "basis_for"]
+
+# STO-3G expansion of a zeta=1 Slater 1s (Hehre, Stewart, Pople 1969).
+_STO3G_ALPHA = np.array([2.227660584, 0.405771156, 0.109818036])
+_STO3G_COEF = np.array([0.154328967, 0.535328142, 0.444634542])
+_HYDROGEN_ZETA = 1.24
+
+
+@dataclass(frozen=True)
+class ContractedGaussian:
+    """A normalized contracted s-type Gaussian: sum_i c_i g(alpha_i, r-A)."""
+
+    center: tuple[float, float, float]
+    alphas: tuple[float, ...]
+    coeffs: tuple[float, ...]
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return (
+            np.asarray(self.center, dtype=float),
+            np.asarray(self.alphas, dtype=float),
+            np.asarray(self.coeffs, dtype=float),
+        )
+
+
+def sto3g_hydrogen(center) -> ContractedGaussian:
+    """The STO-3G 1s function on a hydrogen at ``center`` (Bohr).
+
+    Exponents scale as zeta^2; contraction coefficients absorb each
+    primitive's normalization ``(2 a / pi)^(3/4)``.
+    """
+    alphas = _STO3G_ALPHA * _HYDROGEN_ZETA**2
+    norms = (2.0 * alphas / np.pi) ** 0.75
+    coeffs = _STO3G_COEF * norms
+    return ContractedGaussian(tuple(float(x) for x in center), tuple(alphas), tuple(coeffs))
+
+
+def basis_for(molecule: Molecule) -> list[ContractedGaussian]:
+    """One STO-3G s-function per atom (all atoms must be hydrogen)."""
+    if not np.allclose(molecule.charges, 1.0):
+        raise ValueError("only hydrogen systems are supported (s-functions only)")
+    return [sto3g_hydrogen(c) for c in molecule.coords]

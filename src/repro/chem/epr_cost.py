@@ -1,0 +1,91 @@
+"""Fig. 7 — EPR pairs per first-order Trotter step.
+
+Each Hamiltonian term exponential ``exp(-i t Z...Z)`` (after basis
+rotations) spans some set of nodes m under a fixed placement; its EPR
+cost depends on the circuit:
+
+* **in-place** (Fig. 6(a)): per-node local parities are free; the
+  distributed CNOT tree across the m nodes costs 2(m-1) EPR pairs
+  (down + up).
+* **constant-depth** (Fig. 6(c), Fig. 7 convention): a cat state across
+  the m nodes with the rotation ancilla on one of them costs m-1 EPR
+  pairs (spanning-tree edges).
+
+Summing over every Pauli string of the encoded Hamiltonian gives the
+figure's four series (JW/BK x in-place/const-depth) as a function of N.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .mo_integrals import MolecularHamiltonian
+from .placement import block_placement, nodes_touched, round_robin_placement
+from .weights import iter_support_masks
+
+__all__ = ["trotter_step_epr", "epr_sweep", "TrotterEprResult"]
+
+
+@dataclass
+class TrotterEprResult:
+    encoding: str
+    method: str
+    n_nodes: int
+    epr_pairs: int
+    n_strings: int
+
+
+def _method_cost(m: np.ndarray, method: str) -> np.ndarray:
+    spanned = np.maximum(m - 1, 0)
+    if method == "inplace":
+        return 2 * spanned
+    if method == "constdepth":
+        return spanned
+    raise ValueError(f"unknown method {method!r} (use 'inplace' or 'constdepth')")
+
+
+def trotter_step_epr(
+    ham: MolecularHamiltonian,
+    encoding: str,
+    n_nodes: int,
+    method: str,
+    placement: str = "block",
+    tol: float = 1e-10,
+) -> TrotterEprResult:
+    """Total EPR pairs to apply every Hamiltonian term once (one
+    first-order Trotter step) under the given encoding/circuit/placement."""
+    n_so = ham.n_spin_orbitals
+    if placement == "block":
+        node_masks = block_placement(n_so, n_nodes)
+    elif placement == "round_robin":
+        node_masks = round_robin_placement(n_so, n_nodes)
+    else:
+        raise ValueError(f"unknown placement {placement!r}")
+    total = 0
+    n_strings = 0
+    for batch in iter_support_masks(ham, encoding, tol):
+        m = nodes_touched(batch.masks, node_masks)
+        total += int(_method_cost(m, method).sum())
+        n_strings += len(batch.masks)
+    return TrotterEprResult(encoding, method, n_nodes, total, n_strings)
+
+
+def epr_sweep(
+    ham: MolecularHamiltonian,
+    node_counts=(1, 2, 4, 8, 16, 32, 64),
+    encodings=("bk", "jw"),
+    methods=("inplace", "constdepth"),
+    placement: str = "block",
+    tol: float = 1e-10,
+) -> list[TrotterEprResult]:
+    """The full Fig. 7 grid: EPR pairs vs node count for each series."""
+    out = []
+    for enc in encodings:
+        for meth in methods:
+            for n in node_counts:
+                if ham.n_spin_orbitals % n:
+                    continue
+                out.append(trotter_step_epr(ham, enc, n, meth, placement, tol))
+    return out

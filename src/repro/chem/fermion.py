@@ -1,0 +1,101 @@
+"""Symbolic fermionic operators (creation/annihilation algebra).
+
+Terms are tuples of ``(mode_index, dagger)`` factors with complex
+coefficients. Enough algebra for building molecular Hamiltonians at
+test scale and validating the JW/BK transforms; the large-system paths
+never materialize these (see majorana_masks.py / weights.py).
+"""
+
+from __future__ import annotations
+
+__all__ = ["FermionOperator"]
+
+
+class FermionOperator:
+    """Linear combination of products of fermionic ladder operators."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: dict | None = None):
+        self.terms: dict[tuple[tuple[int, int], ...], complex] = dict(terms or {})
+
+    @classmethod
+    def zero(cls) -> "FermionOperator":
+        return cls({})
+
+    @classmethod
+    def identity(cls, coeff: complex = 1.0) -> "FermionOperator":
+        return cls({(): coeff})
+
+    @classmethod
+    def term(cls, factors, coeff: complex = 1.0) -> "FermionOperator":
+        """``factors``: sequence of (mode, dagger) with dagger in {0, 1}."""
+        t = tuple((int(m), int(d)) for m, d in factors)
+        for _, d in t:
+            if d not in (0, 1):
+                raise ValueError("dagger flag must be 0 or 1")
+        return cls({t: coeff})
+
+    @classmethod
+    def creation(cls, mode: int) -> "FermionOperator":
+        return cls.term([(mode, 1)])
+
+    @classmethod
+    def annihilation(cls, mode: int) -> "FermionOperator":
+        return cls.term([(mode, 0)])
+
+    # -- algebra -----------------------------------------------------------
+    def __add__(self, other):
+        if isinstance(other, (int, float, complex)):
+            other = FermionOperator.identity(other)
+        out = dict(self.terms)
+        for k, v in other.terms.items():
+            out[k] = out.get(k, 0.0) + v
+        return FermionOperator(out)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self + (other * -1.0 if isinstance(other, FermionOperator) else -other)
+
+    def __mul__(self, other):
+        if isinstance(other, (int, float, complex)):
+            return FermionOperator({k: v * other for k, v in self.terms.items()})
+        out: dict[tuple, complex] = {}
+        for t1, c1 in self.terms.items():
+            for t2, c2 in other.terms.items():
+                key = t1 + t2
+                out[key] = out.get(key, 0.0) + c1 * c2
+        return FermionOperator(out)
+
+    def __rmul__(self, other):
+        if isinstance(other, (int, float, complex)):
+            return self * other
+        return NotImplemented
+
+    def hermitian_conjugate(self) -> "FermionOperator":
+        out: dict[tuple, complex] = {}
+        for t, c in self.terms.items():
+            key = tuple((m, 1 - d) for m, d in reversed(t))
+            out[key] = out.get(key, 0.0) + c.conjugate() if isinstance(c, complex) else c
+        return FermionOperator(out)
+
+    def simplify(self, tol: float = 1e-12) -> "FermionOperator":
+        return FermionOperator({k: v for k, v in self.terms.items() if abs(v) > tol})
+
+    def n_modes(self) -> int:
+        """1 + highest mode index appearing (0 for the identity)."""
+        m = -1
+        for t in self.terms:
+            for mode, _ in t:
+                m = max(m, mode)
+        return m + 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        def fmt(t):
+            return "".join(f"a{'†' if d else ''}_{m} " for m, d in t) or "1"
+
+        items = list(self.terms.items())[:6]
+        body = " + ".join(f"{v:.4g}·{fmt(t)}" for t, v in items)
+        more = "" if len(self.terms) <= 6 else f" + ... ({len(self.terms)} terms)"
+        return f"FermionOperator({body}{more})"

@@ -1,0 +1,73 @@
+"""Molecular geometries for the paper's chemistry workloads.
+
+The paper's Fig. 5/7 use a hydrogen ring with 32 atoms in STO-3G; the
+builders here produce rings and chains of hydrogens at arbitrary size so
+tests can use small instances and the benches the full 32-atom ring.
+Coordinates are in Bohr (atomic units) throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hydrogen_ring", "hydrogen_chain", "h2", "ANGSTROM_TO_BOHR", "Molecule"]
+
+ANGSTROM_TO_BOHR = 1.8897259886
+
+
+class Molecule:
+    """Nuclei only (basis attached separately): charges and positions."""
+
+    def __init__(self, charges, coords, n_electrons: int | None = None):
+        self.charges = np.asarray(charges, dtype=float)
+        self.coords = np.asarray(coords, dtype=float).reshape(len(self.charges), 3)
+        self.n_electrons = int(n_electrons if n_electrons is not None else self.charges.sum())
+        if self.n_electrons < 0:
+            raise ValueError("negative electron count")
+
+    @property
+    def n_atoms(self) -> int:
+        return len(self.charges)
+
+    def nuclear_repulsion(self) -> float:
+        """Pairwise Coulomb repulsion of the nuclei."""
+        e = 0.0
+        for i in range(self.n_atoms):
+            for j in range(i + 1, self.n_atoms):
+                r = np.linalg.norm(self.coords[i] - self.coords[j])
+                e += self.charges[i] * self.charges[j] / r
+        return e
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Molecule {self.n_atoms} atoms, {self.n_electrons} electrons>"
+
+
+def hydrogen_ring(n_atoms: int, bond_length: float = 1.8) -> Molecule:
+    """``n_atoms`` hydrogens equally spaced on a circle.
+
+    ``bond_length`` is the nearest-neighbour separation in Bohr (paper
+    default ~0.95 Å ≈ 1.8 a0 is a typical choice for H-ring benchmarks).
+    """
+    if n_atoms < 2:
+        raise ValueError("a ring needs at least 2 atoms")
+    # chord = 2 R sin(pi/n)  =>  R = chord / (2 sin(pi/n))
+    radius = bond_length / (2.0 * np.sin(np.pi / n_atoms))
+    angles = 2.0 * np.pi * np.arange(n_atoms) / n_atoms
+    coords = np.stack(
+        [radius * np.cos(angles), radius * np.sin(angles), np.zeros(n_atoms)], axis=1
+    )
+    return Molecule(np.ones(n_atoms), coords)
+
+
+def hydrogen_chain(n_atoms: int, bond_length: float = 1.8) -> Molecule:
+    """Linear chain of hydrogens along x."""
+    if n_atoms < 1:
+        raise ValueError("need at least one atom")
+    coords = np.zeros((n_atoms, 3))
+    coords[:, 0] = bond_length * np.arange(n_atoms)
+    return Molecule(np.ones(n_atoms), coords)
+
+
+def h2(bond_length: float = 1.4) -> Molecule:
+    """The H2 molecule (default 1.4 a0 ~ the Szabo–Ostlund reference)."""
+    return hydrogen_chain(2, bond_length)

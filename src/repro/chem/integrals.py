@@ -1,0 +1,156 @@
+"""Molecular integrals over s-type Gaussians (closed forms).
+
+For hydrogen-only systems every basis function is an s-Gaussian, so the
+overlap, kinetic, nuclear-attraction, and electron-repulsion integrals
+reduce to the textbook formulas (Szabo & Ostlund App. A), with the Boys
+function ``F0(x) = (1/2) sqrt(pi/x) erf(sqrt(x))`` carrying the Coulomb
+parts. Everything is vectorized over primitive pairs/quartets; the ERI
+exploits the 8-fold permutation symmetry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import erf
+
+from .basis import ContractedGaussian
+from .geometry import Molecule
+
+__all__ = ["boys_f0", "overlap_matrix", "kinetic_matrix", "nuclear_matrix", "eri_tensor"]
+
+
+def boys_f0(x: np.ndarray) -> np.ndarray:
+    """Boys function of order zero, stable at x -> 0 (series limit 1)."""
+    x = np.asarray(x, dtype=float)
+    out = np.ones_like(x)
+    small = x < 1e-12
+    xs = np.where(small, 1.0, x)  # avoid 0-division; overwritten below
+    out = 0.5 * np.sqrt(np.pi / xs) * erf(np.sqrt(xs))
+    return np.where(small, 1.0 - x / 3.0, out)
+
+
+def _pairs(basis: list[ContractedGaussian]):
+    """Flatten primitive data: centers (n,3), alphas/coeffs per function."""
+    centers = np.array([b.center for b in basis])
+    alphas = [np.asarray(b.alphas) for b in basis]
+    coeffs = [np.asarray(b.coeffs) for b in basis]
+    return centers, alphas, coeffs
+
+
+def overlap_matrix(basis: list[ContractedGaussian]) -> np.ndarray:
+    """Contracted overlap matrix S."""
+    centers, alphas, coeffs = _pairs(basis)
+    n = len(basis)
+    S = np.empty((n, n))
+    for i in range(n):
+        for j in range(i, n):
+            a = alphas[i][:, None]
+            b = alphas[j][None, :]
+            c = coeffs[i][:, None] * coeffs[j][None, :]
+            p = a + b
+            r2 = float(np.sum((centers[i] - centers[j]) ** 2))
+            prim = (np.pi / p) ** 1.5 * np.exp(-a * b / p * r2)
+            S[i, j] = S[j, i] = float(np.sum(c * prim))
+    return S
+
+
+def kinetic_matrix(basis: list[ContractedGaussian]) -> np.ndarray:
+    """Contracted kinetic-energy matrix T."""
+    centers, alphas, coeffs = _pairs(basis)
+    n = len(basis)
+    T = np.empty((n, n))
+    for i in range(n):
+        for j in range(i, n):
+            a = alphas[i][:, None]
+            b = alphas[j][None, :]
+            c = coeffs[i][:, None] * coeffs[j][None, :]
+            p = a + b
+            mu = a * b / p
+            r2 = float(np.sum((centers[i] - centers[j]) ** 2))
+            s = (np.pi / p) ** 1.5 * np.exp(-mu * r2)
+            prim = mu * (3.0 - 2.0 * mu * r2) * s
+            T[i, j] = T[j, i] = float(np.sum(c * prim))
+    return T
+
+
+def nuclear_matrix(basis: list[ContractedGaussian], molecule: Molecule) -> np.ndarray:
+    """Nuclear-attraction matrix V (negative definite contributions)."""
+    centers, alphas, coeffs = _pairs(basis)
+    n = len(basis)
+    V = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i, n):
+            a = alphas[i][:, None]
+            b = alphas[j][None, :]
+            c = coeffs[i][:, None] * coeffs[j][None, :]
+            p = a + b
+            r2 = float(np.sum((centers[i] - centers[j]) ** 2))
+            pref = (2.0 * np.pi / p) * np.exp(-a * b / p * r2)
+            # Gaussian product center, broadcast over primitives.
+            P = (a[..., None] * centers[i] + b[..., None] * centers[j]) / p[..., None]
+            val = 0.0
+            for zc, rc in zip(molecule.charges, molecule.coords):
+                pc2 = np.sum((P - rc) ** 2, axis=-1)
+                val += -zc * np.sum(c * pref * boys_f0(p * pc2))
+            V[i, j] = V[j, i] = float(val)
+    return V
+
+
+def eri_tensor(basis: list[ContractedGaussian]) -> np.ndarray:
+    """Two-electron repulsion integrals (ij|kl) in chemists' notation.
+
+    Computes the unique set under 8-fold symmetry, vectorized over the
+    primitive quartet grid of each contracted quartet.
+    """
+    centers, alphas, coeffs = _pairs(basis)
+    n = len(basis)
+    eri = np.zeros((n, n, n, n))
+
+    # Precompute per-pair primitive data: p = a+b, K = exp(-ab/p r2), P.
+    pair_p: dict[tuple[int, int], np.ndarray] = {}
+    pair_K: dict[tuple[int, int], np.ndarray] = {}
+    pair_P: dict[tuple[int, int], np.ndarray] = {}
+    pair_c: dict[tuple[int, int], np.ndarray] = {}
+    for i in range(n):
+        for j in range(i, n):
+            a = alphas[i][:, None]
+            b = alphas[j][None, :]
+            p = a + b
+            r2 = float(np.sum((centers[i] - centers[j]) ** 2))
+            K = np.exp(-a * b / p * r2)
+            P = (a[..., None] * centers[i] + b[..., None] * centers[j]) / p[..., None]
+            c = coeffs[i][:, None] * coeffs[j][None, :]
+            pair_p[(i, j)] = p.ravel()
+            pair_K[(i, j)] = K.ravel()
+            pair_P[(i, j)] = P.reshape(-1, 3)
+            pair_c[(i, j)] = c.ravel()
+
+    def key(i, j):
+        return (i, j) if i <= j else (j, i)
+
+    for i in range(n):
+        for j in range(i + 1):
+            ij = i * (i + 1) // 2 + j
+            for k in range(n):
+                for l in range(k + 1):
+                    kl = k * (k + 1) // 2 + l
+                    if ij < kl:
+                        continue
+                    p = pair_p[key(i, j)][:, None]
+                    q = pair_p[key(k, l)][None, :]
+                    Kp = pair_K[key(i, j)][:, None]
+                    Kq = pair_K[key(k, l)][None, :]
+                    cp = pair_c[key(i, j)][:, None]
+                    cq = pair_c[key(k, l)][None, :]
+                    P = pair_P[key(i, j)][:, None, :]
+                    Q = pair_P[key(k, l)][None, :, :]
+                    pq2 = np.sum((P - Q) ** 2, axis=-1)
+                    pref = 2.0 * np.pi**2.5 / (p * q * np.sqrt(p + q))
+                    val = float(
+                        np.sum(cp * cq * pref * Kp * Kq * boys_f0(p * q / (p + q) * pq2))
+                    )
+                    for a_, b_ in ((i, j), (j, i)):
+                        for c_, d_ in ((k, l), (l, k)):
+                            eri[a_, b_, c_, d_] = val
+                            eri[c_, d_, a_, b_] = val
+    return eri

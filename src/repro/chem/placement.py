@@ -1,0 +1,44 @@
+"""Qubit-to-node placements for distributed Hamiltonian simulation.
+
+Fig. 7 fixes "the spin-orbitals ... to a specific node for the full
+duration"; the placement determines how many nodes each Pauli string
+touches and hence its EPR cost. Placements are represented as one uint64
+bitmask per node (which spin orbitals it hosts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["block_placement", "round_robin_placement", "nodes_touched"]
+
+
+def block_placement(n_qubits: int, n_nodes: int) -> np.ndarray:
+    """Contiguous equal blocks: node k hosts qubits [k*w, (k+1)*w)."""
+    if n_qubits % n_nodes:
+        raise ValueError("n_nodes must divide n_qubits for block placement")
+    w = n_qubits // n_nodes
+    masks = np.zeros(n_nodes, dtype=np.uint64)
+    for k in range(n_nodes):
+        m = 0
+        for q in range(k * w, (k + 1) * w):
+            m |= 1 << q
+        masks[k] = m
+    return masks
+
+
+def round_robin_placement(n_qubits: int, n_nodes: int) -> np.ndarray:
+    """Strided placement: qubit q lives on node q mod N."""
+    masks = np.zeros(n_nodes, dtype=np.uint64)
+    for q in range(n_qubits):
+        masks[q % n_nodes] |= np.uint64(1 << (q))
+    return masks
+
+
+def nodes_touched(supports: np.ndarray, node_masks: np.ndarray) -> np.ndarray:
+    """For each support mask, the number of distinct nodes it spans."""
+    supports = np.asarray(supports, dtype=np.uint64)
+    m = np.zeros(len(supports), dtype=np.int64)
+    for mask in node_masks:
+        m += (supports & mask) != 0
+    return m

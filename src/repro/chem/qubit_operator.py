@@ -1,0 +1,174 @@
+"""Pauli-string algebra with bitmask term encoding.
+
+A Pauli string is stored as an ``(x_mask, z_mask)`` pair of Python ints:
+qubit i carries X if only bit i of x is set, Z if only z, Y if both.
+Coefficients are stored relative to the *Hermitian* string
+
+    P(x, z) = i^{popcount(x & z)} X^x Z^z
+
+so Hermitian operators have real coefficients. Multiplication tracks
+phases through popcounts only — no matrices until ``to_matrix`` (tests).
+
+This mirrors OpenFermion's QubitOperator at the API level but is
+independent and sized for 64-qubit Hamiltonians (one machine word per
+mask; Python ints beyond that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["QubitOperator", "pauli_label", "string_support", "string_weight"]
+
+
+def _phase_mul(x1: int, z1: int, x2: int, z2: int) -> complex:
+    """Phase f such that P1 * P2 = f * P(x1^x2, z1^z2)."""
+    c1 = (x1 & z1).bit_count()
+    c2 = (x2 & z2).bit_count()
+    c12 = ((x1 ^ x2) & (z1 ^ z2)).bit_count()
+    swaps = (z1 & x2).bit_count()
+    k = (c1 + c2 - c12) % 4
+    return (1j**k) * ((-1) ** (swaps % 2))
+
+
+def string_support(x: int, z: int) -> int:
+    """Bitmask of qubits the string acts on."""
+    return x | z
+
+
+def string_weight(x: int, z: int) -> int:
+    """Number of non-identity tensor factors."""
+    return (x | z).bit_count()
+
+
+def pauli_label(x: int, z: int) -> str:
+    """Human-readable label like ``X0 Z2 Y5`` (empty = identity)."""
+    parts = []
+    m = x | z
+    i = 0
+    while m:
+        if m & 1:
+            xi, zi = (x >> i) & 1, (z >> i) & 1
+            parts.append(("X" if not zi else "Y" if xi else "Z") + str(i))
+        m >>= 1
+        i += 1
+    return " ".join(parts)
+
+
+class QubitOperator:
+    """A complex linear combination of Pauli strings."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: dict | None = None):
+        self.terms: dict[tuple[int, int], complex] = dict(terms or {})
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def identity(cls, coeff: complex = 1.0) -> "QubitOperator":
+        return cls({(0, 0): coeff})
+
+    @classmethod
+    def zero(cls) -> "QubitOperator":
+        return cls({})
+
+    @classmethod
+    def from_label(cls, label: str, coeff: complex = 1.0) -> "QubitOperator":
+        """Parse ``"X0 Y3 Z5"`` (empty string = identity)."""
+        x = z = 0
+        for tok in label.split():
+            p, idx = tok[0].upper(), int(tok[1:])
+            if p == "X":
+                x |= 1 << idx
+            elif p == "Z":
+                z |= 1 << idx
+            elif p == "Y":
+                x |= 1 << idx
+                z |= 1 << idx
+            else:
+                raise ValueError(f"bad Pauli token {tok!r}")
+        return cls({(x, z): coeff})
+
+    @classmethod
+    def from_masks(cls, x: int, z: int, coeff: complex = 1.0) -> "QubitOperator":
+        return cls({(x, z): coeff})
+
+    # -- algebra -----------------------------------------------------------
+    def __add__(self, other):
+        if isinstance(other, (int, float, complex)):
+            other = QubitOperator.identity(other)
+        out = dict(self.terms)
+        for k, v in other.terms.items():
+            out[k] = out.get(k, 0.0) + v
+        return QubitOperator(out)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self + (other * -1.0 if isinstance(other, QubitOperator) else -other)
+
+    def __mul__(self, other):
+        if isinstance(other, (int, float, complex)):
+            return QubitOperator({k: v * other for k, v in self.terms.items()})
+        out: dict[tuple[int, int], complex] = {}
+        for (x1, z1), c1 in self.terms.items():
+            for (x2, z2), c2 in other.terms.items():
+                key = (x1 ^ x2, z1 ^ z2)
+                out[key] = out.get(key, 0.0) + c1 * c2 * _phase_mul(x1, z1, x2, z2)
+        return QubitOperator(out)
+
+    def __rmul__(self, other):
+        if isinstance(other, (int, float, complex)):
+            return self * other
+        return NotImplemented
+
+    def __neg__(self):
+        return self * -1.0
+
+    # -- maintenance ---------------------------------------------------------
+    def simplify(self, tol: float = 1e-12) -> "QubitOperator":
+        """Drop terms with |coeff| <= tol."""
+        return QubitOperator({k: v for k, v in self.terms.items() if abs(v) > tol})
+
+    def n_terms(self, tol: float = 1e-12) -> int:
+        return sum(1 for v in self.terms.values() if abs(v) > tol)
+
+    def is_hermitian(self, tol: float = 1e-10) -> bool:
+        return all(abs(v.imag if isinstance(v, complex) else 0.0) < tol
+                   for v in self.simplify(tol).terms.values())
+
+    def support_weights(self, tol: float = 1e-12) -> list[int]:
+        """Weights of all non-identity surviving strings (Fig. 5 data)."""
+        return [
+            string_weight(x, z)
+            for (x, z), v in self.terms.items()
+            if abs(v) > tol and (x | z)
+        ]
+
+    def constant(self) -> complex:
+        return self.terms.get((0, 0), 0.0)
+
+    # -- dense (tests only) ----------------------------------------------
+    def to_matrix(self, n_qubits: int) -> np.ndarray:
+        """Dense matrix with qubit 0 as the LEAST significant bit."""
+        from ..sim import gates as G
+
+        dim = 2**n_qubits
+        out = np.zeros((dim, dim), dtype=np.complex128)
+        for (x, z), coeff in self.terms.items():
+            if (x | z) >> n_qubits:
+                raise ValueError("term touches qubits beyond n_qubits")
+            mats = []
+            for i in range(n_qubits - 1, -1, -1):  # qubit n-1 leftmost
+                xi, zi = (x >> i) & 1, (z >> i) & 1
+                mats.append(
+                    G.I2 if not (xi or zi) else G.X if not zi else G.Y if xi else G.Z
+                )
+            out += coeff * G.kron_all(*mats)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        items = sorted(self.terms.items(), key=lambda kv: -abs(kv[1]))[:6]
+        body = " + ".join(f"{v:.4g}·[{pauli_label(x, z) or 'I'}]" for (x, z), v in items)
+        more = "" if len(self.terms) <= 6 else f" + ... ({len(self.terms)} terms)"
+        return f"QubitOperator({body}{more})"

@@ -1,0 +1,141 @@
+"""Restricted Hartree–Fock with DIIS.
+
+Produces the molecular-orbital coefficients that define the second-
+quantized Hamiltonian the paper's Fig. 5/7 analyses start from (the role
+PySCF played for the authors). Closed-shell only — the hydrogen-ring
+workloads have even electron counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .basis import basis_for
+from .geometry import Molecule
+from .integrals import eri_tensor, kinetic_matrix, nuclear_matrix, overlap_matrix
+
+__all__ = ["RHFResult", "run_rhf"]
+
+
+@dataclass
+class RHFResult:
+    """Converged RHF data (all AO-basis tensors retained for transforms)."""
+
+    energy: float  # total (electronic + nuclear)
+    electronic_energy: float
+    nuclear_repulsion: float
+    mo_coeff: np.ndarray  # (nao, nmo)
+    mo_energies: np.ndarray
+    density: np.ndarray
+    hcore: np.ndarray
+    overlap: np.ndarray
+    eri: np.ndarray  # chemists' (ij|kl)
+    n_occupied: int
+    converged: bool
+    iterations: int
+
+
+def run_rhf(
+    molecule: Molecule,
+    max_iter: int = 200,
+    conv_tol: float = 1e-10,
+    diis_depth: int = 8,
+) -> RHFResult:
+    """Solve restricted Hartree–Fock in STO-3G for a hydrogen system."""
+    if molecule.n_electrons % 2:
+        raise ValueError("RHF requires an even electron count")
+    nocc = molecule.n_electrons // 2
+    basis = basis_for(molecule)
+    S = overlap_matrix(basis)
+    T = kinetic_matrix(basis)
+    V = nuclear_matrix(basis, molecule)
+    eri = eri_tensor(basis)
+    hcore = T + V
+    e_nuc = molecule.nuclear_repulsion()
+
+    # Symmetric (Löwdin) orthogonalization.
+    s_val, s_vec = np.linalg.eigh(S)
+    if np.min(s_val) < 1e-10:
+        raise np.linalg.LinAlgError("overlap matrix is (near-)singular")
+    X = s_vec @ np.diag(s_val**-0.5) @ s_vec.T
+
+    def fock(dm: np.ndarray) -> np.ndarray:
+        # F = h + 2 J - K, chemists' notation: J_ij = (ij|kl) D_lk
+        J = np.einsum("ijkl,lk->ij", eri, dm, optimize=True)
+        K = np.einsum("ikjl,lk->ij", eri, dm, optimize=True)
+        return hcore + 2.0 * J - K
+
+    def density(C: np.ndarray) -> np.ndarray:
+        Cocc = C[:, :nocc]
+        return Cocc @ Cocc.T
+
+    # Core-Hamiltonian guess.
+    e, C = np.linalg.eigh(X.T @ hcore @ X)
+    C = X @ C
+    dm = density(C)
+
+    fock_hist: list[np.ndarray] = []
+    err_hist: list[np.ndarray] = []
+    energy = 0.0
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        F = fock(dm)
+        # DIIS error: FDS - SDF in the orthonormal basis.
+        err = X.T @ (F @ dm @ S - S @ dm @ F) @ X
+        fock_hist.append(F)
+        err_hist.append(err)
+        if len(fock_hist) > diis_depth:
+            fock_hist.pop(0)
+            err_hist.pop(0)
+        if len(fock_hist) > 1:
+            F = _diis_extrapolate(fock_hist, err_hist)
+        e_orb, C = np.linalg.eigh(X.T @ F @ X)
+        C = X @ C
+        new_dm = density(C)
+        e_elec = float(np.sum(new_dm * (hcore + fock(new_dm))))
+        delta = abs(e_elec - energy)
+        rms = float(np.sqrt(np.mean((new_dm - dm) ** 2)))
+        energy, dm = e_elec, new_dm
+        if delta < conv_tol and rms < np.sqrt(conv_tol):
+            converged = True
+            break
+
+    F = fock(dm)
+    e_orb, C = np.linalg.eigh(X.T @ F @ X)
+    C = X @ C
+    return RHFResult(
+        energy=energy + e_nuc,
+        electronic_energy=energy,
+        nuclear_repulsion=e_nuc,
+        mo_coeff=C,
+        mo_energies=e_orb,
+        density=dm,
+        hcore=hcore,
+        overlap=S,
+        eri=eri,
+        n_occupied=nocc,
+        converged=converged,
+        iterations=it,
+    )
+
+
+def _diis_extrapolate(focks: list[np.ndarray], errs: list[np.ndarray]) -> np.ndarray:
+    """Pulay DIIS: solve for the error-minimizing Fock combination."""
+    m = len(focks)
+    B = np.empty((m + 1, m + 1))
+    B[-1, :] = -1.0
+    B[:, -1] = -1.0
+    B[-1, -1] = 0.0
+    for i in range(m):
+        for j in range(m):
+            B[i, j] = float(np.sum(errs[i] * errs[j]))
+    rhs = np.zeros(m + 1)
+    rhs[-1] = -1.0
+    try:
+        coef = np.linalg.solve(B, rhs)[:m]
+    except np.linalg.LinAlgError:  # fall back to plain iteration
+        return focks[-1]
+    return sum(c * f for c, f in zip(coef, focks))

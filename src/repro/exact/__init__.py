@@ -1,0 +1,13 @@
+"""Dense exact references used by integration tests and benches."""
+
+from .dense import fidelity, ghz_state, pauli_matrix, tfim_hamiltonian
+from .evolution import evolution_operator, evolve
+
+__all__ = [
+    "pauli_matrix",
+    "tfim_hamiltonian",
+    "ghz_state",
+    "fidelity",
+    "evolve",
+    "evolution_operator",
+]

@@ -1,0 +1,18 @@
+"""Exact time evolution references."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import expm
+
+__all__ = ["evolve", "evolution_operator"]
+
+
+def evolution_operator(h: np.ndarray, t: float) -> np.ndarray:
+    """U(t) = exp(-i t H)."""
+    return expm(-1j * t * np.asarray(h, dtype=np.complex128))
+
+
+def evolve(h: np.ndarray, psi: np.ndarray, t: float) -> np.ndarray:
+    """exp(-i t H) |psi>."""
+    return evolution_operator(h, t) @ np.asarray(psi, dtype=np.complex128)

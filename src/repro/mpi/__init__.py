@@ -1,0 +1,33 @@
+"""In-process classical MPI substrate.
+
+QMPI (§4.1) "leverages MPI for classical communication"; this package is
+that MPI. Ranks are threads, messages are Python objects, semantics follow
+the MPI standard (tag/source matching, non-overtaking per peer,
+communicator isolation, collective algorithms as in real implementations).
+"""
+
+from . import reduce_ops
+from .comm import Communicator
+from .errors import DeadlockError, MpiAbort, MpiError, RankFailure
+from .fabric import Fabric
+from .request import Request, testall, waitall
+from .runtime import run_spmd, world_of
+from .status import ANY_SOURCE, ANY_TAG, Status
+
+__all__ = [
+    "Communicator",
+    "Fabric",
+    "run_spmd",
+    "world_of",
+    "Status",
+    "Request",
+    "waitall",
+    "testall",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MpiError",
+    "MpiAbort",
+    "DeadlockError",
+    "RankFailure",
+    "reduce_ops",
+]

@@ -1,0 +1,28 @@
+"""Error types for the in-process MPI substrate."""
+
+from __future__ import annotations
+
+__all__ = ["MpiError", "MpiAbort", "DeadlockError", "RankFailure"]
+
+
+class MpiError(RuntimeError):
+    """Base class for message-passing errors."""
+
+
+class MpiAbort(MpiError):
+    """Raised inside ranks when the job is being torn down (another rank
+    failed or the watchdog fired). Mirrors ``MPI_Abort`` semantics."""
+
+
+class DeadlockError(MpiError):
+    """Raised by the runtime watchdog when ranks are blocked past the
+    timeout — the in-process equivalent of a hung MPI job."""
+
+
+class RankFailure(MpiError):
+    """Aggregates exceptions raised inside SPMD rank functions."""
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = dict(failures)
+        lines = [f"rank {r}: {type(e).__name__}: {e}" for r, e in sorted(failures.items())]
+        super().__init__("SPMD rank failure(s):\n  " + "\n  ".join(lines))

@@ -1,0 +1,139 @@
+"""The message fabric: per-rank mailboxes with MPI matching semantics.
+
+A :class:`Fabric` is shared by all ranks of one SPMD job. Each rank owns a
+:class:`Mailbox`; a send deposits an envelope into the destination mailbox
+(eager protocol — classical payloads are Python objects, copies are the
+caller's concern, as in mpi4py's pickle path). Receives match on
+``(context, source, tag)`` with wildcard support in arrival order, which
+reproduces MPI's non-overtaking guarantee per (source, tag) pair.
+
+The fabric also carries the abort flag used by the runtime watchdog so
+blocked receivers wake up and raise instead of hanging forever.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from .errors import MpiAbort
+from .status import ANY_SOURCE, ANY_TAG
+
+__all__ = ["Envelope", "Mailbox", "Fabric"]
+
+
+@dataclass
+class Envelope:
+    """One in-flight message."""
+
+    context: int
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    seq: int = field(default=0)
+
+    def matches(self, context: int, source: int, tag: int) -> bool:
+        return (
+            self.context == context
+            and (source == ANY_SOURCE or self.source == source)
+            and (tag == ANY_TAG or self.tag == tag)
+        )
+
+
+class Mailbox:
+    """A rank's incoming message queue with condition-variable blocking."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queue: list[Envelope] = []
+
+    def deposit(self, env: Envelope) -> None:
+        with self._cond:
+            self._queue.append(env)
+            self._cond.notify_all()
+
+    def _find(self, context: int, source: int, tag: int) -> Envelope | None:
+        for i, env in enumerate(self._queue):
+            if env.matches(context, source, tag):
+                return self._queue.pop(i)
+        return None
+
+    def collect(
+        self,
+        context: int,
+        source: int,
+        tag: int,
+        abort: threading.Event,
+        timeout: float | None = None,
+    ) -> Envelope:
+        """Block until a matching envelope arrives (or abort/timeout)."""
+        deadline = None
+        with self._cond:
+            while True:
+                if abort.is_set():
+                    raise MpiAbort("job aborted while waiting for a message")
+                env = self._find(context, source, tag)
+                if env is not None:
+                    return env
+                # Poll-wake periodically so the abort flag is observed even
+                # if no further messages arrive.
+                self._cond.wait(timeout=0.05 if timeout is None else timeout)
+                if timeout is not None:
+                    if deadline is None:
+                        deadline = 0  # single bounded wait already done
+                    else:  # pragma: no cover - defensive
+                        break
+        raise MpiAbort("timed out waiting for a message")  # pragma: no cover
+
+    def peek(self, context: int, source: int, tag: int) -> Envelope | None:
+        """Non-destructive probe: the first matching envelope, or None."""
+        with self._lock:
+            for env in self._queue:
+                if env.matches(context, source, tag):
+                    return env
+            return None
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+
+class Fabric:
+    """Shared routing state for one SPMD job."""
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.n_ranks = n_ranks
+        self.mailboxes = [Mailbox() for _ in range(n_ranks)]
+        self.abort = threading.Event()
+        self._seq = itertools.count()
+        self._ctx_counter = itertools.count(1)
+        self._ctx_lock = threading.Lock()
+
+    def send(self, context: int, source: int, dest: int, tag: int, payload: Any) -> None:
+        if self.abort.is_set():
+            raise MpiAbort("job aborted")
+        if not (0 <= dest < self.n_ranks):
+            raise ValueError(f"invalid destination rank {dest}")
+        env = Envelope(context, source, dest, tag, payload, next(self._seq))
+        self.mailboxes[dest].deposit(env)
+
+    def recv(self, context: int, me: int, source: int, tag: int) -> Envelope:
+        return self.mailboxes[me].collect(context, source, tag, self.abort)
+
+    def probe(self, context: int, me: int, source: int, tag: int) -> Envelope | None:
+        return self.mailboxes[me].peek(context, source, tag)
+
+    def new_context(self) -> int:
+        """A fresh communicator context id (collision-free traffic class).
+
+        Called collectively; all ranks must agree on the id, so the counter
+        is only advanced by one designated caller (see Communicator.split).
+        """
+        with self._ctx_lock:
+            return next(self._ctx_counter)

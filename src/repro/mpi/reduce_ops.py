@@ -1,0 +1,64 @@
+"""Classical reduction operations for the MPI substrate.
+
+Mirrors the MPI predefined ops. Each op is a binary callable; element-wise
+application over sequences/ndarrays is handled by the communicator layer
+through plain Python semantics (``+`` on numbers, ``^`` on ints, ...), so
+NumPy arrays work transparently via their operator overloads (the guide's
+"vectorize, don't loop" rule).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable
+
+__all__ = ["SUM", "PROD", "MAX", "MIN", "BAND", "BOR", "BXOR", "LAND", "LOR", "LXOR", "Op"]
+
+
+class Op:
+    """A named, associative binary reduction operator."""
+
+    def __init__(self, name: str, fn: Callable[[Any, Any], Any], commutative: bool = True):
+        self.name = name
+        self.fn = fn
+        self.commutative = commutative
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:
+        return f"<Op {self.name}>"
+
+
+SUM = Op("SUM", operator.add)
+PROD = Op("PROD", operator.mul)
+MAX = Op("MAX", lambda a, b: _elemwise_max(a, b))
+MIN = Op("MIN", lambda a, b: _elemwise_min(a, b))
+BAND = Op("BAND", operator.and_)
+BOR = Op("BOR", operator.or_)
+BXOR = Op("BXOR", operator.xor)
+LAND = Op("LAND", lambda a, b: bool(a) and bool(b))
+LOR = Op("LOR", lambda a, b: bool(a) or bool(b))
+LXOR = Op("LXOR", lambda a, b: bool(a) != bool(b))
+
+
+def _elemwise_max(a, b):
+    try:
+        import numpy as np
+
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return np.maximum(a, b)
+    except Exception:  # pragma: no cover
+        pass
+    return max(a, b)
+
+
+def _elemwise_min(a, b):
+    try:
+        import numpy as np
+
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return np.minimum(a, b)
+    except Exception:  # pragma: no cover
+        pass
+    return min(a, b)

@@ -1,0 +1,88 @@
+"""Non-blocking communication requests.
+
+The fabric uses an eager protocol, so sends buffer immediately and
+``isend`` completes at call time. ``irecv`` returns a request whose
+``wait`` performs the matching receive; ``test`` uses a non-destructive
+probe first so it never blocks. This preserves the observable semantics a
+QMPI program relies on (overlap of EPR preparation with local compute).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .status import ANY_SOURCE, ANY_TAG, Status
+
+__all__ = ["Request", "SendRequest", "RecvRequest", "waitall", "testall"]
+
+
+class Request:
+    """Base request; subclasses implement wait/test."""
+
+    def wait(self, status: Status | None = None) -> Any:
+        raise NotImplementedError
+
+    def test(self, status: Status | None = None) -> tuple[bool, Any]:
+        raise NotImplementedError
+
+    def cancel(self) -> None:
+        """Mark the request cancelled (QMPI_Cancel note (b) of Table 2:
+        resources may already have been used)."""
+        self._cancelled = True
+
+
+class SendRequest(Request):
+    """Eager send: already complete when constructed."""
+
+    def __init__(self) -> None:
+        self._cancelled = False
+
+    def wait(self, status: Status | None = None) -> None:
+        return None
+
+    def test(self, status: Status | None = None) -> tuple[bool, Any]:
+        return True, None
+
+
+class RecvRequest(Request):
+    """Deferred receive bound to (comm, source, tag)."""
+
+    def __init__(self, comm, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> None:
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = False
+        self._value: Any = None
+        self._status = Status()
+        self._cancelled = False
+
+    def wait(self, status: Status | None = None) -> Any:
+        if not self._done:
+            self._value = self._comm.recv(
+                source=self._source, tag=self._tag, status=self._status
+            )
+            self._done = True
+        if status is not None:
+            status.source = self._status.source
+            status.tag = self._status.tag
+        return self._value
+
+    def test(self, status: Status | None = None) -> tuple[bool, Any]:
+        if self._done:
+            if status is not None:
+                status.source, status.tag = self._status.source, self._status.tag
+            return True, self._value
+        if self._comm.iprobe(source=self._source, tag=self._tag):
+            return True, self.wait(status)
+        return False, None
+
+
+def waitall(requests: list[Request]) -> list[Any]:
+    """Wait for all requests; returns their values in order."""
+    return [r.wait() for r in requests]
+
+
+def testall(requests: list[Request]) -> bool:
+    """True iff every request can complete without blocking (completes
+    those that can)."""
+    return all(r.test()[0] for r in requests)

@@ -1,0 +1,99 @@
+"""SPMD launcher: runs the same function on N ranks (threads).
+
+This replaces ``mpiexec -n N python script.py`` for the in-process
+substrate. Each rank gets its own :class:`~repro.mpi.comm.Communicator`
+endpoint of COMM_WORLD; return values are collected per rank, exceptions
+propagate to the caller, and a watchdog converts hangs into
+:class:`~repro.mpi.errors.DeadlockError` instead of wedging the test
+suite.
+
+Example
+-------
+>>> from repro.mpi import run_spmd
+>>> def hello(comm):
+...     return comm.allreduce(comm.rank)
+>>> run_spmd(4, hello)
+[6, 6, 6, 6]
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+from .comm import Communicator
+from .errors import DeadlockError, MpiAbort, RankFailure
+from .fabric import Fabric
+
+__all__ = ["run_spmd", "world_of"]
+
+#: Default wall-clock budget for one SPMD job, seconds.
+DEFAULT_TIMEOUT = 120.0
+
+
+def world_of(fabric: Fabric, rank: int) -> Communicator:
+    """COMM_WORLD endpoint for ``rank`` on ``fabric`` (context 0)."""
+    return Communicator(fabric, context=0, group=tuple(range(fabric.n_ranks)), rank=rank)
+
+
+def run_spmd(
+    n_ranks: int,
+    fn: Callable[..., Any],
+    args: Sequence[Any] = (),
+    kwargs: dict | None = None,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> list[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` on ``n_ranks`` concurrent ranks.
+
+    Returns the per-rank return values, in rank order.
+
+    Raises
+    ------
+    RankFailure
+        If any rank raised; carries all per-rank exceptions.
+    DeadlockError
+        If ranks are still blocked after ``timeout`` seconds.
+    """
+    kwargs = dict(kwargs or {})
+    fabric = Fabric(n_ranks)
+    results: list[Any] = [None] * n_ranks
+    failures: dict[int, BaseException] = {}
+    failures_lock = threading.Lock()
+
+    def body(rank: int) -> None:
+        comm = world_of(fabric, rank)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except MpiAbort:
+            # Secondary failure caused by teardown — not the root cause.
+            pass
+        except BaseException as exc:  # noqa: BLE001 - collected and re-raised
+            with failures_lock:
+                failures[rank] = exc
+            fabric.abort.set()
+
+    threads = [
+        threading.Thread(target=body, args=(r,), name=f"rank-{r}", daemon=True)
+        for r in range(n_ranks)
+    ]
+    for t in threads:
+        t.start()
+    deadline = threading.Event()
+    for t in threads:
+        t.join(timeout)
+        if t.is_alive():
+            deadline.set()
+            break
+    if deadline.is_set():
+        fabric.abort.set()
+        for t in threads:
+            t.join(5.0)
+        if failures:
+            raise RankFailure(failures)
+        stuck = [t.name for t in threads if t.is_alive()]
+        raise DeadlockError(
+            f"SPMD job did not finish within {timeout}s; stuck: {stuck or 'none (aborted cleanly)'}"
+        )
+    if failures:
+        raise RankFailure(failures)
+    return results

@@ -1,0 +1,30 @@
+"""Status objects and wildcard constants (mirrors mpi4py naming)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Status"]
+
+#: Wildcard source for receives, as in MPI_ANY_SOURCE.
+ANY_SOURCE = -1
+#: Wildcard tag for receives, as in MPI_ANY_TAG.
+ANY_TAG = -1
+
+
+@dataclass
+class Status:
+    """Receive status: where the message actually came from.
+
+    Attributes mirror MPI_Status fields; ``Get_source``/``Get_tag``
+    accessors are provided for mpi4py familiarity.
+    """
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+
+    def Get_source(self) -> int:
+        return self.source
+
+    def Get_tag(self) -> int:
+        return self.tag

@@ -1,0 +1,442 @@
+"""The QMPI programming interface.
+
+:class:`QmpiComm` is the per-rank handle a distributed quantum program
+uses: qubit memory management, local gates (rank-checked), EPR
+preparation, all point-to-point and collective operations of Tables 2-3,
+and access to the classical MPI communicator (§4.1: classical and quantum
+communication are separate; classical data goes through MPI).
+
+:func:`qmpi_run` is the ``mpiexec`` of this package: it builds the shared
+backend, EPR service, and resource ledger, then runs the SPMD function on
+N ranks.
+
+Paper-style aliases (``QMPI_Send``, ``QMPI_Prepare_EPR``, ...) are
+generated at the bottom for one-to-one correspondence with the C API in
+the paper's listings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ..mpi.comm import Communicator
+from ..mpi.runtime import run_spmd
+from .backend import SharedBackend
+from .epr import EprRequest, EprService
+from . import collectives as _coll
+from . import p2p as _p2p
+from .qubit import Qureg, as_qureg
+from .resource import Ledger
+
+__all__ = ["QmpiComm", "qmpi_run", "QmpiWorld"]
+
+
+class QmpiComm:
+    """Per-rank endpoint of a QMPI world.
+
+    Attributes
+    ----------
+    comm:
+        The user's classical MPI communicator (use freely for classical
+        data; QMPI protocol traffic travels on a private dup).
+    backend:
+        The shared quantum backend (rank-checked gate access).
+    epr:
+        The EPR rendezvous service.
+    ledger:
+        Shared resource ledger (EPR pairs, classical bits).
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        backend: SharedBackend,
+        epr: EprService,
+        ledger: Ledger,
+    ):
+        self.comm = comm
+        self._pcomm = comm.dup()  # protocol traffic, isolated context
+        self.backend = backend
+        self.epr = epr
+        self.ledger = ledger
+        self.context = self._pcomm.context
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    # ------------------------------------------------------------------
+    # memory (QMPI_Alloc_qmem / QMPI_Free_qmem)
+    # ------------------------------------------------------------------
+    def alloc_qmem(self, n: int = 1) -> Qureg:
+        """Allocate ``n`` local |0> qubits."""
+        return self.backend.alloc(self.rank, n)
+
+    def free_qmem(self, qubits) -> None:
+        """Free local qubits (must be disentangled |0>)."""
+        self.backend.free(self.rank, list(as_qureg(qubits)))
+
+    # ------------------------------------------------------------------
+    # local gates & measurement (forwarded to the shared backend, §6)
+    # ------------------------------------------------------------------
+    def h(self, q: int) -> None:
+        self.backend.h(self.rank, q)
+
+    def x(self, q: int) -> None:
+        self.backend.x(self.rank, q)
+
+    def y(self, q: int) -> None:
+        self.backend.y(self.rank, q)
+
+    def z(self, q: int) -> None:
+        self.backend.z(self.rank, q)
+
+    def s(self, q: int) -> None:
+        self.backend.s(self.rank, q)
+
+    def sdg(self, q: int) -> None:
+        self.backend.sdg(self.rank, q)
+
+    def t(self, q: int) -> None:
+        self.backend.t(self.rank, q)
+
+    def rx(self, q: int, theta: float) -> None:
+        self.backend.rx(self.rank, q, theta)
+
+    def ry(self, q: int, theta: float) -> None:
+        self.backend.ry(self.rank, q, theta)
+
+    def rz(self, q: int, theta: float) -> None:
+        self.backend.rz(self.rank, q, theta)
+
+    def cnot(self, c: int, t: int) -> None:
+        self.backend.cnot(self.rank, c, t)
+
+    def cz(self, c: int, t: int) -> None:
+        self.backend.cz(self.rank, c, t)
+
+    def toffoli(self, c1: int, c2: int, t: int) -> None:
+        self.backend.toffoli(self.rank, c1, c2, t)
+
+    def measure(self, q: int) -> int:
+        return self.backend.measure(self.rank, q)
+
+    def measure_and_release(self, q: int) -> int:
+        return self.backend.measure_and_release(self.rank, q)
+
+    def prob_one(self, q: int) -> float:
+        return self.backend.prob_one(self.rank, q)
+
+    # ------------------------------------------------------------------
+    # classical protocol bits (ledger-counted)
+    # ------------------------------------------------------------------
+    def send_bits(self, value: int, nbits: int, dest: int, tag: int = 0) -> None:
+        """Send protocol fixup bits over the private classical channel."""
+        self.ledger.record_classical(nbits)
+        self._pcomm.send(value, dest, tag)
+
+    def recv_bits(self, nbits: int, source: int, tag: int = 0) -> int:
+        return self._pcomm.recv(source=source, tag=tag)
+
+    # ------------------------------------------------------------------
+    # EPR (§4.3)
+    # ------------------------------------------------------------------
+    def prepare_epr(self, qubit: int, dest: int, tag: int = 0) -> None:
+        """Blocking QMPI_Prepare_EPR (symmetric rendezvous)."""
+        with self.ledger.scope("prepare_epr"):
+            self.epr.prepare(self.rank, qubit, dest, tag, self.context, direction=0)
+
+    def iprepare_epr(self, qubit: int, dest: int, tag: int = 0) -> EprRequest:
+        """Non-blocking QMPI_Iprepare_EPR."""
+        with self.ledger.scope("prepare_epr"):
+            return self.epr.iprepare(self.rank, qubit, dest, tag, self.context, direction=0)
+
+    def epr_buffered(self) -> int:
+        """Number of EPR halves currently occupying this rank's buffer."""
+        return self.epr.buffered(self.rank)
+
+    # ------------------------------------------------------------------
+    # point-to-point (Table 2) — see p2p module for semantics
+    # ------------------------------------------------------------------
+    def send(self, qubits, dest: int, tag: int = 0) -> None:
+        _p2p.send(self, qubits, dest, tag)
+
+    def recv(self, qubits, source: int, tag: int = 0) -> Qureg:
+        return _p2p.recv(self, qubits, source, tag)
+
+    def unsend(self, qubits, dest: int, tag: int = 0) -> None:
+        _p2p.unsend(self, qubits, dest, tag)
+
+    def unrecv(self, qubits, source: int, tag: int = 0) -> None:
+        _p2p.unrecv(self, qubits, source, tag)
+
+    def send_move(self, qubits, dest: int, tag: int = 0) -> None:
+        _p2p.send_move(self, qubits, dest, tag)
+
+    def recv_move(self, qubits, source: int, tag: int = 0) -> Qureg:
+        return _p2p.recv_move(self, qubits, source, tag)
+
+    def unsend_move(self, n_or_qubits, dest: int, tag: int = 0) -> Qureg:
+        return _p2p.unsend_move(self, n_or_qubits, dest, tag)
+
+    def unrecv_move(self, qubits, source: int, tag: int = 0) -> None:
+        _p2p.unrecv_move(self, qubits, source, tag)
+
+    def sendrecv(self, send_qubits, dest, recv_qubits, source, sendtag=0, recvtag=0):
+        return _p2p.sendrecv(self, send_qubits, dest, recv_qubits, source, sendtag, recvtag)
+
+    def unsendrecv(self, send_qubits, dest, recv_qubits, source, sendtag=0, recvtag=0):
+        return _p2p.unsendrecv(self, send_qubits, dest, recv_qubits, source, sendtag, recvtag)
+
+    def sendrecv_replace(self, qubits, dest, source, sendtag=0, recvtag=0):
+        return _p2p.sendrecv_replace(self, qubits, dest, source, sendtag, recvtag)
+
+    def unsendrecv_replace(self, qubits, dest, source, sendtag=0, recvtag=0):
+        return _p2p.unsendrecv_replace(self, qubits, dest, source, sendtag, recvtag)
+
+    # Buffered/synchronous/ready variants are semantically identical on
+    # the eager in-process fabric; aliases keep Table 2 one-to-one.
+    bsend = send
+    ssend = send
+    rsend = send
+    mrecv = recv
+    bunsend = unsend
+    sunsend = unsend
+    runsend = unsend
+    munrecv = unrecv
+
+    def cancel(self) -> None:
+        """QMPI_Cancel: a no-op marker — Table 2 note (b): resources may
+        already have been used."""
+
+    # ------------------------------------------------------------------
+    # collectives (Table 3) — see collectives module for semantics
+    # ------------------------------------------------------------------
+    def bcast(self, qubits, root=0, tag=0, algorithm="tree"):
+        return _coll.bcast(self, qubits, root, tag, algorithm)
+
+    def unbcast(self, handle):
+        _coll.unbcast(self, handle)
+
+    def gather(self, qubits, root=0, tag=0):
+        return _coll.gather(self, qubits, root, tag)
+
+    def ungather(self, handle):
+        _coll.ungather(self, handle)
+
+    def gatherv(self, qubits, counts, root=0, tag=0):
+        return _coll.gatherv(self, qubits, counts, root, tag)
+
+    def ungatherv(self, handle):
+        _coll.ungatherv(self, handle)
+
+    def gather_move(self, qubits, root=0, tag=0):
+        return _coll.gather_move(self, qubits, root, tag)
+
+    def scatter(self, qubits, recv_qubits, root=0, tag=0):
+        return _coll.scatter(self, qubits, recv_qubits, root, tag)
+
+    def unscatter(self, handle):
+        _coll.unscatter(self, handle)
+
+    def scatterv(self, qubits, counts, recv_qubits, root=0, tag=0):
+        return _coll.scatterv(self, qubits, counts, recv_qubits, root, tag)
+
+    def unscatterv(self, handle):
+        _coll.unscatterv(self, handle)
+
+    def scatter_move(self, qubits, recv_qubits, root=0, tag=0):
+        return _coll.scatter_move(self, qubits, recv_qubits, root, tag)
+
+    def allgather(self, qubits, tag=0, algorithm="tree"):
+        return _coll.allgather(self, qubits, tag, algorithm)
+
+    def unallgather(self, handle):
+        _coll.unallgather(self, handle)
+
+    def alltoall(self, qubits, tag=0):
+        return _coll.alltoall(self, qubits, tag)
+
+    def unalltoall(self, handle):
+        _coll.unalltoall(self, handle)
+
+    def alltoallv(self, qubits, send_counts, tag=0):
+        return _coll.alltoallv(self, qubits, send_counts, tag)
+
+    def unalltoallv(self, handle):
+        _coll.unalltoallv(self, handle)
+
+    def alltoall_move(self, qubits, tag=0):
+        return _coll.alltoall_move(self, qubits, tag)
+
+    def reduce(self, qubits, out=None, op=None, root=0, tag=0, schedule="linear"):
+        from .reductions import PARITY
+
+        return _coll.reduce(self, qubits, out, op or PARITY, root, tag, schedule)
+
+    def unreduce(self, handle):
+        _coll.unreduce(self, handle)
+
+    def allreduce(self, qubits, op=None, tag=0, schedule="linear"):
+        from .reductions import PARITY
+
+        return _coll.allreduce(self, qubits, op or PARITY, tag, schedule)
+
+    def unallreduce(self, handle):
+        _coll.unallreduce(self, handle)
+
+    def reduce_scatter_block(self, qubits, op=None, tag=0):
+        from .reductions import PARITY
+
+        return _coll.reduce_scatter_block(self, qubits, op or PARITY, tag)
+
+    def unreduce_scatter_block(self, handles):
+        _coll.unreduce_scatter_block(self, handles)
+
+    def scan(self, qubits, out=None, op=None, tag=0):
+        from .reductions import PARITY
+
+        return _coll.scan(self, qubits, out, op or PARITY, tag)
+
+    def exscan(self, qubits, out=None, op=None, tag=0):
+        from .reductions import PARITY
+
+        return _coll.exscan(self, qubits, out, op or PARITY, tag)
+
+    def unscan(self, handle):
+        _coll.unscan(self, handle)
+
+    def unexscan(self, handle):
+        _coll.unexscan(self, handle)
+
+    def barrier(self) -> None:
+        """Classical barrier across the QMPI world."""
+        self._pcomm.barrier()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<QmpiComm rank={self.rank}/{self.size}>"
+
+
+class QmpiWorld:
+    """Result bundle of a :func:`qmpi_run`: per-rank return values plus the
+    shared backend and ledger for post-run inspection."""
+
+    def __init__(self, results: list, backend: SharedBackend, ledger: Ledger):
+        self.results = results
+        self.backend = backend
+        self.ledger = ledger
+
+
+def qmpi_run(
+    n_ranks: int,
+    fn: Callable[..., Any],
+    args: Sequence[Any] = (),
+    kwargs: dict | None = None,
+    s_limit: int | None = None,
+    seed: int | None = 0,
+    timeout: float = 120.0,
+) -> QmpiWorld:
+    """Run ``fn(qcomm, *args, **kwargs)`` on ``n_ranks`` quantum ranks.
+
+    Parameters
+    ----------
+    s_limit:
+        Optional per-rank EPR buffer capacity (the SENDQ ``S`` parameter),
+        enforced functionally: protocols that need more concurrent EPR
+        halves raise :class:`~repro.qmpi.epr.EprBufferFull`.
+    seed:
+        Measurement RNG seed for reproducible runs.
+    """
+    backend = SharedBackend(seed=seed)
+    ledger = Ledger()
+    epr = EprService(backend, ledger, s_limit=s_limit)
+
+    def wrapper(comm: Communicator, *a: Any, **k: Any) -> Any:
+        epr.abort = comm.fabric.abort
+        qc = QmpiComm(comm, backend, epr, ledger)
+        return fn(qc, *a, **k)
+
+    results = run_spmd(n_ranks, wrapper, args, kwargs, timeout)
+    return QmpiWorld(results, backend, ledger)
+
+
+# ----------------------------------------------------------------------
+# Paper-style C API aliases (Listing 1 compatibility layer)
+# ----------------------------------------------------------------------
+def QMPI_Alloc_qmem(qc: QmpiComm, n: int) -> Qureg:
+    return qc.alloc_qmem(n)
+
+
+def QMPI_Free_qmem(qc: QmpiComm, qubits, n: int | None = None) -> None:
+    qc.free_qmem(qubits)
+
+
+def QMPI_Comm_rank(qc: QmpiComm) -> int:
+    return qc.rank
+
+
+def QMPI_Comm_size(qc: QmpiComm) -> int:
+    return qc.size
+
+
+def QMPI_Prepare_EPR(qc: QmpiComm, qubit: int, dest: int, tag: int = 0) -> None:
+    qc.prepare_epr(qubit, dest, tag)
+
+
+def QMPI_Send(qc: QmpiComm, qubits, dest: int, tag: int = 0) -> None:
+    qc.send(qubits, dest, tag)
+
+
+def QMPI_Recv(qc: QmpiComm, qubits, source: int, tag: int = 0) -> None:
+    qc.recv(qubits, source, tag)
+
+
+def QMPI_Unsend(qc: QmpiComm, qubits, dest: int, tag: int = 0) -> None:
+    qc.unsend(qubits, dest, tag)
+
+
+def QMPI_Unrecv(qc: QmpiComm, qubits, source: int, tag: int = 0) -> None:
+    qc.unrecv(qubits, source, tag)
+
+
+def QMPI_Send_move(qc: QmpiComm, qubits, dest: int, tag: int = 0) -> None:
+    qc.send_move(qubits, dest, tag)
+
+
+def QMPI_Recv_move(qc: QmpiComm, qubits, source: int, tag: int = 0) -> None:
+    qc.recv_move(qubits, source, tag)
+
+
+def Measure(qc: QmpiComm, qubit: int) -> int:
+    return qc.measure(qubit)
+
+
+def H(qc: QmpiComm, qubit: int) -> None:
+    qc.h(qubit)
+
+
+def X(qc: QmpiComm, qubit: int) -> None:
+    qc.x(qubit)
+
+
+def Z(qc: QmpiComm, qubit: int) -> None:
+    qc.z(qubit)
+
+
+def CNOT(qc: QmpiComm, control: int, target: int) -> None:
+    qc.cnot(control, target)
+
+
+def Rz(qc: QmpiComm, qubit: int, theta: float) -> None:
+    qc.rz(qubit, theta)
+
+
+def Rx(qc: QmpiComm, qubit: int, theta: float) -> None:
+    qc.rx(qubit, theta)

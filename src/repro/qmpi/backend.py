@@ -1,0 +1,215 @@
+"""Shared quantum backend with rank-0 semantics.
+
+The paper's prototype (§6): "To ensure that the state vector faithfully
+represents the quantum state of the distributed quantum computer at any
+point throughout the computation, all ranks forward quantum operations to
+rank 0, which then applies the operation to the state vector."
+
+Here the forwarding is a mutex: all ranks call into one lock-protected
+:class:`~repro.sim.statevector.StateVector`. On top of the raw engine the
+backend enforces *locality*: a rank may only touch qubits it owns, so any
+cross-node interaction must go through the EPR-based QMPI protocols —
+exactly the discipline real distributed hardware imposes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+import numpy as np
+
+from ..sim.statevector import SimulationError, StateVector
+from .qubit import Qureg
+
+__all__ = ["SharedBackend", "LocalityError"]
+
+
+class LocalityError(SimulationError):
+    """A rank attempted to operate on a qubit it does not own."""
+
+
+class SharedBackend:
+    """Thread-safe global state vector with per-rank qubit ownership."""
+
+    def __init__(self, seed=None, enforce_locality: bool = True):
+        self._sv = StateVector(seed=seed)
+        self._lock = threading.RLock()
+        self._owner: dict[int, int] = {}
+        self.enforce_locality = enforce_locality
+
+    # ------------------------------------------------------------------
+    # allocation & ownership
+    # ------------------------------------------------------------------
+    def alloc(self, rank: int, n: int = 1) -> Qureg:
+        """Allocate ``n`` fresh |0> qubits owned by ``rank``."""
+        with self._lock:
+            ids = self._sv.alloc(n)
+            for q in ids:
+                self._owner[q] = rank
+            return Qureg(ids)
+
+    def free(self, rank: int, qubits: Sequence[int] | int) -> None:
+        """Release qubits (must be disentangled |0>, as in QMPI_Free_qmem)."""
+        if isinstance(qubits, int):
+            qubits = [qubits]
+        with self._lock:
+            for q in qubits:
+                self._check_owner(rank, q)
+                self._sv.release(q)
+                del self._owner[q]
+
+    def owner(self, qubit: int) -> int:
+        with self._lock:
+            try:
+                return self._owner[qubit]
+            except KeyError:
+                raise SimulationError(f"unknown qubit {qubit}") from None
+
+    def owned_by(self, rank: int) -> Qureg:
+        with self._lock:
+            return Qureg(sorted(q for q, r in self._owner.items() if r == rank))
+
+    def transfer(self, qubit: int, new_rank: int) -> None:
+        """Move ownership (used by *_move teleportation protocols)."""
+        with self._lock:
+            if qubit not in self._owner:
+                raise SimulationError(f"unknown qubit {qubit}")
+            self._owner[qubit] = new_rank
+
+    def _check_owner(self, rank: int, *qubits: int) -> None:
+        if not self.enforce_locality:
+            return
+        for q in qubits:
+            actual = self._owner.get(q)
+            if actual is None:
+                raise SimulationError(f"unknown qubit {q}")
+            if actual != rank:
+                raise LocalityError(
+                    f"rank {rank} touched qubit {q} owned by rank {actual}; "
+                    "remote interaction requires QMPI communication"
+                )
+
+    # ------------------------------------------------------------------
+    # gates (all rank-checked and serialized)
+    # ------------------------------------------------------------------
+    def apply(self, rank: int, u: np.ndarray, *qubits: int) -> None:
+        with self._lock:
+            self._check_owner(rank, *qubits)
+            self._sv.apply(u, *qubits)
+
+    def h(self, rank: int, q: int) -> None:
+        with self._lock:
+            self._check_owner(rank, q)
+            self._sv.h(q)
+
+    def x(self, rank: int, q: int) -> None:
+        with self._lock:
+            self._check_owner(rank, q)
+            self._sv.x(q)
+
+    def y(self, rank: int, q: int) -> None:
+        with self._lock:
+            self._check_owner(rank, q)
+            self._sv.y(q)
+
+    def z(self, rank: int, q: int) -> None:
+        with self._lock:
+            self._check_owner(rank, q)
+            self._sv.z(q)
+
+    def s(self, rank: int, q: int) -> None:
+        with self._lock:
+            self._check_owner(rank, q)
+            self._sv.s(q)
+
+    def sdg(self, rank: int, q: int) -> None:
+        with self._lock:
+            self._check_owner(rank, q)
+            self._sv.sdg(q)
+
+    def t(self, rank: int, q: int) -> None:
+        with self._lock:
+            self._check_owner(rank, q)
+            self._sv.t(q)
+
+    def rx(self, rank: int, q: int, theta: float) -> None:
+        with self._lock:
+            self._check_owner(rank, q)
+            self._sv.rx(q, theta)
+
+    def ry(self, rank: int, q: int, theta: float) -> None:
+        with self._lock:
+            self._check_owner(rank, q)
+            self._sv.ry(q, theta)
+
+    def rz(self, rank: int, q: int, theta: float) -> None:
+        with self._lock:
+            self._check_owner(rank, q)
+            self._sv.rz(q, theta)
+
+    def cnot(self, rank: int, c: int, t: int) -> None:
+        with self._lock:
+            self._check_owner(rank, c, t)
+            self._sv.cnot(c, t)
+
+    def cz(self, rank: int, c: int, t: int) -> None:
+        with self._lock:
+            self._check_owner(rank, c, t)
+            self._sv.cz(c, t)
+
+    def toffoli(self, rank: int, c1: int, c2: int, t: int) -> None:
+        with self._lock:
+            self._check_owner(rank, c1, c2, t)
+            self._sv.toffoli(c1, c2, t)
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def measure(self, rank: int, q: int) -> int:
+        with self._lock:
+            self._check_owner(rank, q)
+            return self._sv.measure(q)
+
+    def measure_and_release(self, rank: int, q: int) -> int:
+        with self._lock:
+            self._check_owner(rank, q)
+            bit = self._sv.measure_and_release(q)
+            del self._owner[q]
+            return bit
+
+    def prob_one(self, rank: int, q: int) -> float:
+        with self._lock:
+            self._check_owner(rank, q)
+            return self._sv.prob_one(q)
+
+    # ------------------------------------------------------------------
+    # internal / diagnostic access (not rank-scoped)
+    # ------------------------------------------------------------------
+    def entangle_pair(self, qa: int, qb: int) -> None:
+        """|00> -> (|00>+|11>)/sqrt(2); used by the EPR service only."""
+        with self._lock:
+            self._sv.h(qa)
+            self._sv.cnot(qa, qb)
+
+    def lock(self):
+        """The global lock (context manager) for composite inspections."""
+        return self._lock
+
+    @property
+    def num_qubits(self) -> int:
+        with self._lock:
+            return self._sv.num_qubits
+
+    def statevector(self, qubits: Sequence[int] | None = None) -> np.ndarray:
+        """Global state for verification in tests (not part of QMPI)."""
+        with self._lock:
+            return self._sv.statevector(qubits)
+
+    def qubit_ids(self) -> Qureg:
+        with self._lock:
+            return Qureg(self._sv.qubit_ids)
+
+    def raw(self) -> StateVector:
+        """The underlying engine, for white-box tests."""
+        return self._sv

@@ -1,0 +1,102 @@
+"""QMPI datatypes (§4.2).
+
+``QMPI_QUBIT`` is the only basic quantum datatype; composite layouts are
+built by the programmer with ``QMPI_Type_*`` constructors, as in classical
+MPI. A datatype here is a *layout*: given a base register, it selects the
+qubit ids that make up one element of that type. This lets protocol code
+send "one quantum integer" or "every other qubit" without the paper's
+restriction against mixing classical and quantum data ever arising — the
+type system is qubits all the way down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .qubit import Qureg, as_qureg
+
+__all__ = ["QubitType", "QMPI_QUBIT", "type_contiguous", "type_vector", "type_indexed"]
+
+
+@dataclass(frozen=True)
+class QubitType:
+    """A qubit-selection layout.
+
+    ``offsets`` are relative qubit indices into a base register; ``extent``
+    is how far one element reaches (for striding multiple elements).
+    """
+
+    name: str
+    offsets: tuple[int, ...]
+    extent: int
+
+    @property
+    def size(self) -> int:
+        """Number of qubits one element occupies."""
+        return len(self.offsets)
+
+    def extract(self, reg, index: int = 0) -> Qureg:
+        """Qubit ids of the ``index``-th element within ``reg``."""
+        reg = as_qureg(reg)
+        base = index * self.extent
+        ids = []
+        for off in self.offsets:
+            pos = base + off
+            if pos >= len(reg):
+                raise IndexError(
+                    f"{self.name}: element {index} reaches qubit {pos} but the "
+                    f"register has {len(reg)}"
+                )
+            ids.append(reg[pos])
+        return Qureg(ids)
+
+    def count_in(self, reg) -> int:
+        """How many whole elements fit in ``reg``."""
+        reg = as_qureg(reg)
+        if self.extent == 0:
+            return 0
+        return (len(reg) - max(self.offsets) - 1) // self.extent + 1 if reg else 0
+
+
+#: The basic single-qubit datatype.
+QMPI_QUBIT = QubitType("QMPI_QUBIT", (0,), 1)
+
+
+def type_contiguous(count: int, base: QubitType = QMPI_QUBIT, name: str | None = None) -> QubitType:
+    """``count`` consecutive elements of ``base`` (QMPI_Type_contiguous).
+
+    ``type_contiguous(8)`` is an 8-qubit register type — e.g. a quantum
+    byte for arithmetic reductions.
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    offsets = []
+    for i in range(count):
+        offsets.extend(i * base.extent + off for off in base.offsets)
+    return QubitType(name or f"contig({count},{base.name})", tuple(offsets), count * base.extent)
+
+
+def type_vector(count: int, blocklength: int, stride: int, base: QubitType = QMPI_QUBIT) -> QubitType:
+    """``count`` blocks of ``blocklength`` elements, ``stride`` apart
+    (QMPI_Type_vector)."""
+    if count < 1 or blocklength < 1 or stride < blocklength:
+        raise ValueError("invalid vector layout")
+    offsets = []
+    for b in range(count):
+        for i in range(blocklength):
+            pos = (b * stride + i) * base.extent
+            offsets.extend(pos + off for off in base.offsets)
+    extent = ((count - 1) * stride + blocklength) * base.extent
+    return QubitType(f"vector({count},{blocklength},{stride})", tuple(offsets), extent)
+
+
+def type_indexed(indices: list[int], base: QubitType = QMPI_QUBIT) -> QubitType:
+    """Arbitrary element picks (QMPI_Type_indexed, block length 1)."""
+    if not indices:
+        raise ValueError("indices must be non-empty")
+    if len(set(indices)) != len(indices):
+        raise ValueError("indices must be unique")
+    offsets = []
+    for i in indices:
+        offsets.extend(i * base.extent + off for off in base.offsets)
+    return QubitType(f"indexed({len(indices)})", tuple(offsets), max(indices) * base.extent + base.extent)

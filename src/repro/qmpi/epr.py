@@ -1,0 +1,204 @@
+"""EPR pair establishment: rendezvous matching and buffer accounting.
+
+§4.3: "The basic building block and most time consuming part for all
+quantum communication is the creation of EPR pairs between qubits on the
+sending and receiving ranks."
+
+Both endpoints call :meth:`EprService.prepare` with their fresh |0> qubit;
+the second arrival entangles the two qubits under the backend lock (the
+physical analogue: the interconnect heralds the pair). Matching keys
+carry a *direction* for protocol-internal pairs, so two simultaneous
+opposite-direction transfers between the same ranks never cross wires;
+the public ``QMPI_Prepare_EPR`` uses symmetric (unordered) keys exactly
+as in the paper's §6 example.
+
+Buffer accounting implements the SENDQ ``S`` parameter functionally: each
+completed ``prepare`` occupies one slot of the rank's EPR buffer until the
+half-pair is consumed by a protocol. With ``s_limit`` set, exceeding the
+buffer raises :class:`EprBufferFull` — making S-violating schedules fail
+loudly in simulation, not just in the model.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..mpi.errors import MpiAbort
+from .backend import SharedBackend
+from .resource import Ledger
+
+__all__ = ["EprService", "EprRequest", "EprBufferFull", "EprKey"]
+
+
+class EprBufferFull(RuntimeError):
+    """A rank exceeded its EPR buffer capacity S."""
+
+
+@dataclass(frozen=True)
+class EprKey:
+    """Matching key for one EPR rendezvous stream."""
+
+    context: int
+    lo: int
+    hi: int
+    tag: int
+    #: 0 = symmetric (user-level Prepare_EPR); otherwise the source rank + 1
+    #: of the directed protocol stream.
+    direction: int = 0
+
+
+@dataclass
+class _Pending:
+    rank: int
+    qubit: int
+    done: threading.Event = field(default_factory=threading.Event)
+    #: Continuation run when the pair is established (see iprepare). The
+    #: poster's ``done`` event is only set after the callback completes.
+    callback: object = None
+
+
+class EprRequest:
+    """Handle for an asynchronous EPR preparation (QMPI_Iprepare_EPR)."""
+
+    def __init__(self, service: "EprService", pending: _Pending):
+        self._service = service
+        self._pending = pending
+
+    def wait(self) -> None:
+        self._service._await(self._pending)
+
+    def test(self) -> bool:
+        return self._pending.done.is_set()
+
+
+class EprService:
+    """Shared rendezvous table for one QMPI world."""
+
+    def __init__(
+        self,
+        backend: SharedBackend,
+        ledger: Ledger,
+        s_limit: Optional[int] = None,
+        abort: Optional[threading.Event] = None,
+    ):
+        self.backend = backend
+        self.ledger = ledger
+        self.s_limit = s_limit
+        self.abort = abort or threading.Event()
+        # RLock: match-time continuations may re-enter (e.g. consume()).
+        self._cond = threading.Condition(threading.RLock())
+        self._table: dict[EprKey, deque[_Pending]] = {}
+        self._buffered: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # buffer accounting (the SENDQ S parameter, enforced functionally)
+    # ------------------------------------------------------------------
+    def buffered(self, rank: int) -> int:
+        with self._cond:
+            return self._buffered.get(rank, 0)
+
+    def _reserve(self, rank: int) -> None:
+        # caller holds self._cond
+        n = self._buffered.get(rank, 0)
+        if self.s_limit is not None and n >= self.s_limit:
+            raise EprBufferFull(
+                f"rank {rank}: EPR buffer full (S = {self.s_limit}); "
+                "consume a pair before preparing another"
+            )
+        self._buffered[rank] = n + 1
+
+    def consume(self, rank: int) -> None:
+        """A protocol consumed one buffered EPR half on ``rank``."""
+        with self._cond:
+            n = self._buffered.get(rank, 0)
+            if n <= 0:
+                raise RuntimeError(f"rank {rank} consumed an EPR half it never had")
+            self._buffered[rank] = n - 1
+
+    # ------------------------------------------------------------------
+    # rendezvous
+    # ------------------------------------------------------------------
+    def _key(self, rank: int, peer: int, tag: int, context: int, direction: int) -> EprKey:
+        return EprKey(context, min(rank, peer), max(rank, peer), tag, direction)
+
+    def iprepare(
+        self,
+        rank: int,
+        qubit: int,
+        peer: int,
+        tag: int = 0,
+        context: int = 0,
+        direction: int = 0,
+        on_match=None,
+    ) -> EprRequest:
+        """Request an EPR pair; returns immediately with a waitable handle.
+
+        If the counterpart request is already posted, the pair is created
+        before returning (zero-latency completion).
+
+        ``on_match`` is a continuation executed as soon as the pair exists
+        (inline if the peer already posted; on the peer's thread
+        otherwise). This is what makes quantum ``isend`` truly
+        non-blocking: the sender's local protocol steps (CNOT, parity
+        measurement, classical fixup bit) ride along with the rendezvous,
+        so head-to-head exchanges cannot deadlock. Since all local gates
+        funnel through the shared rank-0-style backend anyway (§6), which
+        thread executes them is unobservable.
+        """
+        if rank == peer:
+            raise ValueError("cannot prepare an EPR pair with oneself")
+        key = self._key(rank, peer, tag, context, direction)
+        matched = None
+        with self._cond:
+            self._reserve(rank)
+            queue = self._table.setdefault(key, deque())
+            # Match the oldest pending entry posted by the peer.
+            for i, entry in enumerate(queue):
+                if entry.rank == peer:
+                    del queue[i]
+                    matched = entry
+                    break
+            mine = _Pending(rank, qubit, callback=on_match)
+            if matched is None:
+                queue.append(mine)
+                return EprRequest(self, mine)
+            self._entangle_pair(matched, mine)
+        # Run continuations outside the table lock, oldest poster first;
+        # completion events fire only after the continuations ran.
+        for entry in (matched, mine):
+            if entry.callback is not None:
+                entry.callback()
+            entry.done.set()
+        return EprRequest(self, mine)
+
+    def prepare(
+        self,
+        rank: int,
+        qubit: int,
+        peer: int,
+        tag: int = 0,
+        context: int = 0,
+        direction: int = 0,
+    ) -> None:
+        """Blocking EPR preparation (QMPI_Prepare_EPR)."""
+        self.iprepare(rank, qubit, peer, tag, context, direction).wait()
+
+    def _entangle_pair(self, a: _Pending, b: _Pending) -> None:
+        # caller holds self._cond; deterministic orientation: the lower
+        # rank's qubit gets the Hadamard (irrelevant to the Bell state,
+        # relevant to reproducibility).
+        if a.rank < b.rank:
+            qa, qb = a.qubit, b.qubit
+        else:
+            qa, qb = b.qubit, a.qubit
+        self.backend.entangle_pair(qa, qb)
+        self.ledger.record_epr(1)
+        self._cond.notify_all()
+
+    def _await(self, pending: _Pending) -> None:
+        while not pending.done.wait(timeout=0.05):
+            if self.abort.is_set():
+                raise MpiAbort("job aborted while waiting for EPR rendezvous")

@@ -1,0 +1,46 @@
+"""Qubit handles and registers.
+
+``QMPI_Alloc_qmem(n)`` returns a pointer to ``n`` qubits in the paper's C
+API; the Python equivalent is a :class:`Qureg` — an immutable sequence of
+global simulator qubit ids owned by the allocating rank. Slicing a Qureg
+yields a Qureg (pointer arithmetic, without the pointers).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["Qureg"]
+
+
+class Qureg(tuple):
+    """An ordered register of qubit ids.
+
+    Behaves like a tuple of ints; slicing returns a Qureg so protocol code
+    can pass sub-registers around. Single-qubit register contexts accept a
+    bare int wherever a Qureg is expected (see :func:`as_qureg`).
+    """
+
+    def __new__(cls, ids: Iterable[int]):
+        return super().__new__(cls, (int(q) for q in ids))
+
+    def __getitem__(self, item):
+        out = super().__getitem__(item)
+        if isinstance(item, slice):
+            return Qureg(out)
+        return out
+
+    def __add__(self, other):
+        return Qureg(tuple(self) + tuple(other))
+
+    def __repr__(self) -> str:
+        return f"Qureg{tuple(self)!r}"
+
+
+def as_qureg(q) -> Qureg:
+    """Coerce an int, iterable, or Qureg into a Qureg."""
+    if isinstance(q, Qureg):
+        return q
+    if isinstance(q, int):
+        return Qureg((q,))
+    return Qureg(q)

@@ -1,0 +1,28 @@
+"""SENDQ — the paper's performance model for distributed quantum computing.
+
+* :class:`~repro.sendq.params.SendqParams` — S, E, N, D (D_R/D_M/D_F), Q
+* :mod:`~repro.sendq.analysis` — closed-form delays/EPR counts (§5, §7)
+* :mod:`~repro.sendq.program` / :mod:`~repro.sendq.engine` — op-DAGs and a
+  resource-constrained discrete-event scheduler that enforces the model's
+  constraints (single EPR creation per node, S-limited buffers, serialized
+  rotations)
+* :mod:`~repro.sendq.programs` — generators for the §7 workloads
+"""
+
+from . import analysis, programs
+from .engine import ScheduleDeadlock, schedule
+from .params import SendqParams
+from .program import Op, Program
+from .trace import ScheduleTrace, TraceEntry
+
+__all__ = [
+    "SendqParams",
+    "Program",
+    "Op",
+    "schedule",
+    "ScheduleDeadlock",
+    "ScheduleTrace",
+    "TraceEntry",
+    "analysis",
+    "programs",
+]

@@ -1,0 +1,171 @@
+"""Discrete-event scheduler for SENDQ programs.
+
+Resource-constrained ASAP (list) scheduling:
+
+* each node has one **rotation unit** (rotations serialize, §7.2's
+  T-factory assumption), one **EPR port** (at most one pair creation at a
+  time, §5), and an **EPR buffer** of S slots;
+* an ``epr`` op starts only when both endpoints' ports are free *and*
+  both have a free buffer slot; slots are held until a dependent op
+  explicitly releases them;
+* local ops start when their node's relevant unit is free (Cliffords,
+  measurements and fixups don't compete for the rotation unit — full
+  transversal parallelism per §5.1);
+* classical ops are instantaneous (the model ignores classical cost).
+
+Programs that overcommit buffers (e.g. the cat-state broadcast with S=1)
+fail with :class:`ScheduleDeadlock` naming the starved ops — the model
+telling you the schedule is infeasible, not just slow.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from .params import SendqParams
+from .program import Op, Program
+from .trace import ScheduleTrace, TraceEntry
+
+__all__ = ["schedule", "ScheduleDeadlock"]
+
+
+class ScheduleDeadlock(RuntimeError):
+    """No runnable op although work remains (usually buffer starvation)."""
+
+
+@dataclass
+class _NodeState:
+    rot_free: float = 0.0
+    port_free: float = 0.0
+    buffer_used: int = 0
+
+
+def schedule(program: Program, params: SendqParams) -> ScheduleTrace:
+    """Compute start/end times for every op; returns the full trace."""
+    program.validate()
+    if program.n_nodes > params.N:
+        raise ValueError(
+            f"program uses {program.n_nodes} nodes but params.N = {params.N}"
+        )
+    ops = program.ops
+    n_deps = {op.uid: len(op.deps) for op in ops}
+    dependents: dict[int, list[int]] = {op.uid: [] for op in ops}
+    for op in ops:
+        for d in op.deps:
+            dependents[d].append(op.uid)
+
+    nodes = [_NodeState() for _ in range(program.n_nodes)]
+    # (epr_uid, node) -> True while the slot is held
+    held: set[tuple[int, int]] = set()
+    ready_at: dict[int, float] = {op.uid: 0.0 for op in ops if not op.deps}
+    done_at: dict[int, float] = {}
+    started: set[int] = set()
+    entries: list[TraceEntry] = []
+    # event heap of (time, kind_priority, uid) for completions
+    events: list[tuple[float, int, int]] = []
+    now = 0.0
+
+    def try_start(uid: int) -> bool:
+        """Start op uid at `now` if resources allow; return success."""
+        op = ops[uid]
+        dur = program.duration_of(op, params)
+        if op.kind == "epr":
+            a, b = op.nodes
+            if nodes[a].port_free > now or nodes[b].port_free > now:
+                return False
+            if params.S - nodes[a].buffer_used < 1 or params.S - nodes[b].buffer_used < 1:
+                return False
+            nodes[a].port_free = now + dur
+            nodes[b].port_free = now + dur
+            nodes[a].buffer_used += 1
+            nodes[b].buffer_used += 1
+            held.add((uid, a))
+            held.add((uid, b))
+        elif op.kind == "rot":
+            (a,) = op.nodes
+            if nodes[a].rot_free > now:
+                return False
+            nodes[a].rot_free = now + dur
+        # local:* and classical: no unit contention
+        started.add(uid)
+        entries.append(TraceEntry(uid, op.label, op.kind, op.nodes, now, now + dur))
+        heapq.heappush(events, (now + dur, 1, uid))
+        return True
+
+    def next_resource_time(uid: int) -> float | None:
+        """Earliest future time the op's *timed* resources free up, or
+        None if it is blocked on buffer slots only."""
+        op = ops[uid]
+        if op.kind == "epr":
+            a, b = op.nodes
+            t = max(nodes[a].port_free, nodes[b].port_free)
+            slots_ok = (
+                params.S - nodes[a].buffer_used >= 1
+                and params.S - nodes[b].buffer_used >= 1
+            )
+            if not slots_ok:
+                return None  # must wait for a release event
+            return t
+        if op.kind == "rot":
+            return nodes[op.nodes[0]].rot_free
+        return now
+
+    # Seed: classical/locals with no deps can start at 0.
+    pending = set(ready_at)
+    while pending or events:
+        # 1. start everything that can start now (uid order = program order)
+        progress = True
+        while progress:
+            progress = False
+            for uid in sorted(pending):
+                if ready_at[uid] <= now and try_start(uid):
+                    pending.discard(uid)
+                    progress = True
+        if not events:
+            if pending:
+                # Nothing running, work remains: either a future resource
+                # time exists (advance) or we are deadlocked.
+                future = [
+                    t
+                    for t in (next_resource_time(u) for u in pending if ready_at[u] <= now)
+                    if t is not None and t > now
+                ]
+                waiting_deps = [u for u in pending if ready_at[u] > now]
+                if future:
+                    now = min(future)
+                    continue
+                if waiting_deps:  # pragma: no cover - defensive
+                    now = min(ready_at[u] for u in waiting_deps)
+                    continue
+                starved = [ops[u].label for u in sorted(pending)]
+                raise ScheduleDeadlock(
+                    f"no op can make progress at t={now}; starved: {starved} "
+                    f"(buffer S={params.S} too small for this schedule?)"
+                )
+            break
+        # 2. advance to the next completion; apply releases and dep counts
+        t, _, uid = heapq.heappop(events)
+        now = max(now, t)
+        op = ops[uid]
+        done_at[uid] = t
+        for epr_uid, node in op.releases:
+            key = (epr_uid, node)
+            if key not in held:
+                raise ScheduleDeadlock(
+                    f"op {op.label} releases EPR slot {key} that is not held "
+                    "(double release?)"
+                )
+            held.discard(key)
+            nodes[node].buffer_used -= 1
+        for dep_uid in dependents[uid]:
+            n_deps[dep_uid] -= 1
+            if n_deps[dep_uid] == 0:
+                ready_at[dep_uid] = t
+                pending.add(dep_uid)
+
+    if len(done_at) != len(ops):  # pragma: no cover - defensive
+        missing = [op.label for op in ops if op.uid not in done_at]
+        raise ScheduleDeadlock(f"ops never ran: {missing}")
+    return ScheduleTrace(entries=sorted(entries, key=lambda e: (e.start, e.uid)),
+                         n_nodes=program.n_nodes, params=params)

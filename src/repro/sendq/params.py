@@ -1,0 +1,67 @@
+"""SENDQ model parameters (§5).
+
+Communication: S (EPR buffer qubits per node), E (EPR establishment time,
+any node in at most one creation at a time), N (node count).
+Local compute: D (delay; refined as in §5.1 into the dominant rotation
+delay D_R with optional D_M / D_F for parity measurements and Pauli
+fixups), Q (logical compute qubits per node = parallel compute elements).
+
+All parameters are constant for a given program run, as the paper assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["SendqParams"]
+
+
+@dataclass(frozen=True)
+class SendqParams:
+    """One configuration of the SENDQ machine model.
+
+    Times are in arbitrary units (the paper uses logical clock cycles /
+    seconds interchangeably; only ratios matter for the analyses).
+    """
+
+    N: int = 2
+    #: EPR buffer capacity per node (logical qubits dedicated to EPR halves)
+    S: int = 2
+    #: time to establish one logical EPR pair with any other node
+    E: float = 1.0
+    #: logical compute qubits per node
+    Q: int = 2
+    #: delay of an arbitrary-angle rotation (incl. T gates) — the dominant
+    #: local cost in fault-tolerant execution (§3, §5.1)
+    D_R: float = 1.0
+    #: delay of a local two-qubit parity measurement
+    D_M: float = 0.0
+    #: delay of a Pauli fixup (X or Z)
+    D_F: float = 0.0
+    #: delay of other Clifford gates (ignored by default, as in §5.1)
+    D_C: float = 0.0
+
+    def __post_init__(self):
+        if self.N < 1:
+            raise ValueError("N must be >= 1")
+        if self.S < 0:
+            raise ValueError("S must be >= 0")
+        if self.Q < 0:
+            raise ValueError("Q must be >= 0")
+        for name in ("E", "D_R", "D_M", "D_F", "D_C"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def with_(self, **kwargs) -> "SendqParams":
+        """Copy with some fields replaced (sweep helper)."""
+        return replace(self, **kwargs)
+
+    @property
+    def epr_bandwidth(self) -> float:
+        """E^-1: EPR-pair injection bandwidth per node (§5.1)."""
+        return 1.0 / self.E if self.E > 0 else float("inf")
+
+    @property
+    def total_qubits_per_node(self) -> int:
+        """Q + S: the fixed per-node qubit budget (§5.1)."""
+        return self.Q + self.S

@@ -1,0 +1,165 @@
+"""SENDQ programs: DAGs of timed operations over model resources.
+
+An :class:`Op` is one of:
+
+* ``epr(a, b)`` — establish an EPR pair between nodes a and b. Occupies
+  both nodes' EPR ports for duration E (a node is "involved in at most one
+  EPR pair creation at any point", §5) and acquires one buffer slot on
+  each endpoint at start. The slots stay occupied until explicitly
+  released by a later op (``releases``) — this is how the S constraint
+  bites.
+* ``rot(node)`` — an arbitrary-angle rotation, duration D_R, serialized
+  per node on the single rotation unit (T-factory budget, §7.2).
+* ``local(node)`` — Clifford/other local op, default duration D_C;
+  ``measure``/``fixup`` flavors take D_M / D_F.
+* ``classical()`` — classical communication/compute; free (§5's modeling
+  choice), used purely for ordering.
+
+Dependencies are explicit op-id lists. The builder API returns ids so
+programs read like straight-line code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .params import SendqParams
+
+__all__ = ["Op", "Program"]
+
+
+@dataclass
+class Op:
+    uid: int
+    kind: str  # 'epr' | 'rot' | 'local' | 'classical'
+    #: nodes the op runs on: (a, b) for epr, (node,) otherwise, () classical
+    nodes: tuple[int, ...]
+    duration: float
+    deps: tuple[int, ...] = ()
+    #: buffer tokens released when this op completes: list of epr op uids
+    #: whose slot on `token_node` is freed; entries are (epr_uid, node).
+    releases: tuple[tuple[int, int], ...] = ()
+    label: str = ""
+
+
+class Program:
+    """An op-DAG over ``n_nodes`` SENDQ nodes."""
+
+    def __init__(self, n_nodes: int):
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.n_nodes = n_nodes
+        self.ops: list[Op] = []
+
+    # -- builders ---------------------------------------------------------
+    def _add(self, op: Op) -> int:
+        self.ops.append(op)
+        return op.uid
+
+    def _check_node(self, *nodes: int) -> None:
+        for n in nodes:
+            if not (0 <= n < self.n_nodes):
+                raise ValueError(f"node {n} out of range (N={self.n_nodes})")
+
+    def epr(self, a: int, b: int, deps: Iterable[int] = (), label: str = "") -> int:
+        """EPR creation between nodes ``a`` and ``b``."""
+        self._check_node(a, b)
+        if a == b:
+            raise ValueError("EPR endpoints must differ")
+        return self._add(
+            Op(len(self.ops), "epr", (a, b), -1.0, tuple(deps), (), label or f"epr({a},{b})")
+        )
+
+    def rot(self, node: int, deps: Iterable[int] = (), releases: Iterable = (), label: str = "") -> int:
+        """Arbitrary rotation on ``node`` (duration D_R, serialized)."""
+        self._check_node(node)
+        return self._add(
+            Op(
+                len(self.ops),
+                "rot",
+                (node,),
+                -1.0,
+                tuple(deps),
+                tuple(releases),
+                label or f"rot@{node}",
+            )
+        )
+
+    def local(
+        self,
+        node: int,
+        deps: Iterable[int] = (),
+        releases: Iterable = (),
+        flavor: str = "clifford",
+        label: str = "",
+    ) -> int:
+        """Local non-rotation op; ``flavor`` in clifford|measure|fixup."""
+        self._check_node(node)
+        if flavor not in ("clifford", "measure", "fixup"):
+            raise ValueError(f"unknown local flavor {flavor!r}")
+        return self._add(
+            Op(
+                len(self.ops),
+                f"local:{flavor}",
+                (node,),
+                -1.0,
+                tuple(deps),
+                tuple(releases),
+                label or f"{flavor}@{node}",
+            )
+        )
+
+    def classical(self, deps: Iterable[int] = (), releases: Iterable = (), label: str = "") -> int:
+        """Zero-cost classical step (ordering/fan-in point)."""
+        return self._add(
+            Op(len(self.ops), "classical", (), 0.0, tuple(deps), tuple(releases), label or "classical")
+        )
+
+    # -- utilities ---------------------------------------------------------
+    def duration_of(self, op: Op, params: SendqParams) -> float:
+        if op.kind == "epr":
+            return params.E
+        if op.kind == "rot":
+            return params.D_R
+        if op.kind == "local:clifford":
+            return params.D_C
+        if op.kind == "local:measure":
+            return params.D_M
+        if op.kind == "local:fixup":
+            return params.D_F
+        if op.kind == "classical":
+            return 0.0
+        raise ValueError(f"unknown op kind {op.kind}")  # pragma: no cover
+
+    def epr_count(self) -> int:
+        """Total EPR pairs the program establishes."""
+        return sum(1 for op in self.ops if op.kind == "epr")
+
+    def rotation_count(self) -> int:
+        return sum(1 for op in self.ops if op.kind == "rot")
+
+    def validate(self) -> None:
+        """Static checks: dep ids exist and precede; releases reference
+        epr ops touching the right node."""
+        seen = set()
+        by_uid = {op.uid: op for op in self.ops}
+        for op in self.ops:
+            for d in op.deps:
+                if d not in by_uid:
+                    raise ValueError(f"op {op.uid} depends on unknown op {d}")
+                if d >= op.uid:
+                    raise ValueError(f"op {op.uid} depends on later op {d} (cycle)")
+            for epr_uid, node in op.releases:
+                tgt = by_uid.get(epr_uid)
+                if tgt is None or tgt.kind != "epr":
+                    raise ValueError(f"op {op.uid} releases non-EPR op {epr_uid}")
+                if node not in tgt.nodes:
+                    raise ValueError(
+                        f"op {op.uid} releases EPR {epr_uid} slot on node {node}, "
+                        f"but that pair spans {tgt.nodes}"
+                    )
+            seen.add(op.uid)
+
+    def __len__(self) -> int:
+        return len(self.ops)

@@ -1,0 +1,321 @@
+"""SENDQ program generators for the paper's analyses.
+
+Each generator builds the op-DAG of one §7 workload; running it through
+:func:`repro.sendq.engine.schedule` reproduces the closed-form delays of
+:mod:`repro.sendq.analysis` — including the S=1 vs S>=2 separations, which
+emerge from the buffer constraint rather than being hard-coded.
+"""
+
+from __future__ import annotations
+
+from .program import Program
+
+__all__ = [
+    "bcast_tree_program",
+    "bcast_cat_program",
+    "parity_inplace_program",
+    "parity_outofplace_program",
+    "parity_constdepth_program",
+    "tfim_step_program",
+]
+
+
+def _fanout(
+    prog: Program,
+    src: int,
+    dst: int,
+    src_ready: int | None,
+    label: str,
+    eager_epr: bool = False,
+):
+    """One entangled-copy transfer (Fig. 3(a)) as SENDQ ops.
+
+    Returns the receiver's fixup op (its data-ready point). With
+    ``eager_epr`` the EPR creation is requested before the source data is
+    ready (§4.7 persistent-request style — needs buffer headroom); the
+    default requests it at send time, the blocking-QMPI_Send schedule.
+    """
+    epr_deps = [] if (eager_epr or src_ready is None) else [src_ready]
+    e = prog.epr(src, dst, deps=epr_deps, label=f"{label}:epr")
+    deps = [e] if src_ready is None else [e, src_ready]
+    m = prog.local(src, deps=deps, releases=[(e, src)], flavor="measure", label=f"{label}:pmeas")
+    c = prog.classical(deps=[m], label=f"{label}:bit")
+    f = prog.local(dst, deps=[c], releases=[(e, dst)], flavor="fixup", label=f"{label}:fix")
+    return f
+
+
+def bcast_tree_program(n_nodes: int, root: int = 0, eager_epr: bool = False) -> Program:
+    """Binomial-tree broadcast (§7.1): expected makespan E*ceil(log2 N)
+    (with D_M = D_F = 0); works with S = 1 (eager_epr=False).
+
+    With ``eager_epr=True`` the EPR pairs are requested ahead of data
+    (§4.7); this needs S >= 2 on interior tree nodes — with S = 1 the
+    scheduler correctly reports buffer deadlock.
+    """
+    prog = Program(n_nodes)
+    ready: dict[int, int | None] = {root: None}
+    mask = 1
+    rnd = 0
+    while mask < n_nodes:
+        for rel in range(mask):
+            peer = rel + mask
+            if peer >= n_nodes:
+                continue
+            src = (rel + root) % n_nodes
+            dst = (peer + root) % n_nodes
+            ready[dst] = _fanout(prog, src, dst, ready[src], f"r{rnd}:{src}->{dst}", eager_epr)
+        mask <<= 1
+        rnd += 1
+    return prog
+
+
+def bcast_cat_program(n_nodes: int, root: int = 0) -> Program:
+    """Cat-state broadcast (Fig. 4): expected makespan 2E + D_M + D_F,
+    independent of N; requires S >= 2 on internal chain nodes."""
+    prog = Program(n_nodes)
+    if n_nodes == 1:
+        return prog
+    edges = [prog.epr(i, i + 1, label=f"cat:epr({i},{i + 1})") for i in range(n_nodes - 1)]
+    merges = []
+    # Root folds the data qubit in with a parity measurement on its share.
+    merges.append(
+        prog.local(root, deps=[edges[0]], releases=[(edges[0], root)],
+                   flavor="measure", label="cat:rootmeas")
+    )
+    for i in range(1, n_nodes - 1):
+        merges.append(
+            prog.local(
+                i,
+                deps=[edges[i - 1], edges[i]],
+                releases=[(edges[i], i)],
+                flavor="measure",
+                label=f"cat:merge@{i}",
+            )
+        )
+    exscan = prog.classical(deps=merges, label="cat:exscan")
+    for i in range(1, n_nodes):
+        prog.local(
+            i,
+            deps=[exscan],
+            releases=[(edges[i - 1], i)],
+            flavor="fixup",
+            label=f"cat:fix@{i}",
+        )
+    return prog
+
+
+def _distributed_cnot(prog: Program, ctrl: int, tgt: int, ctrl_ready, tgt_ready, label: str):
+    """Control-fanout distributed CNOT: 1 EPR + 2 classical bits.
+
+    Returns (ctrl_ready', tgt_ready'): the control is restored after the
+    unfanout Z fixup; the target's data is updated after the local CNOT.
+    The EPR pair is requested when the operation's inputs are ready
+    (blocking-send semantics, matching the paper's Fig. 6 accounting —
+    pre-establishing it instead is the §4.7 optimization).
+    """
+    e = prog.epr(
+        ctrl,
+        tgt,
+        deps=[d for d in (ctrl_ready, tgt_ready) if d is not None],
+        label=f"{label}:epr",
+    )
+    deps = [e] + ([ctrl_ready] if ctrl_ready is not None else [])
+    m1 = prog.local(ctrl, deps=deps, releases=[(e, ctrl)], flavor="measure", label=f"{label}:pm")
+    c1 = prog.classical(deps=[m1], label=f"{label}:b1")
+    fx = prog.local(tgt, deps=[c1], flavor="fixup", label=f"{label}:xfix")
+    deps2 = [fx] + ([tgt_ready] if tgt_ready is not None else [])
+    cn = prog.local(tgt, deps=deps2, flavor="clifford", label=f"{label}:cnot")
+    m2 = prog.local(tgt, deps=[cn], releases=[(e, tgt)], flavor="measure", label=f"{label}:um")
+    c2 = prog.classical(deps=[m2], label=f"{label}:b2")
+    zf = prog.local(ctrl, deps=[c2], flavor="fixup", label=f"{label}:zfix")
+    return zf, cn
+
+
+def parity_inplace_program(k: int, rotations: int = 1) -> Program:
+    """Fig. 6(a): in-place binary-tree parity + Rz + uncompute.
+
+    Expected: 2(k-1) EPR pairs, makespan 2E*ceil(log2 k) + D_R (with
+    D_M = D_F = D_C = 0). Works with S = 1.
+    """
+    prog = Program(max(k, 1))
+    ready: list = [None] * k
+    # Downward tree: pair adjacent active nodes, parity accumulates into
+    # the higher index; the survivor list halves each level, so depth is
+    # ceil(log2 k) and k-1 distributed CNOTs run top-down.
+    ladders = []
+    active = list(range(k))
+    lvl = 0
+    while len(active) > 1:
+        nxt = []
+        for i in range(0, len(active) - 1, 2):
+            lo, hi = active[i], active[i + 1]
+            czf, ccn = _distributed_cnot(
+                prog, lo, hi, ready[lo], ready[hi], f"dn{lvl}:{lo}->{hi}"
+            )
+            ready[lo], ready[hi] = czf, ccn
+            ladders.append((lo, hi))
+            nxt.append(hi)
+        if len(active) % 2:
+            nxt.append(active[-1])
+        active = nxt
+        lvl += 1
+    top = active[0]
+    rot = prog.rot(top, deps=[d for d in [ready[top]] if d is not None], label="rz")
+    ready[top] = rot
+    # Upward tree: uncompute in reverse order.
+    for lo, hi in reversed(ladders):
+        czf, ccn = _distributed_cnot(prog, lo, hi, ready[lo], ready[hi], f"up:{lo}->{hi}")
+        ready[lo], ready[hi] = czf, ccn
+    return prog
+
+
+def parity_outofplace_program(k: int, aux_colocated: bool = False) -> Program:
+    """Fig. 6(b): serial distributed CNOTs into an ancilla + Rz; the
+    uncompute is classical-only.
+
+    Expected: k EPR pairs (aux on its own node) and makespan E*k + D_R;
+    works with S = 1.
+    """
+    n_nodes = k if aux_colocated else k + 1
+    aux = n_nodes - 1
+    prog = Program(n_nodes)
+    last = None
+    sources = range(k - 1) if aux_colocated else range(k)
+    for i in sources:
+        # Fanout q_i to the aux node, CNOT into the ancilla, unfanout.
+        e = prog.epr(i, aux, deps=[last] if last is not None else [], label=f"oop{i}:epr")
+        m1 = prog.local(i, deps=[e], releases=[(e, i)], flavor="measure", label=f"oop{i}:pm")
+        c1 = prog.classical(deps=[m1], label=f"oop{i}:b1")
+        fx = prog.local(aux, deps=[c1], flavor="fixup", label=f"oop{i}:xfix")
+        cn = prog.local(aux, deps=[fx], flavor="clifford", label=f"oop{i}:cnot")
+        m2 = prog.local(aux, deps=[cn], releases=[(e, aux)], flavor="measure", label=f"oop{i}:um")
+        c2 = prog.classical(deps=[m2], label=f"oop{i}:b2")
+        prog.local(i, deps=[c2], flavor="fixup", label=f"oop{i}:zfix")
+        last = cn
+    if aux_colocated:
+        last = prog.local(aux, deps=[last] if last is not None else [], flavor="clifford", label="oop:own")
+    rot = prog.rot(aux, deps=[last] if last is not None else [], label="rz")
+    # Uncompute: H + measure the ancilla, broadcast the bit, Z everywhere.
+    m = prog.local(aux, deps=[rot], flavor="measure", label="oop:unmeas")
+    c = prog.classical(deps=[m], label="oop:bcastbit")
+    for i in range(k):
+        prog.local(i if aux_colocated or i < k else i, deps=[c], flavor="fixup", label=f"oop:zfix@{i}")
+    return prog
+
+
+def parity_constdepth_program(k: int, aux_colocated: bool = True) -> Program:
+    """Fig. 6(c): constant-depth via a cat state.
+
+    Expected: k-1 EPR pairs (ancilla colocated, the Fig. 7 convention; k
+    with a dedicated ancilla node) and makespan 2E + D_R. Needs S >= 2.
+    """
+    m_nodes = k if aux_colocated else k + 1
+    aux = m_nodes - 1
+    prog = Program(m_nodes)
+    if m_nodes == 1:
+        prog.rot(0, label="rz")
+        return prog
+    edges = [prog.epr(i, i + 1, label=f"cd:epr({i},{i + 1})") for i in range(m_nodes - 1)]
+    merges = []
+    for i in range(1, m_nodes - 1):
+        merges.append(
+            prog.local(i, deps=[edges[i - 1], edges[i]], releases=[(edges[i], i)],
+                       flavor="measure", label=f"cd:merge@{i}")
+        )
+    fixc = prog.classical(deps=merges, label="cd:exscan")
+    fixes = []
+    for i in range(1, m_nodes):
+        fixes.append(
+            prog.local(i, deps=[fixc], flavor="fixup", label=f"cd:fix@{i}")
+        )
+    # Every node CNOTs its data into its cat share (parallel Cliffords),
+    # the shares are X-measured, and the collected parity drives the Rz.
+    cnots = []
+    for i in range(m_nodes if aux_colocated else m_nodes - 1):
+        dep = [fixes[i - 1]] if i >= 1 else [edges[0]]
+        cnots.append(prog.local(i, deps=dep, flavor="clifford", label=f"cd:cnot@{i}"))
+    meas = []
+    for i in range(m_nodes):
+        dep = [cnots[i]] if i < len(cnots) else [fixes[i - 1]]
+        rel = [(edges[i - 1], i)] if i >= 1 else [(edges[0], 0)]
+        meas.append(prog.local(i, deps=dep, releases=rel, flavor="measure", label=f"cd:meas@{i}"))
+    gather = prog.classical(deps=meas, label="cd:parity")
+    prog.rot(aux, deps=[gather], label="rz")
+    return prog
+
+
+def tfim_step_program(n_spins: int, n_nodes: int, steps: int = 1) -> Program:
+    """§7.2: `steps` first-order Trotter steps of the ring TFIM, distributed
+    over ``n_nodes`` with n/N spins per node (Listing 1 structure).
+
+    Per node and step: (Q-1) internal ZZ rotations + 1 boundary ZZ rotation
+    on a received copy + Q Rx rotations = 2Q rotations (D_Trotter = 2Q D_R),
+    plus one EPR pair per ring edge. The expected steady-state per-step
+    delay is max(D_Trotter, 2E) for S >= 2 and max(D_Trotter, 2E + 2 D_R)
+    for S = 1 — the engine recovers both from the buffer constraint.
+    """
+    if n_spins % n_nodes:
+        raise ValueError("n_spins must be divisible by n_nodes")
+    q = n_spins // n_nodes
+    prog = Program(n_nodes)
+    if n_nodes == 1:
+        last = None
+        for s in range(steps):
+            for i in range(2 * q):
+                last = prog.rot(0, deps=[last] if last is not None else [], label=f"s{s}:rot{i}")
+        return prog
+    # Per (edge, step): the EPR slot release op, gating the next step's EPR.
+    prev_release: dict[int, tuple] = {e: (None, None) for e in range(n_nodes)}
+    prev_rx_first: dict[int, int | None] = {r: None for r in range(n_nodes)}
+    prev_step_done: dict[int, int | None] = {r: None for r in range(n_nodes)}
+    for s in range(steps):
+        releases: dict[int, tuple] = {}
+        boundary_rot: dict[int, int] = {}
+        for edge in range(n_nodes):
+            snd = (edge + 1) % n_nodes  # sender fans out its spin 0
+            rcv = edge  # receiver holds the copy and rotates
+            deps = [d for d in prev_release[edge] if d is not None]
+            e = prog.epr(rcv, snd, deps=deps, label=f"s{s}:e{edge}:epr")
+            # Fanout: sender's parity measurement (needs its spin-0 state
+            # from the previous step's Rx), 1 bit, receiver's X fixup.
+            mdeps = [e] + ([prev_rx_first[snd]] if prev_rx_first[snd] is not None else [])
+            m = prog.local(snd, deps=mdeps, releases=[(e, snd)], flavor="measure",
+                           label=f"s{s}:e{edge}:pm")
+            c = prog.classical(deps=[m], label=f"s{s}:e{edge}:b1")
+            f = prog.local(rcv, deps=[c], flavor="fixup", label=f"s{s}:e{edge}:xfix")
+            cn = prog.local(rcv, deps=[f], flavor="clifford", label=f"s{s}:e{edge}:cnot")
+            rot = prog.rot(rcv, deps=[cn], label=f"s{s}:e{edge}:zzrot")
+            boundary_rot[edge] = rot
+            cn2 = prog.local(rcv, deps=[rot], flavor="clifford", label=f"s{s}:e{edge}:uncnot")
+            um = prog.local(rcv, deps=[cn2], releases=[(e, rcv)], flavor="measure",
+                            label=f"s{s}:e{edge}:um")
+            c2 = prog.classical(deps=[um], label=f"s{s}:e{edge}:b2")
+            zf = prog.local(snd, deps=[c2], flavor="fixup", label=f"s{s}:e{edge}:zfix")
+            releases[edge] = (um, zf)
+        for r in range(n_nodes):
+            # Internal ZZ rotations then the transverse-field Rx sweep.
+            # All follow this step's boundary rotation: the paper's
+            # "optimized schedule" clears the EPR buffer first (the
+            # boundary rotation gates the unreceive), then fills the
+            # rotation unit with local work.
+            deps0 = [boundary_rot[r]]
+            if prev_step_done[r] is not None:
+                deps0.append(prev_step_done[r])
+            last = None
+            for i in range(q - 1):
+                d = deps0 if last is None else [last]
+                last = prog.rot(r, deps=d, label=f"s{s}:n{r}:zz{i}")
+            rx_first = None
+            for i in range(q):
+                d = list(deps0 if last is None else [last])
+                if i == 0:
+                    # spin 0's Rx must wait for its fanned-out copy on the
+                    # left neighbour to be uncomputed (the Z fixup).
+                    d.append(releases[(r - 1) % n_nodes][1])
+                last = prog.rot(r, deps=d, label=f"s{s}:n{r}:rx{i}")
+                if i == 0:
+                    rx_first = last
+            prev_rx_first[r] = rx_first
+            prev_step_done[r] = last
+        prev_release = releases
+    return prog

@@ -1,0 +1,94 @@
+"""Schedule traces: per-op timelines, makespan, utilization, text Gantt."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .params import SendqParams
+
+__all__ = ["TraceEntry", "ScheduleTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    uid: int
+    label: str
+    kind: str
+    nodes: tuple[int, ...]
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ScheduleTrace:
+    entries: list[TraceEntry]
+    n_nodes: int
+    params: "SendqParams"
+
+    @property
+    def makespan(self) -> float:
+        return max((e.end for e in self.entries), default=0.0)
+
+    def end_of(self, label_prefix: str) -> float:
+        """Latest end time among ops whose label starts with the prefix."""
+        times = [e.end for e in self.entries if e.label.startswith(label_prefix)]
+        if not times:
+            raise KeyError(f"no ops labeled {label_prefix!r}")
+        return max(times)
+
+    def epr_pairs(self) -> int:
+        return sum(1 for e in self.entries if e.kind == "epr")
+
+    def node_busy_time(self, node: int, kinds: tuple[str, ...] = ("rot",)) -> float:
+        """Total busy time of a node's rotation unit (or other kinds)."""
+        return sum(
+            e.duration for e in self.entries if node in e.nodes and e.kind in kinds
+        )
+
+    def utilization(self, node: int) -> float:
+        """Rotation-unit utilization of ``node`` over the makespan."""
+        total = self.makespan
+        if total <= 0:
+            return 0.0
+        return self.node_busy_time(node) / total
+
+    def gantt(self, width: int = 72) -> str:
+        """ASCII Gantt chart, one row per node plus a classical row."""
+        span = self.makespan or 1.0
+        scale = width / span
+        rows = []
+        marks = {"epr": "=", "rot": "R", "local:clifford": "c",
+                 "local:measure": "M", "local:fixup": "F", "classical": "."}
+        for node in range(self.n_nodes):
+            line = [" "] * width
+            for e in self.entries:
+                if node not in e.nodes:
+                    continue
+                a = min(width - 1, int(e.start * scale))
+                b = min(width, max(a + 1, int(e.end * scale)))
+                ch = marks.get(e.kind, "?")
+                for i in range(a, b):
+                    line[i] = ch
+            rows.append(f"node {node:3d} |{''.join(line)}|")
+        rows.append(f"t = 0 .. {span:g}   (= EPR, R rotation, M measure, F fixup)")
+        return "\n".join(rows)
+
+    def as_rows(self) -> list[dict]:
+        """Plain-dict rows for printing/benchmark output."""
+        return [
+            {
+                "uid": e.uid,
+                "label": e.label,
+                "kind": e.kind,
+                "nodes": e.nodes,
+                "start": e.start,
+                "end": e.end,
+            }
+            for e in self.entries
+        ]

@@ -1,0 +1,24 @@
+"""Quantum state-vector simulation substrate.
+
+Public surface:
+
+* :class:`~repro.sim.statevector.StateVector` — the engine
+* :class:`~repro.sim.tracker.TrackedStateVector` — engine + gate tallies
+* :mod:`~repro.sim.gates` — gate matrices
+* :mod:`~repro.sim.pauli` — Pauli-string application / rotation
+* :mod:`~repro.sim.arith` — reversible adders for QMPI_SUM reductions
+"""
+
+from . import arith, gates, pauli
+from .statevector import SimulationError, StateVector
+from .tracker import GateCounts, TrackedStateVector
+
+__all__ = [
+    "StateVector",
+    "TrackedStateVector",
+    "GateCounts",
+    "SimulationError",
+    "gates",
+    "pauli",
+    "arith",
+]

@@ -1,0 +1,136 @@
+"""Quantum gate matrix library.
+
+All gates are dense complex128 NumPy arrays. Single-qubit gates are 2x2,
+two-qubit gates 4x4 with the convention that the *first* qubit argument of
+:meth:`repro.sim.statevector.StateVector.apply` is the most significant
+axis of the matrix (row-major Kronecker ordering ``U = U_q0 ⊗ U_q1``).
+
+The set matches the paper's §2: Hadamard, S, T, the Paulis, controlled
+Paulis, and Pauli rotations ``R_P(theta) = exp(-i theta P / 2)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "I2",
+    "X",
+    "Y",
+    "Z",
+    "H",
+    "S",
+    "SDG",
+    "T",
+    "TDG",
+    "SX",
+    "rx",
+    "ry",
+    "rz",
+    "rotation",
+    "phase",
+    "u3",
+    "CX",
+    "CY",
+    "CZ",
+    "SWAP",
+    "controlled",
+    "is_unitary",
+    "kron_all",
+    "PAULIS",
+]
+
+I2 = np.eye(2, dtype=np.complex128)
+X = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+Y = np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+Z = np.array([[1, 0], [0, -1]], dtype=np.complex128)
+H = np.array([[1, 1], [1, -1]], dtype=np.complex128) / np.sqrt(2.0)
+S = np.array([[1, 0], [0, 1j]], dtype=np.complex128)
+SDG = S.conj().T
+T = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=np.complex128)
+TDG = T.conj().T
+#: Square root of X (up to global phase); completes the common gate set.
+SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=np.complex128)
+
+#: Name -> matrix for the single-qubit Paulis (identity included).
+PAULIS = {"I": I2, "X": X, "Y": Y, "Z": Z}
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation about X: ``exp(-i theta X / 2)``."""
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=np.complex128)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation about Y: ``exp(-i theta Y / 2)``."""
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=np.complex128)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation about Z: ``exp(-i theta Z / 2)``."""
+    e = np.exp(-0.5j * theta)
+    return np.array([[e, 0], [0, np.conj(e)]], dtype=np.complex128)
+
+
+def rotation(pauli: str, theta: float) -> np.ndarray:
+    """Pauli rotation ``R_P(theta) = exp(-0.5 i theta P)`` for P in X, Y, Z."""
+    try:
+        return {"X": rx, "Y": ry, "Z": rz}[pauli.upper()](theta)
+    except KeyError:
+        raise ValueError(f"rotation axis must be X, Y or Z, got {pauli!r}") from None
+
+
+def phase(lam: float) -> np.ndarray:
+    """Diagonal phase gate ``diag(1, e^{i lam})``."""
+    return np.array([[1, 0], [0, np.exp(1j * lam)]], dtype=np.complex128)
+
+
+def u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    """Generic single-qubit unitary in the standard Euler parametrization."""
+    c, s = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=np.complex128,
+    )
+
+
+def controlled(u: np.ndarray, n_controls: int = 1) -> np.ndarray:
+    """Build the controlled version of unitary ``u`` with the control(s) as
+    the most significant qubits: ``|1..1><1..1| ⊗ u + rest ⊗ I``."""
+    if n_controls < 1:
+        raise ValueError("n_controls must be >= 1")
+    dim = u.shape[0]
+    total = dim * 2**n_controls
+    out = np.eye(total, dtype=np.complex128)
+    out[total - dim :, total - dim :] = u
+    return out
+
+
+CX = controlled(X)
+CY = controlled(Y)
+CZ = controlled(Z)
+SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]],
+    dtype=np.complex128,
+)
+
+
+def kron_all(*mats: np.ndarray) -> np.ndarray:
+    """Kronecker product of the given matrices, left to right."""
+    out = np.array([[1.0 + 0j]])
+    for m in mats:
+        out = np.kron(out, m)
+    return out
+
+
+def is_unitary(u: np.ndarray, atol: float = 1e-10) -> bool:
+    """Check ``U† U = I`` within tolerance."""
+    u = np.asarray(u)
+    if u.ndim != 2 or u.shape[0] != u.shape[1]:
+        return False
+    return bool(np.allclose(u.conj().T @ u, np.eye(u.shape[0]), atol=atol))

@@ -1,0 +1,327 @@
+"""Full state-vector quantum simulator.
+
+This is the quantum substrate of the QMPI prototype. The paper's C++
+prototype (§6) keeps one global state vector owned by rank 0; here the
+engine itself is single-threaded and :class:`repro.qmpi.backend.SharedBackend`
+adds the rank-0-style serialization on top.
+
+Design notes
+------------
+* The state is stored as an ndarray of shape ``(2,) * n``; qubit handles
+  are stable integer ids mapped to tensor axes, so qubits can be allocated
+  and released dynamically (``QMPI_Alloc_qmem`` / ``QMPI_Free_qmem``).
+* Gate application uses ``np.tensordot`` + ``np.moveaxis`` — vectorized,
+  no Python loop over amplitudes (per the HPC guide: avoid explicit loops,
+  operate on views).
+* Measurement uses an injectable :class:`numpy.random.Generator` so that
+  distributed runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from . import gates as G
+
+__all__ = ["StateVector", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid simulator operations (bad qubit ids, non-unitary
+    input, releasing an entangled qubit, ...)."""
+
+
+class StateVector:
+    """A dynamically sized full state-vector simulator.
+
+    Parameters
+    ----------
+    n_qubits:
+        Number of qubits to allocate immediately (ids ``0..n-1``).
+    seed:
+        Seed or :class:`numpy.random.Generator` for measurement sampling.
+
+    Examples
+    --------
+    >>> sv = StateVector(2)
+    >>> sv.h(0); sv.cnot(0, 1)
+    >>> abs(sv.amplitude([0, 0])) ** 2  # doctest: +ELLIPSIS
+    0.4999...
+    """
+
+    def __init__(self, n_qubits: int = 0, seed=None):
+        self._psi = np.array(1.0 + 0j)  # shape () scalar == zero qubits
+        self._axis_of: dict[int, int] = {}
+        self._next_id = 0
+        if isinstance(seed, np.random.Generator):
+            self.rng = seed
+        else:
+            self.rng = np.random.default_rng(seed)
+        if n_qubits:
+            self.alloc(n_qubits)
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of currently allocated qubits."""
+        return len(self._axis_of)
+
+    @property
+    def qubit_ids(self) -> tuple[int, ...]:
+        """Allocated qubit ids in axis order (allocation order)."""
+        order = sorted(self._axis_of, key=self._axis_of.__getitem__)
+        return tuple(order)
+
+    def alloc(self, n: int = 1) -> list[int]:
+        """Allocate ``n`` fresh qubits in |0> and return their ids."""
+        if n < 1:
+            raise SimulationError(f"cannot allocate {n} qubits")
+        ids = []
+        for _ in range(n):
+            qid = self._next_id
+            self._next_id += 1
+            self._axis_of[qid] = self._psi.ndim
+            pad = np.zeros((2,), dtype=np.complex128)
+            pad[0] = 1.0
+            self._psi = np.multiply.outer(self._psi, pad)
+            ids.append(qid)
+        return ids
+
+    def release(self, qubit: int) -> None:
+        """Release a qubit that is disentangled and in state |0>.
+
+        Mirrors ``QMPI_Free_qmem``: freeing a qubit that still carries
+        amplitude in |1> (or is entangled) is a program error.
+        """
+        ax = self._axis(qubit)
+        moved = np.moveaxis(self._psi, ax, 0)
+        if not np.allclose(moved[1], 0.0, atol=1e-9):
+            raise SimulationError(
+                f"qubit {qubit} is not in |0> (or is entangled); "
+                "measure/uncompute before releasing"
+            )
+        self._psi = moved[0]
+        self._drop_axis(qubit, ax)
+
+    def measure_and_release(self, qubit: int) -> int:
+        """Measure ``qubit`` in the Z basis, then remove it. Returns the bit."""
+        bit = self.measure(qubit)
+        if bit:
+            self.x(qubit)
+        self.release(qubit)
+        return bit
+
+    def _axis(self, qubit: int) -> int:
+        try:
+            return self._axis_of[qubit]
+        except KeyError:
+            raise SimulationError(f"unknown qubit id {qubit}") from None
+
+    def _drop_axis(self, qubit: int, ax: int) -> None:
+        del self._axis_of[qubit]
+        for q, a in self._axis_of.items():
+            if a > ax:
+                self._axis_of[q] = a - 1
+
+    # ------------------------------------------------------------------
+    # gate application
+    # ------------------------------------------------------------------
+    def apply(self, u: np.ndarray, *qubits: int) -> None:
+        """Apply a ``2^k x 2^k`` unitary to ``k`` qubits.
+
+        The first qubit in ``qubits`` corresponds to the most significant
+        bit of the matrix index (``U = sum |i><j|`` over k-bit ints).
+        """
+        k = len(qubits)
+        if len(set(qubits)) != k:
+            raise SimulationError(f"duplicate qubits in {qubits}")
+        u = np.asarray(u, dtype=np.complex128)
+        if u.shape != (2**k, 2**k):
+            raise SimulationError(
+                f"matrix shape {u.shape} does not match {k} qubits"
+            )
+        axes = [self._axis(q) for q in qubits]
+        ut = u.reshape((2,) * (2 * k))
+        # Contract the "column" indices of U with the state's qubit axes.
+        psi = np.tensordot(ut, self._psi, axes=(range(k, 2 * k), axes))
+        # tensordot puts the k new indices first; move them back in place.
+        self._psi = np.moveaxis(psi, range(k), axes)
+
+    def apply_controlled(
+        self, u: np.ndarray, controls: Sequence[int], targets: Sequence[int]
+    ) -> None:
+        """Apply ``u`` on ``targets`` conditioned on all ``controls`` = |1>.
+
+        Works on the |1...1> control slice in place — no ``2^k``-dim
+        controlled matrix is ever materialized.
+        """
+        controls = list(controls)
+        targets = list(targets)
+        if set(controls) & set(targets):
+            raise SimulationError("control and target qubits overlap")
+        k = len(targets)
+        u = np.asarray(u, dtype=np.complex128)
+        if u.shape != (2**k, 2**k):
+            raise SimulationError(
+                f"matrix shape {u.shape} does not match {k} targets"
+            )
+        c_axes = [self._axis(q) for q in controls]
+        view = self._psi
+        # Slice out the all-ones control subspace (a view on the state).
+        idx: list = [slice(None)] * view.ndim
+        for a in c_axes:
+            idx[a] = 1
+        sub = view[tuple(idx)]
+        # Target axes within the sliced view: axes shift down past removed
+        # control axes.
+        t_axes = []
+        for q in targets:
+            a = self._axis(q)
+            t_axes.append(a - sum(1 for c in c_axes if c < a))
+        ut = u.reshape((2,) * (2 * k))
+        new = np.tensordot(ut, sub, axes=(range(k, 2 * k), t_axes))
+        view[tuple(idx)] = np.moveaxis(new, range(k), t_axes)
+
+    # -- conveniences ---------------------------------------------------
+    def h(self, q: int) -> None:
+        self.apply(G.H, q)
+
+    def x(self, q: int) -> None:
+        self.apply(G.X, q)
+
+    def y(self, q: int) -> None:
+        self.apply(G.Y, q)
+
+    def z(self, q: int) -> None:
+        self.apply(G.Z, q)
+
+    def s(self, q: int) -> None:
+        self.apply(G.S, q)
+
+    def sdg(self, q: int) -> None:
+        self.apply(G.SDG, q)
+
+    def t(self, q: int) -> None:
+        self.apply(G.T, q)
+
+    def tdg(self, q: int) -> None:
+        self.apply(G.TDG, q)
+
+    def rx(self, q: int, theta: float) -> None:
+        self.apply(G.rx(theta), q)
+
+    def ry(self, q: int, theta: float) -> None:
+        self.apply(G.ry(theta), q)
+
+    def rz(self, q: int, theta: float) -> None:
+        self.apply(G.rz(theta), q)
+
+    def cnot(self, control: int, target: int) -> None:
+        self.apply_controlled(G.X, [control], [target])
+
+    def cz(self, control: int, target: int) -> None:
+        self.apply_controlled(G.Z, [control], [target])
+
+    def swap(self, a: int, b: int) -> None:
+        self.apply(G.SWAP, a, b)
+
+    def toffoli(self, c1: int, c2: int, target: int) -> None:
+        self.apply_controlled(G.X, [c1, c2], [target])
+
+    # ------------------------------------------------------------------
+    # measurement and inspection
+    # ------------------------------------------------------------------
+    def prob_one(self, qubit: int) -> float:
+        """Probability of measuring |1> on ``qubit`` (no collapse)."""
+        ax = self._axis(qubit)
+        moved = np.moveaxis(self._psi, ax, 0)
+        return float(np.sum(np.abs(moved[1]) ** 2))
+
+    def measure(self, qubit: int) -> int:
+        """Projective Z-basis measurement with collapse. Returns 0 or 1."""
+        p1 = self.prob_one(qubit)
+        bit = int(self.rng.random() < p1)
+        self.postselect(qubit, bit)
+        return bit
+
+    def postselect(self, qubit: int, bit: int) -> None:
+        """Project ``qubit`` onto ``|bit>`` and renormalize."""
+        ax = self._axis(qubit)
+        moved = np.moveaxis(self._psi, ax, 0)
+        moved[1 - bit] = 0.0
+        norm = np.linalg.norm(self._psi)
+        if norm < 1e-12:
+            raise SimulationError(
+                f"postselecting qubit {qubit} on {bit}: outcome has zero "
+                "probability"
+            )
+        self._psi /= norm
+
+    def measure_many(self, qubits: Iterable[int]) -> list[int]:
+        """Measure several qubits sequentially (with collapse)."""
+        return [self.measure(q) for q in qubits]
+
+    def amplitude(self, bits: Sequence[int], qubits: Sequence[int] | None = None) -> complex:
+        """Amplitude of the computational basis state given by ``bits``.
+
+        ``qubits`` defaults to all qubits in allocation order.
+        """
+        qubits = list(qubits) if qubits is not None else list(self.qubit_ids)
+        if len(bits) != len(qubits):
+            raise SimulationError("bits and qubits must have equal length")
+        if len(qubits) != self.num_qubits:
+            raise SimulationError("amplitude() requires all qubits")
+        idx = [0] * self._psi.ndim
+        for b, q in zip(bits, qubits):
+            idx[self._axis(q)] = int(b)
+        return complex(self._psi[tuple(idx)])
+
+    def statevector(self, qubits: Sequence[int] | None = None) -> np.ndarray:
+        """Dense state vector with ``qubits[0]`` as the most significant bit.
+
+        ``qubits`` must enumerate all allocated qubits; defaults to
+        allocation order.
+        """
+        qubits = list(qubits) if qubits is not None else list(self.qubit_ids)
+        if sorted(qubits) != sorted(self._axis_of):
+            raise SimulationError("statevector() requires all qubit ids exactly once")
+        axes = [self._axis(q) for q in qubits]
+        return np.moveaxis(self._psi, axes, range(len(axes))).reshape(-1).copy()
+
+    def probabilities(self, qubits: Sequence[int] | None = None) -> np.ndarray:
+        """Measurement distribution over computational basis states."""
+        vec = self.statevector(qubits)
+        return np.abs(vec) ** 2
+
+    def norm(self) -> float:
+        """Euclidean norm of the state (should always be ~1)."""
+        return float(np.linalg.norm(self._psi))
+
+    def expectation_pauli(self, mapping: dict[int, str]) -> float:
+        """Expectation value of a Pauli string ``{qubit: 'X'|'Y'|'Z'}``."""
+        tmp = self._psi.copy()
+        saved = self._psi
+        try:
+            self._psi = tmp
+            for q, p in mapping.items():
+                self.apply(G.PAULIS[p.upper()], q)
+            val = np.vdot(saved, self._psi)
+        finally:
+            self._psi = saved
+        return float(np.real(val))
+
+    def copy(self) -> "StateVector":
+        """Deep copy (shares no state, including a cloned RNG)."""
+        out = StateVector.__new__(StateVector)
+        out._psi = self._psi.copy()
+        out._axis_of = dict(self._axis_of)
+        out._next_id = self._next_id
+        out.rng = np.random.default_rng(self.rng.integers(2**63))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StateVector n={self.num_qubits} ids={self.qubit_ids}>"

@@ -1,0 +1,142 @@
+"""Gate/measurement counting for resource accounting.
+
+The QMPI resource ledger (Tables 1-3) counts EPR pairs and classical bits;
+this tracker counts the *local* quantum cost underneath: how many gates of
+each kind, how many measurements, peak qubit usage. Useful for the SENDQ
+rule of thumb that rotations dominate (§5.1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["GateCounts", "TrackedStateVector"]
+
+from .statevector import StateVector
+
+
+@dataclass
+class GateCounts:
+    """Mutable tally of simulator activity."""
+
+    gates: Counter = field(default_factory=Counter)
+    measurements: int = 0
+    allocations: int = 0
+    releases: int = 0
+    peak_qubits: int = 0
+
+    def total_gates(self) -> int:
+        return sum(self.gates.values())
+
+    def rotations(self) -> int:
+        """Count of arbitrary-angle rotations (the expensive gates in §3)."""
+        return sum(v for k, v in self.gates.items() if k in ("rx", "ry", "rz"))
+
+    def as_dict(self) -> dict:
+        return {
+            "gates": dict(self.gates),
+            "total_gates": self.total_gates(),
+            "rotations": self.rotations(),
+            "measurements": self.measurements,
+            "allocations": self.allocations,
+            "releases": self.releases,
+            "peak_qubits": self.peak_qubits,
+        }
+
+
+class TrackedStateVector(StateVector):
+    """A :class:`StateVector` that tallies every operation it performs."""
+
+    def __init__(self, n_qubits: int = 0, seed=None):
+        self.counts = GateCounts()
+        super().__init__(n_qubits=n_qubits, seed=seed)
+
+    # -- bookkeeping hooks ----------------------------------------------
+    def alloc(self, n: int = 1):
+        ids = super().alloc(n)
+        self.counts.allocations += n
+        self.counts.peak_qubits = max(self.counts.peak_qubits, self.num_qubits)
+        return ids
+
+    def release(self, qubit: int) -> None:
+        super().release(qubit)
+        self.counts.releases += 1
+
+    def measure(self, qubit: int) -> int:
+        bit = super().measure(qubit)
+        self.counts.measurements += 1
+        return bit
+
+    def apply(self, u, *qubits) -> None:
+        super().apply(u, *qubits)
+        self.counts.gates[f"u{len(qubits)}"] += 1
+
+    def apply_controlled(self, u, controls, targets) -> None:
+        super().apply_controlled(u, controls, targets)
+        self.counts.gates[f"c{len(list(controls))}u{len(list(targets))}"] += 1
+
+    # Re-tag the named gates so counts are human readable. The base class
+    # conveniences call apply()/apply_controlled(); we override to replace
+    # the generic tag with the gate name.
+    def _named(self, name: str, generic: str) -> None:
+        self.counts.gates[generic] -= 1
+        if self.counts.gates[generic] == 0:
+            del self.counts.gates[generic]
+        self.counts.gates[name] += 1
+
+    def h(self, q):
+        super().h(q)
+        self._named("h", "u1")
+
+    def x(self, q):
+        super().x(q)
+        self._named("x", "u1")
+
+    def y(self, q):
+        super().y(q)
+        self._named("y", "u1")
+
+    def z(self, q):
+        super().z(q)
+        self._named("z", "u1")
+
+    def s(self, q):
+        super().s(q)
+        self._named("s", "u1")
+
+    def sdg(self, q):
+        super().sdg(q)
+        self._named("sdg", "u1")
+
+    def t(self, q):
+        super().t(q)
+        self._named("t", "u1")
+
+    def tdg(self, q):
+        super().tdg(q)
+        self._named("tdg", "u1")
+
+    def rx(self, q, theta):
+        super().rx(q, theta)
+        self._named("rx", "u1")
+
+    def ry(self, q, theta):
+        super().ry(q, theta)
+        self._named("ry", "u1")
+
+    def rz(self, q, theta):
+        super().rz(q, theta)
+        self._named("rz", "u1")
+
+    def cnot(self, c, t):
+        super().cnot(c, t)
+        self._named("cnot", "c1u1")
+
+    def cz(self, c, t):
+        super().cz(c, t)
+        self._named("cz", "c1u1")
+
+    def toffoli(self, c1, c2, t):
+        super().toffoli(c1, c2, t)
+        self._named("toffoli", "c2u1")

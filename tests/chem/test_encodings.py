@@ -1,0 +1,126 @@
+"""JW and BK transform correctness (CAR, isospectrality, string counts)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.bravyi_kitaev import FenwickTree, bk_majoranas, bk_sets, bravyi_kitaev
+from repro.chem.fermion import FermionOperator as F
+from repro.chem.jordan_wigner import jordan_wigner
+
+
+def _car_holds(transform, n):
+    I = np.eye(2**n)
+    a = [transform(F.annihilation(j), n).to_matrix(n) for j in range(n)]
+    ad = [transform(F.creation(j), n).to_matrix(n) for j in range(n)]
+    for i in range(n):
+        for j in range(n):
+            anti = a[i] @ ad[j] + ad[j] @ a[i]
+            assert np.allclose(anti, I if i == j else 0 * I, atol=1e-10)
+            assert np.allclose(a[i] @ a[j] + a[j] @ a[i], 0 * I, atol=1e-10)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4])
+def test_jw_car(n):
+    _car_holds(lambda op, nn: jordan_wigner(op), n)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+def test_bk_car(n):
+    _car_holds(bravyi_kitaev, n)
+
+
+def test_bk_majorana_anticommutation():
+    n = 5
+    gammas = []
+    for j in range(n):
+        c, d = bk_majoranas(j, n)
+        gammas += [c.to_matrix(n), d.to_matrix(n)]
+    for a in range(2 * n):
+        for b in range(a, 2 * n):
+            anti = gammas[a] @ gammas[b] + gammas[b] @ gammas[a]
+            expect = 2 * np.eye(2**n) if a == b else np.zeros((2**n,) * 2)
+            assert np.allclose(anti, expect, atol=1e-10)
+
+
+def test_jw_bk_isospectral_random_hamiltonian(rng):
+    n = 4
+    ham = F.zero()
+    for p in range(n):
+        for q in range(n):
+            c = rng.normal()
+            ham = ham + F.term([(p, 1), (q, 0)], c) + F.term([(q, 1), (p, 0)], c)
+    for _ in range(5):
+        p, q, r, s = rng.integers(0, n, 4)
+        if p == q or r == s:
+            continue
+        c = rng.normal()
+        ham = ham + F.term([(p, 1), (q, 1), (r, 0), (s, 0)], c)
+        ham = ham + F.term([(s, 1), (r, 1), (q, 0), (p, 0)], c)
+    jw = jordan_wigner(ham).to_matrix(n)
+    bk = bravyi_kitaev(ham, n).to_matrix(n)
+    assert np.allclose(jw, jw.conj().T, atol=1e-9)
+    assert np.allclose(
+        np.sort(np.linalg.eigvalsh(jw)), np.sort(np.linalg.eigvalsh(bk)), atol=1e-8
+    )
+
+
+def test_string_counts():
+    hop = F.term([(0, 1), (2, 0)]) + F.term([(2, 1), (0, 0)])
+    assert jordan_wigner(hop).n_terms() == 2
+    assert bravyi_kitaev(hop, 4).n_terms() == 2
+    number = F.term([(1, 1), (1, 0)])
+    assert jordan_wigner(number).n_terms() == 2  # identity + Z
+    body2 = F.term([(0, 1), (1, 1), (2, 0), (3, 0)]) + F.term(
+        [(3, 1), (2, 1), (1, 0), (0, 0)]
+    )
+    assert jordan_wigner(body2).n_terms() == 8
+    assert bravyi_kitaev(body2, 4).n_terms() == 8
+
+
+def test_jw_locality_vs_bk_locality():
+    # JW hopping between distant modes touches everything in between;
+    # BK touches O(log n).
+    n = 16
+    hop = F.term([(0, 1), (n - 1, 0)]) + F.term([(n - 1, 1), (0, 0)])
+    jw_w = max(jordan_wigner(hop).support_weights())
+    bk_w = max(bravyi_kitaev(hop, n).support_weights())
+    assert jw_w == n
+    assert bk_w <= 2 * int(np.ceil(np.log2(n))) + 2
+    assert bk_w < jw_w
+
+
+def test_fenwick_tree_structure():
+    t = FenwickTree(4)
+    assert t.parent[3] == -1  # root
+    assert t.parent[1] == 3 and t.parent[0] == 1 and t.parent[2] == 3
+    assert sorted(t.children[3]) == [1, 2]
+    U, Fl, P, R = bk_sets(2, 4)
+    assert U == [3]
+    assert Fl == []
+    assert P == [1]
+    assert R == [1]
+    U, Fl, P, R = bk_sets(3, 4)
+    assert U == []
+    assert sorted(Fl) == [1, 2]
+    assert sorted(P) == [1, 2]
+    assert R == []
+
+
+def test_parity_sets_cover_prefix_exactly():
+    # subtree(c) unions over P(j) must equal {0..j-1} disjointly
+    for n in (3, 4, 7, 8, 13):
+        t = FenwickTree(n)
+
+        def subtree(v):
+            out = {v}
+            for c in t.children[v]:
+                out |= subtree(c)
+            return out
+
+        for j in range(n):
+            cover = set()
+            for node in t.parity_set(j):
+                s = subtree(node)
+                assert not (cover & s), "parity subtrees must be disjoint"
+                cover |= s
+            assert cover == set(range(j)), (n, j, cover)

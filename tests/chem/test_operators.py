@@ -1,0 +1,96 @@
+"""Pauli/fermion operator algebra property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chem.fermion import FermionOperator as F
+from repro.chem.qubit_operator import QubitOperator as Q
+from repro.chem.qubit_operator import pauli_label, string_weight
+
+def make_label(toks):
+    seen = {}
+    for p, i in toks:
+        seen[i] = p
+    return " ".join(f"{p}{i}" for i, p in sorted(seen.items()))
+
+
+simple_ops = st.builds(
+    lambda toks, c: Q.from_label(make_label(toks), complex(c)),
+    st.lists(st.tuples(st.sampled_from("XYZ"), st.integers(0, 3)), max_size=3),
+    st.floats(-2, 2, allow_nan=False),
+)
+
+
+@given(simple_ops, simple_ops)
+def test_multiplication_matches_dense(a, b):
+    n = 4
+    left = (a * b).to_matrix(n)
+    right = a.to_matrix(n) @ b.to_matrix(n)
+    assert np.allclose(left, right, atol=1e-10)
+
+
+@given(simple_ops, simple_ops, simple_ops)
+def test_associativity(a, b, c):
+    n = 4
+    m1 = ((a * b) * c).to_matrix(n)
+    m2 = (a * (b * c)).to_matrix(n)
+    assert np.allclose(m1, m2, atol=1e-10)
+
+
+def test_pauli_phases():
+    X0, Y0, Z0 = Q.from_label("X0"), Q.from_label("Y0"), Q.from_label("Z0")
+    assert np.allclose((X0 * Y0).to_matrix(1), 1j * Z0.to_matrix(1))
+    assert np.allclose((Y0 * X0).to_matrix(1), -1j * Z0.to_matrix(1))
+    assert np.allclose((X0 * X0).to_matrix(1), np.eye(2))
+    # Hermitian strings have real coefficients in our convention
+    yz = Q.from_label("Y0 Z1", 2.5)
+    assert yz.is_hermitian()
+
+
+def test_addition_and_simplify():
+    a = Q.from_label("X0") + Q.from_label("X0")
+    assert a.n_terms() == 1
+    b = Q.from_label("X0") - Q.from_label("X0")
+    assert b.simplify().n_terms() == 0
+    c = Q.from_label("Z0", 1.0) + 2.0
+    assert c.constant() == 2.0
+
+
+def test_label_roundtrip():
+    q = Q.from_label("X0 Y2 Z5")
+    ((x, z),) = q.terms.keys()
+    assert pauli_label(x, z) == "X0 Y2 Z5"
+    assert string_weight(x, z) == 3
+
+
+def test_support_weights():
+    op = Q.from_label("X0 X1") + Q.from_label("Z3") + Q.identity(5.0)
+    assert sorted(op.support_weights()) == [1, 2]
+
+
+def test_bad_label():
+    with pytest.raises(ValueError):
+        Q.from_label("Q7")
+
+
+def test_to_matrix_range_check():
+    with pytest.raises(ValueError):
+        Q.from_label("X5").to_matrix(2)
+
+
+def test_fermion_algebra_basics():
+    a0 = F.annihilation(0)
+    c0 = F.creation(0)
+    prod = c0 * a0  # number operator
+    assert list(prod.terms) == [((0, 1), (0, 0))]
+    s = a0 + a0
+    assert s.terms[((0, 0),)] == 2.0
+    assert (a0 * 2.0).terms[((0, 0),)] == 2.0
+    assert (2.0 * a0).terms[((0, 0),)] == 2.0
+    hc = F.term([(1, 1), (0, 0)], 1j).hermitian_conjugate()
+    assert ((0, 1), (1, 0)) in hc.terms
+    assert F.zero().simplify().terms == {}
+    assert F.term([(3, 0)]).n_modes() == 4
+    with pytest.raises(ValueError):
+        F.term([(0, 2)])

@@ -1,0 +1,157 @@
+"""Mask fast path vs symbolic transform; Fig. 5 histograms; Fig. 7 costs."""
+
+import numpy as np
+import pytest
+
+from repro.chem import (
+    MajoranaMasks,
+    block_placement,
+    build_hamiltonian,
+    epr_sweep,
+    h2,
+    hydrogen_ring,
+    nodes_touched,
+    round_robin_placement,
+    run_rhf,
+    support_histogram,
+    trotter_step_epr,
+)
+from repro.chem.bravyi_kitaev import bravyi_kitaev
+from repro.chem.fermion import FermionOperator as F
+from repro.chem.jordan_wigner import jordan_wigner
+from repro.chem.majorana_masks import EVEN_D_PATTERNS
+
+
+@pytest.fixture(scope="module")
+def h4_ham():
+    return build_hamiltonian(run_rhf(hydrogen_ring(4, 1.8)))
+
+
+@pytest.mark.parametrize("enc", ["jw", "bk"])
+def test_quad_supports_match_symbolic(enc, rng):
+    n = 8
+    mm = MajoranaMasks(n, enc)
+    transform = (lambda op, nn: jordan_wigner(op)) if enc == "jw" else bravyi_kitaev
+    for _ in range(15):
+        p, r, s, q = rng.choice(n, 4, replace=False)
+        op = F.term([(p, 1), (r, 1), (s, 0), (q, 0)]) + F.term(
+            [(q, 1), (s, 1), (r, 0), (p, 0)]
+        )
+        sym = sorted(
+            (x | z) for (x, z), v in transform(op, n).simplify(1e-12).terms.items()
+        )
+        fast = sorted(
+            int(
+                mm.quad_support(
+                    pat, np.array([p]), np.array([r]), np.array([s]), np.array([q])
+                )[0]
+            )
+            for pat in EVEN_D_PATTERNS
+        )
+        assert sym == fast
+
+
+@pytest.mark.parametrize("enc", ["jw", "bk"])
+def test_shared_mode_supports_match_symbolic(enc, rng):
+    n = 8
+    mm = MajoranaMasks(n, enc)
+    transform = (lambda op, nn: jordan_wigner(op)) if enc == "jw" else bravyi_kitaev
+    for _ in range(15):
+        m_, u, v = rng.choice(n, 3, replace=False)
+        op = F.term([(m_, 1), (u, 1), (m_, 0), (v, 0)]) + F.term(
+            [(v, 1), (m_, 1), (u, 0), (m_, 0)]
+        )
+        sym = sorted(
+            (x | z)
+            for (x, z), c in transform(op, n).simplify(1e-12).terms.items()
+            if (x | z)
+        )
+        ma, ua, va = (np.array([t]) for t in (m_, u, v))
+        zx, zz = mm.number_xz(ma)
+        fast = []
+        for a, b in ((ua, va), (va, ua)):
+            x, z = mm.pair_xz(0, a, 1, b)
+            fast += [int((x | z)[0]), int(((x ^ zx) | (z ^ zz))[0])]
+        assert sym == sorted(fast)
+
+
+def test_hopping_supports_match_symbolic():
+    n = 10
+    for enc in ("jw", "bk"):
+        mm = MajoranaMasks(n, enc)
+        transform = (lambda op, nn: jordan_wigner(op)) if enc == "jw" else bravyi_kitaev
+        for p, q in ((0, 5), (2, 9), (3, 4)):
+            op = F.term([(p, 1), (q, 0)]) + F.term([(q, 1), (p, 0)])
+            sym = sorted((x | z) for (x, z), v in transform(op, n).simplify().terms.items())
+            fast = sorted(
+                [
+                    int(mm.pair_support(0, np.array([p]), 1, np.array([q]))[0]),
+                    int(mm.pair_support(0, np.array([q]), 1, np.array([p]))[0]),
+                ]
+            )
+            assert sym == fast
+
+
+def test_masks_validate_inputs():
+    with pytest.raises(ValueError):
+        MajoranaMasks(65, "jw")
+    with pytest.raises(ValueError):
+        MajoranaMasks(4, "xyz")
+
+
+def test_h2_histograms():
+    ham = build_hamiltonian(run_rhf(h2(1.4)))
+    for enc in ("jw", "bk"):
+        counts = support_histogram(ham, enc)
+        assert counts.sum() > 0
+        assert counts[0] == 0  # identities excluded
+
+
+def test_fig5_shape_jw_heavy_tail_bk_concentrated(h4_ham):
+    jw = support_histogram(h4_ham, "jw")
+    bk = support_histogram(h4_ham, "bk")
+    assert jw.sum() == bk.sum()  # same term-count convention
+    n_so = h4_ham.n_spin_orbitals
+    jw_max = max(i for i, c in enumerate(jw) if c)
+    bk_max = max(i for i, c in enumerate(bk) if c)
+    assert jw_max == n_so  # JW strings reach the full register
+    assert bk_max < n_so  # BK stays strictly narrower
+    # mean weight comparison is the figure's visual message at scale
+    mean = lambda h: sum(i * c for i, c in enumerate(h)) / h.sum()
+    assert mean(jw) > 0 and mean(bk) > 0
+
+
+def test_fig7_invariants(h4_ham):
+    res = epr_sweep(
+        h4_ham, node_counts=(1, 2, 4, 8), encodings=("bk", "jw"), methods=("inplace", "constdepth")
+    )
+    by = {(r.encoding, r.method, r.n_nodes): r.epr_pairs for r in res}
+    for enc in ("bk", "jw"):
+        assert by[(enc, "inplace", 1)] == 0
+        assert by[(enc, "constdepth", 1)] == 0
+        for n in (2, 4, 8):
+            # const-depth = exactly half of in-place (2(m-1) vs m-1 per term)
+            assert by[(enc, "inplace", n)] == 2 * by[(enc, "constdepth", n)]
+        # more nodes -> more (or equal) communication
+        assert by[(enc, "inplace", 2)] <= by[(enc, "inplace", 4)] <= by[(enc, "inplace", 8)]
+
+
+def test_placements():
+    bp = block_placement(8, 4)
+    assert bp[0] == 0b11 and bp[3] == 0b11000000
+    rr = round_robin_placement(8, 4)
+    assert rr[0] == 0b00010001
+    with pytest.raises(ValueError):
+        block_placement(10, 4)
+    sup = np.array([0b11, 0b10000001], dtype=np.uint64)
+    assert nodes_touched(sup, bp).tolist() == [1, 2]
+    assert nodes_touched(sup, rr).tolist() == [2, 2]
+
+
+def test_trotter_step_epr_validates(h4_ham):
+    with pytest.raises(ValueError):
+        trotter_step_epr(h4_ham, "jw", 2, "bogus")
+    with pytest.raises(ValueError):
+        trotter_step_epr(h4_ham, "jw", 2, "inplace", placement="bogus")
+    r = trotter_step_epr(h4_ham, "jw", 2, "inplace", placement="round_robin")
+    assert r.epr_pairs > 0 and r.n_strings > 0

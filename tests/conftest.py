@@ -1,0 +1,20 @@
+"""Shared pytest fixtures and hypothesis settings."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Keep property tests snappy across the whole suite; individual modules can
+# override with @settings.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,254 @@
+"""Tables 1-3: measured ledger resources must equal the paper's numbers."""
+
+import pytest
+
+from repro.qmpi import PARITY, qmpi_run
+from repro.sendq.analysis import table1
+
+
+def _snap(world):
+    s = world.ledger.snapshot()
+    return s.epr_pairs, s.classical_bits
+
+
+# ----------------------------------------------------------------------
+# Table 1: copy / move / reduce / scan and inverses, per qubit, N nodes
+# ----------------------------------------------------------------------
+def test_table1_copy_and_uncopy():
+    def prog(qc):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(1)
+            qc.h(q[0])
+            qc.send(q, 1)
+        else:
+            t = qc.alloc_qmem(1)
+            qc.recv(t, 0)
+        qc.barrier()
+        return True
+
+    w = qmpi_run(2, prog, seed=0)
+    ref = table1(2)
+    assert _snap(w) == (ref["copy"]["epr"], ref["copy"]["cbits"])
+
+    def prog_inv(qc):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(1)
+            qc.h(q[0])
+            qc.send(q, 1)
+            qc.unsend(q, 1)
+        else:
+            t = qc.alloc_qmem(1)
+            qc.recv(t, 0)
+            qc.unrecv(t, 0)
+        qc.barrier()
+        return True
+
+    w = qmpi_run(2, prog_inv, seed=0)
+    total_epr = table1(2)["copy"]["epr"] + table1(2)["uncopy"]["epr"]
+    total_bits = table1(2)["copy"]["cbits"] + table1(2)["uncopy"]["cbits"]
+    assert _snap(w) == (total_epr, total_bits)
+
+
+def test_table1_move_and_unmove():
+    def prog(qc):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(1)
+            qc.h(q[0])
+            qc.send_move(q, 1)
+            qc.unsend_move(1, 1)
+        else:
+            t = qc.alloc_qmem(1)
+            qc.recv_move(t, 0)
+            qc.unrecv_move(t, 0)
+        qc.barrier()
+        return True
+
+    w = qmpi_run(2, prog, seed=0)
+    ref = table1(2)
+    assert _snap(w) == (
+        ref["move"]["epr"] + ref["unmove"]["epr"],
+        ref["move"]["cbits"] + ref["unmove"]["cbits"],
+    )
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5])
+def test_table1_reduce_unreduce(n):
+    def prog(qc):
+        q = qc.alloc_qmem(1)
+        if qc.rank % 2:
+            qc.x(q[0])
+        out, h = qc.reduce(q, op=PARITY, root=0)
+        qc.unreduce(h)
+        return True
+
+    w = qmpi_run(n, prog, seed=0, timeout=60)
+    ref = table1(n)
+    assert _snap(w) == (
+        ref["reduce"]["epr"] + ref["unreduce"]["epr"],
+        ref["reduce"]["cbits"] + ref["unreduce"]["cbits"],
+    )
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5])
+def test_table1_scan_unscan(n):
+    def prog(qc):
+        q = qc.alloc_qmem(1)
+        if qc.rank % 2:
+            qc.x(q[0])
+        out, h = qc.scan(q, op=PARITY)
+        qc.unscan(h)
+        return True
+
+    w = qmpi_run(n, prog, seed=0, timeout=60)
+    ref = table1(n)
+    assert _snap(w) == (
+        ref["scan"]["epr"] + ref["unscan"]["epr"],
+        ref["scan"]["cbits"] + ref["unscan"]["cbits"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 2: every p2p op costs its resource class (copy or move)
+# ----------------------------------------------------------------------
+def test_table2_send_variants_cost_copy():
+    def prog(qc, variant):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(1)
+            getattr(qc, variant)(q, 1)
+        else:
+            t = qc.alloc_qmem(1)
+            qc.recv(t, 0)
+        qc.barrier()
+        return True
+
+    for variant in ("send", "bsend", "ssend", "rsend"):
+        w = qmpi_run(2, prog, args=(variant,), seed=0)
+        assert _snap(w) == (1, 1), variant
+
+
+def test_table2_sendrecv_costs_two_copies():
+    def prog(qc):
+        sq = qc.alloc_qmem(1)
+        rq = qc.alloc_qmem(1)
+        qc.sendrecv(sq, 1 - qc.rank, rq, 1 - qc.rank)
+        qc.barrier()
+        return True
+
+    w = qmpi_run(2, prog, seed=0)
+    assert _snap(w) == (2, 2)
+
+
+def test_table2_sendrecv_replace_costs_two_moves():
+    def prog(qc):
+        q = qc.alloc_qmem(1)
+        qc.sendrecv_replace(q, 1 - qc.rank, 1 - qc.rank)
+        qc.barrier()
+        return True
+
+    w = qmpi_run(2, prog, seed=0)
+    assert _snap(w) == (2, 4)
+
+
+# ----------------------------------------------------------------------
+# Table 3: collectives cost their resource classes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_table3_bcast_costs_n_minus_1_copies(n):
+    def prog(qc):
+        q = qc.alloc_qmem(1)
+        qc.bcast(q, root=0)
+        qc.barrier()
+        return True
+
+    w = qmpi_run(n, prog, seed=0)
+    assert _snap(w) == (n - 1, n - 1)
+
+
+def test_table3_gather_scatter_copy_class():
+    n = 3
+
+    def prog_gather(qc):
+        q = qc.alloc_qmem(1)
+        qc.gather(q, root=0)
+        qc.barrier()
+        return True
+
+    w = qmpi_run(n, prog_gather, seed=0)
+    assert _snap(w) == (n - 1, n - 1)
+
+    def prog_scatter(qc):
+        if qc.rank == 0:
+            reg = qc.alloc_qmem(n)
+            qc.scatter(reg, None, root=0)
+        else:
+            t = qc.alloc_qmem(1)
+            qc.scatter(None, t, root=0)
+        qc.barrier()
+        return True
+
+    w = qmpi_run(n, prog_scatter, seed=0)
+    assert _snap(w) == (n - 1, n - 1)
+
+
+def test_table3_gather_move_class():
+    n = 3
+
+    def prog(qc):
+        q = qc.alloc_qmem(1)
+        qc.gather_move(q, root=0)
+        qc.barrier()
+        return True
+
+    w = qmpi_run(n, prog, seed=0)
+    assert _snap(w) == (n - 1, 2 * (n - 1))  # move: 1 EPR + 2 bits per qubit
+
+
+def test_table3_allreduce_is_reduce_plus_copy():
+    n = 3
+
+    def prog(qc):
+        q = qc.alloc_qmem(1)
+        qc.allreduce(q, op=PARITY)
+        qc.barrier()
+        return True
+
+    w = qmpi_run(n, prog, seed=0, timeout=60)
+    epr, bits = _snap(w)
+    assert epr == (n - 1) + (n - 1)  # reduce + bcast of the result
+    assert bits == (n - 1) + (n - 1)
+
+
+def test_table3_allgather_copy_class():
+    n = 3
+
+    def prog(qc):
+        q = qc.alloc_qmem(1)
+        qc.allgather(q)
+        qc.barrier()
+        return True
+
+    w = qmpi_run(n, prog, seed=0, timeout=90)
+    epr, _ = _snap(w)
+    assert epr == n * (n - 1)  # one bcast per source
+
+
+def test_table3_alltoall_copy_vs_move():
+    n = 3
+
+    def prog(qc, move):
+        q = qc.alloc_qmem(n)
+        if move:
+            qc.alltoall_move(q)
+        else:
+            qc.alltoall(q)
+        qc.barrier()
+        return True
+
+    w = qmpi_run(n, prog, args=(False,), seed=0, timeout=90)
+    epr_c, bits_c = _snap(w)
+    assert epr_c == n * (n - 1)
+    assert bits_c == n * (n - 1)
+    w = qmpi_run(n, prog, args=(True,), seed=0, timeout=90)
+    epr_m, bits_m = _snap(w)
+    assert epr_m == n * (n - 1)
+    assert bits_m == 2 * n * (n - 1)  # move: 2 bits per transferred qubit

@@ -1,0 +1,125 @@
+"""Collective operations across rank counts, incl. non-commutative ops."""
+
+import math
+
+import pytest
+
+from repro.mpi import reduce_ops, run_spmd
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8])
+def test_bcast_all_roots(n):
+    def prog(comm):
+        out = []
+        for root in range(comm.size):
+            val = comm.bcast(f"msg{root}" if comm.rank == root else None, root=root)
+            out.append(val)
+        return out
+
+    res = run_spmd(n, prog, timeout=30)
+    for per_rank in res:
+        assert per_rank == [f"msg{r}" for r in range(n)]
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5])
+def test_gather_scatter(n):
+    def prog(comm):
+        g = comm.gather(comm.rank**2, root=0)
+        if comm.rank == 0:
+            assert g == [i**2 for i in range(comm.size)]
+        else:
+            assert g is None
+        s = comm.scatter([i + 100 for i in range(comm.size)] if comm.rank == 0 else None)
+        return s
+
+    assert run_spmd(n, prog, timeout=30) == [i + 100 for i in range(n)]
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 6])
+def test_allgather_alltoall(n):
+    def prog(comm):
+        ag = comm.allgather(comm.rank)
+        assert ag == list(range(comm.size))
+        a2a = comm.alltoall([f"{comm.rank}->{j}" for j in range(comm.size)])
+        assert a2a == [f"{i}->{comm.rank}" for i in range(comm.size)]
+        return True
+
+    assert all(run_spmd(n, prog, timeout=30))
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 8])
+def test_reduce_allreduce(n):
+    def prog(comm):
+        total = comm.reduce(comm.rank, reduce_ops.SUM, root=n - 1)
+        if comm.rank == n - 1:
+            assert total == n * (n - 1) // 2
+        prod = comm.allreduce(comm.rank + 1, reduce_ops.PROD)
+        assert prod == math.factorial(n)
+        mx = comm.allreduce(comm.rank, reduce_ops.MAX)
+        assert mx == n - 1
+        mn = comm.allreduce(comm.rank, reduce_ops.MIN)
+        assert mn == 0
+        bx = comm.allreduce(1 << comm.rank, reduce_ops.BOR)
+        assert bx == (1 << n) - 1
+        return True
+
+    assert all(run_spmd(n, prog, timeout=30))
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 7, 8])
+def test_scan_exscan(n):
+    def prog(comm):
+        r = comm.rank
+        assert comm.scan(r, reduce_ops.SUM) == r * (r + 1) // 2
+        ex = comm.exscan(r, reduce_ops.SUM)
+        if r == 0:
+            assert ex is None
+        else:
+            assert ex == (r - 1) * r // 2
+        return True
+
+    assert all(run_spmd(n, prog, timeout=30))
+
+
+def test_reduce_and_scan_are_rank_ordered():
+    # string concatenation is associative but non-commutative
+    def prog(comm):
+        cat = comm.reduce(str(comm.rank), lambda a, b: a + b, root=0)
+        if comm.rank == 0:
+            assert cat == "0123456"
+        s = comm.scan(str(comm.rank), lambda a, b: a + b)
+        assert s == "".join(map(str, range(comm.rank + 1)))
+        return True
+
+    assert all(run_spmd(7, prog, timeout=30))
+
+
+def test_reduce_scatter():
+    def prog(comm):
+        n = comm.size
+        return comm.reduce_scatter([j + comm.rank for j in range(n)], reduce_ops.SUM)
+
+    n = 4
+    out = run_spmd(n, prog, timeout=30)
+    assert out == [n * r + n * (n - 1) // 2 for r in range(n)]
+
+
+def test_barrier_many_rounds():
+    def prog(comm):
+        for _ in range(5):
+            comm.barrier()
+        return True
+
+    assert all(run_spmd(6, prog, timeout=30))
+
+
+def test_numpy_payload_reduce():
+    import numpy as np
+
+    def prog(comm):
+        arr = np.full(4, comm.rank, dtype=float)
+        out = comm.allreduce(arr, reduce_ops.SUM)
+        return out.tolist()
+
+    res = run_spmd(3, prog, timeout=30)
+    assert res[0] == [3.0, 3.0, 3.0, 3.0]

@@ -1,0 +1,113 @@
+"""Point-to-point semantics of the classical MPI substrate."""
+
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, MpiError, Status, run_spmd
+
+
+def test_ring_send_recv():
+    def prog(comm):
+        r, n = comm.rank, comm.size
+        comm.send(f"hello-{r}", (r + 1) % n, tag=3)
+        return comm.recv(source=(r - 1) % n, tag=3)
+
+    out = run_spmd(4, prog, timeout=20)
+    assert out == [f"hello-{(r - 1) % 4}" for r in range(4)]
+
+
+def test_tag_matching_out_of_order():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send("a", 1, tag=1)
+            comm.send("b", 1, tag=2)
+            return None
+        # receive tag 2 first although tag 1 arrived first
+        b = comm.recv(source=0, tag=2)
+        a = comm.recv(source=0, tag=1)
+        return (a, b)
+
+    out = run_spmd(2, prog, timeout=20)
+    assert out[1] == ("a", "b")
+
+
+def test_non_overtaking_same_tag():
+    def prog(comm):
+        if comm.rank == 0:
+            for i in range(10):
+                comm.send(i, 1, tag=5)
+            return None
+        return [comm.recv(source=0, tag=5) for _ in range(10)]
+
+    out = run_spmd(2, prog, timeout=20)
+    assert out[1] == list(range(10))
+
+
+def test_any_source_any_tag_with_status():
+    def prog(comm):
+        if comm.rank == 0:
+            got = []
+            for _ in range(2):
+                st = Status()
+                val = comm.recv(source=ANY_SOURCE, tag=ANY_TAG, status=st)
+                got.append((val, st.Get_source(), st.Get_tag()))
+            return sorted(got)
+        comm.send(comm.rank * 10, 0, tag=comm.rank)
+        return None
+
+    out = run_spmd(3, prog, timeout=20)
+    assert out[0] == [(10, 1, 1), (20, 2, 2)]
+
+
+def test_sendrecv_exchange():
+    def prog(comm):
+        n = comm.size
+        return comm.sendrecv(comm.rank, (comm.rank + 1) % n, 0, (comm.rank - 1) % n, 0)
+
+    out = run_spmd(5, prog, timeout=20)
+    assert out == [(r - 1) % 5 for r in range(5)]
+
+
+def test_probe_and_iprobe():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send("x", 1, tag=9)
+            return None
+        st = comm.probe(source=0, tag=9)
+        assert st.source == 0 and st.tag == 9
+        assert comm.iprobe(source=0, tag=9)
+        val = comm.recv(source=0, tag=9)
+        assert not comm.iprobe(source=0, tag=9)
+        return val
+
+    out = run_spmd(2, prog, timeout=20)
+    assert out[1] == "x"
+
+
+def test_negative_user_tag_rejected():
+    def prog(comm):
+        with pytest.raises(MpiError):
+            comm.send(1, 0, tag=-5)
+        return True
+
+    assert run_spmd(1, prog, timeout=20) == [True]
+
+
+def test_invalid_destination():
+    def prog(comm):
+        with pytest.raises(MpiError):
+            comm.send(1, 99)
+        return True
+
+    assert run_spmd(2, prog, timeout=20) == [True, True]
+
+
+def test_object_payloads_pass_by_reference():
+    # In-process MPI passes references (documented behaviour).
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send({"k": [1, 2]}, 1)
+            return None
+        return comm.recv(source=0)
+
+    out = run_spmd(2, prog, timeout=20)
+    assert out[1] == {"k": [1, 2]}

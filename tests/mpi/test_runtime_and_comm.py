@@ -1,0 +1,123 @@
+"""SPMD runtime (failure/deadlock handling) and communicator management."""
+
+import pytest
+
+from repro.mpi import DeadlockError, RankFailure, reduce_ops, run_spmd
+
+
+def test_return_values_in_rank_order():
+    assert run_spmd(5, lambda comm: comm.rank * 2, timeout=20) == [0, 2, 4, 6, 8]
+
+
+def test_exception_propagates_as_rank_failure():
+    def prog(comm):
+        if comm.rank == 2:
+            raise ValueError("boom on 2")
+        comm.barrier()  # others block until abort
+        return True
+
+    with pytest.raises(RankFailure) as ei:
+        run_spmd(4, prog, timeout=20)
+    assert 2 in ei.value.failures
+    assert isinstance(ei.value.failures[2], ValueError)
+
+
+def test_deadlock_watchdog():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.recv(source=1, tag=0)  # never sent
+        return True
+
+    with pytest.raises(DeadlockError):
+        run_spmd(2, prog, timeout=1.0)
+
+
+def test_split_isolates_traffic():
+    def prog(comm):
+        sub = comm.split(color=comm.rank % 2)
+        # Messages in the sub-communicator never leak into the parent.
+        sub.send(comm.rank, (sub.rank + 1) % sub.size, tag=4)
+        got = sub.recv(tag=4)
+        assert got % 2 == comm.rank % 2
+        assert not comm.iprobe()
+        return (sub.rank, sub.size)
+
+    out = run_spmd(4, prog, timeout=20)
+    assert out == [(0, 2), (0, 2), (1, 2), (1, 2)]
+
+
+def test_split_with_undefined_color():
+    def prog(comm):
+        sub = comm.split(color=None if comm.rank == 0 else 7)
+        if comm.rank == 0:
+            assert sub is None
+            return -1
+        return sub.allgather(comm.rank)
+
+    out = run_spmd(3, prog, timeout=20)
+    assert out[0] == -1
+    assert out[1] == out[2] == [1, 2]
+
+
+def test_split_key_ordering():
+    def prog(comm):
+        sub = comm.split(color=0, key=-comm.rank)  # reversed order
+        return sub.allgather(comm.rank)
+
+    out = run_spmd(4, prog, timeout=20)
+    assert out[0] == [3, 2, 1, 0]
+
+
+def test_dup_has_fresh_context():
+    def prog(comm):
+        d = comm.dup()
+        assert d.context != comm.context
+        assert (d.rank, d.size) == (comm.rank, comm.size)
+        d.send("x", d.rank, tag=0) if False else None
+        # traffic isolation
+        comm.send("parent", (comm.rank + 1) % comm.size, tag=8)
+        assert not d.iprobe()
+        got = comm.recv(tag=8)
+        return got
+
+    out = run_spmd(3, prog, timeout=20)
+    assert out == ["parent"] * 3
+
+
+def test_nonblocking_requests():
+    from repro.mpi import waitall
+
+    def prog(comm):
+        n = comm.size
+        reqs = [comm.irecv(source=(comm.rank + 1) % n, tag=2)]
+        reqs.append(comm.isend(comm.rank, (comm.rank - 1) % n, tag=2))
+        vals = waitall(reqs)
+        return vals[0]
+
+    out = run_spmd(4, prog, timeout=20)
+    assert out == [(r + 1) % 4 for r in range(4)]
+
+
+def test_request_test_nonblocking():
+    def prog(comm):
+        if comm.rank == 0:
+            req = comm.irecv(source=1, tag=6)
+            done, _ = req.test()
+            # may or may not have arrived yet; eventually completes
+            val = req.wait()
+            return val
+        comm.send(99, 0, tag=6)
+        return None
+
+    assert run_spmd(2, prog, timeout=20)[0] == 99
+
+
+def test_single_rank_world():
+    def prog(comm):
+        assert comm.size == 1 and comm.rank == 0
+        assert comm.allreduce(5, reduce_ops.SUM) == 5
+        assert comm.bcast("z", 0) == "z"
+        comm.barrier()
+        return True
+
+    assert run_spmd(1, prog, timeout=20) == [True]

@@ -1,0 +1,81 @@
+"""Shared backend: rank-0 semantics, ownership, locality enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.qmpi import LocalityError, SharedBackend
+from repro.sim import SimulationError
+
+
+def test_alloc_and_ownership():
+    be = SharedBackend(seed=0)
+    a = be.alloc(0, 2)
+    b = be.alloc(1, 1)
+    assert [be.owner(q) for q in a] == [0, 0]
+    assert be.owner(b[0]) == 1
+    assert list(be.owned_by(0)) == list(a)
+
+
+def test_locality_enforced():
+    be = SharedBackend(seed=0)
+    (qa,) = be.alloc(0, 1)
+    (qb,) = be.alloc(1, 1)
+    with pytest.raises(LocalityError):
+        be.h(1, qa)
+    with pytest.raises(LocalityError):
+        be.cnot(0, qa, qb)  # cross-node gate must use QMPI protocols
+    with pytest.raises(LocalityError):
+        be.measure(1, qa)
+
+
+def test_locality_can_be_disabled_for_whitebox_tests():
+    be = SharedBackend(seed=0, enforce_locality=False)
+    (qa,) = be.alloc(0, 1)
+    be.h(1, qa)  # no error
+
+
+def test_ownership_transfer():
+    be = SharedBackend(seed=0)
+    (q,) = be.alloc(0, 1)
+    be.transfer(q, 3)
+    assert be.owner(q) == 3
+    with pytest.raises(LocalityError):
+        be.x(0, q)
+    be.x(3, q)
+    assert be.measure(3, q) == 1
+
+
+def test_free_checks_state_and_owner():
+    be = SharedBackend(seed=0)
+    (q,) = be.alloc(0, 1)
+    be.x(0, q)
+    with pytest.raises(SimulationError):
+        be.free(0, q)  # not |0>
+    be.x(0, q)
+    with pytest.raises(LocalityError):
+        be.free(1, q)
+    be.free(0, q)
+    assert be.num_qubits == 0
+
+
+def test_entangle_pair_is_bell():
+    be = SharedBackend(seed=0)
+    (qa,) = be.alloc(0, 1)
+    (qb,) = be.alloc(1, 1)
+    be.entangle_pair(qa, qb)
+    vec = be.statevector([qa, qb])
+    assert np.allclose(vec, [2**-0.5, 0, 0, 2**-0.5])
+
+
+def test_measure_and_release_removes_ownership():
+    be = SharedBackend(seed=0)
+    (q,) = be.alloc(2, 1)
+    be.measure_and_release(2, q)
+    with pytest.raises(SimulationError):
+        be.owner(q)
+
+
+def test_unknown_qubit_raises():
+    be = SharedBackend(seed=0)
+    with pytest.raises(SimulationError):
+        be.h(0, 42)

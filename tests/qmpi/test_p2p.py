@@ -1,0 +1,207 @@
+"""QMPI point-to-point: copy/move semantics, inverses, Table 1 resources."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.qmpi import qmpi_run
+
+angle = st.floats(-3.0, 3.0, allow_nan=False)
+
+
+@settings(max_examples=10)
+@given(angle, angle)
+def test_teleport_preserves_any_state(theta, phi):
+    def prog(qc):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(1)
+            qc.ry(q[0], theta)
+            qc.rz(q[0], phi)
+            qc.send_move(q, 1)
+            return None
+        t = qc.alloc_qmem(1)
+        qc.recv_move(t, 0)
+        return qc.prob_one(t[0])
+
+    w = qmpi_run(2, prog, seed=0)
+    assert w.results[1] == pytest.approx(math.sin(theta / 2) ** 2, abs=1e-9)
+    snap = w.ledger.snapshot()
+    assert (snap.epr_pairs, snap.classical_bits) == (1, 2)  # Table 1: move
+
+
+@settings(max_examples=10)
+@given(angle)
+def test_copy_uncopy_roundtrip(theta):
+    def prog(qc):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(1)
+            qc.ry(q[0], theta)
+            qc.send(q, 1)
+            qc.unsend(q, 1)
+            return qc.prob_one(q[0])
+        t = qc.alloc_qmem(1)
+        qc.recv(t, 0)
+        qc.unrecv(t, 0)
+        return None
+
+    w = qmpi_run(2, prog, seed=0)
+    assert w.results[0] == pytest.approx(math.sin(theta / 2) ** 2, abs=1e-9)
+    snap = w.ledger.snapshot()
+    # Table 1: copy = 1 EPR + 1 bit; uncopy = 0 EPR + 1 bit
+    assert (snap.epr_pairs, snap.classical_bits) == (1, 2)
+
+
+def test_copy_exposes_value_on_both_nodes():
+    def prog(qc):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(1)
+            qc.x(q[0])
+            qc.send(q, 1)
+            return qc.measure(q[0])
+        t = qc.alloc_qmem(1)
+        qc.recv(t, 0)
+        return qc.measure(t[0])
+
+    w = qmpi_run(2, prog, seed=0)
+    assert w.results == [1, 1]
+
+
+def test_copy_is_entangled_not_cloned():
+    # measuring the copy collapses the original (superposition case)
+    def prog(qc):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(1)
+            qc.h(q[0])
+            qc.send(q, 1)
+            qc.barrier()
+            return qc.measure(q[0])
+        t = qc.alloc_qmem(1)
+        qc.recv(t, 0)
+        m = qc.measure(t[0])
+        qc.barrier()
+        return m
+
+    for seed in range(5):
+        w = qmpi_run(2, prog, seed=seed)
+        assert w.results[0] == w.results[1]
+
+
+def test_move_transfers_ownership_and_frees_source():
+    def prog(qc):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(1)
+            qc.x(q[0])
+            qc.send_move(q, 1)
+            # sender's qubits are measured out and gone
+            return len(qc.backend.owned_by(0))
+        t = qc.alloc_qmem(1)
+        qc.recv_move(t, 0)
+        return qc.measure(t[0])
+
+    w = qmpi_run(2, prog, seed=0)
+    assert w.results == [0, 1]
+
+
+def test_unmove_roundtrip():
+    def prog(qc):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(1)
+            qc.ry(q[0], 1.1)
+            qc.send_move(q, 1)
+            back = qc.unsend_move(1, 1)
+            return qc.prob_one(back[0])
+        t = qc.alloc_qmem(1)
+        qc.recv_move(t, 0)
+        qc.unrecv_move(t, 0)
+        return None
+
+    w = qmpi_run(2, prog, seed=0)
+    assert w.results[0] == pytest.approx(math.sin(0.55) ** 2, abs=1e-9)
+    snap = w.ledger.snapshot()
+    # move + unmove: 2 EPR pairs, 4 classical bits (Table 1)
+    assert (snap.epr_pairs, snap.classical_bits) == (2, 4)
+
+
+def test_register_send_scales_per_qubit():
+    def prog(qc):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(3)
+            for i, qq in enumerate(q):
+                qc.ry(qq, 0.2 * (i + 1))
+            qc.send(q, 1)
+            return None
+        t = qc.alloc_qmem(3)
+        qc.recv(t, 0)
+        return [qc.prob_one(x) for x in t]
+
+    w = qmpi_run(2, prog, seed=0)
+    for i, p in enumerate(w.results[1]):
+        assert p == pytest.approx(math.sin(0.1 * (i + 1)) ** 2, abs=1e-9)
+    snap = w.ledger.snapshot()
+    assert (snap.epr_pairs, snap.classical_bits) == (3, 3)
+
+
+def test_head_to_head_sendrecv():
+    def prog(qc):
+        n = qc.size
+        sq = qc.alloc_qmem(1)
+        if qc.rank == 1:
+            qc.x(sq[0])
+        rq = qc.alloc_qmem(1)
+        qc.sendrecv(sq, (qc.rank + 1) % n, rq, (qc.rank - 1) % n)
+        return round(qc.prob_one(rq[0]))
+
+    w = qmpi_run(4, prog, seed=0)
+    assert w.results == [0, 0, 1, 0]
+
+
+def test_sendrecv_replace_ring_rotation():
+    def prog(qc):
+        n = qc.size
+        q = qc.alloc_qmem(1)
+        if qc.rank == 0:
+            qc.ry(q[0], 1.0)
+        new = qc.sendrecv_replace(q, (qc.rank + 1) % n, (qc.rank - 1) % n)
+        return qc.prob_one(new[0])
+
+    w = qmpi_run(3, prog, seed=0)
+    assert w.results[1] == pytest.approx(math.sin(0.5) ** 2, abs=1e-9)
+    assert w.results[0] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_isend_nonblocking_and_alias_table2_ops():
+    def prog(qc):
+        from repro.qmpi import p2p
+
+        if qc.rank == 0:
+            q = qc.alloc_qmem(1)
+            qc.x(q[0])
+            req = p2p.isend(qc, q, 1)
+            req.wait()
+            # Table 2 aliases exist and are callable
+            assert qc.bsend == qc.send and qc.ssend == qc.send
+            qc.cancel()
+            return True
+        t = qc.alloc_qmem(1)
+        req = p2p.irecv(qc, t, 0)
+        reg = req.wait()
+        return qc.measure(reg[0])
+
+    w = qmpi_run(2, prog, seed=0)
+    assert w.results == [True, 1]
+
+
+def test_locality_violation_caught_in_program():
+    from repro.mpi import RankFailure
+
+    def prog(qc):
+        q = qc.alloc_qmem(1)
+        ids = qc.comm.allgather(q[0])
+        if qc.rank == 0:
+            qc.h(ids[1])  # touching a remote qubit: must blow up
+        return True
+
+    with pytest.raises(RankFailure):
+        qmpi_run(2, prog, seed=0)

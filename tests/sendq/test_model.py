@@ -1,0 +1,186 @@
+"""SENDQ params, closed forms, and the event engine's invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sendq import Program, ScheduleDeadlock, SendqParams, analysis, schedule
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        SendqParams(N=0)
+    with pytest.raises(ValueError):
+        SendqParams(E=-1)
+    with pytest.raises(ValueError):
+        SendqParams(S=-1)
+    p = SendqParams(N=4, S=2, E=2.0, Q=8)
+    assert p.with_(E=3.0).E == 3.0
+    assert p.epr_bandwidth == 0.5
+    assert p.total_qubits_per_node == 10
+
+
+def test_table1_values():
+    t = analysis.table1(8)
+    assert t["copy"] == {"epr": 1, "cbits": 1}
+    assert t["uncopy"] == {"epr": 0, "cbits": 1}
+    assert t["move"] == {"epr": 1, "cbits": 2}
+    assert t["unmove"] == {"epr": 1, "cbits": 2}
+    assert t["reduce"] == {"epr": 7, "cbits": 7}
+    assert t["unreduce"] == {"epr": 0, "cbits": 7}
+    assert t["scan"] == {"epr": 7, "cbits": 7}
+    assert t["unscan"] == {"epr": 0, "cbits": 7}
+
+
+@given(st.integers(2, 200))
+def test_bcast_formulas(n):
+    import math
+
+    p = SendqParams(N=n, E=1.5, D_M=0.1, D_F=0.2)
+    assert analysis.bcast_tree_time(p) == 1.5 * math.ceil(math.log2(n))
+    expected_rounds = 1 if n == 2 else 2
+    assert analysis.bcast_cat_time(p) == pytest.approx(1.5 * expected_rounds + 0.3)
+    assert analysis.bcast_tree_epr(n) == n - 1
+    assert analysis.bcast_cat_epr(n) == n - 1
+
+
+@given(st.integers(2, 100))
+def test_parity_formulas(k):
+    import math
+
+    p = SendqParams(N=k + 1, E=2.0, D_R=0.5)
+    L = math.ceil(math.log2(k))
+    assert analysis.parity_inplace_time(k, p) == 4.0 * L + 0.5
+    assert analysis.parity_inplace_epr(k) == 2 * (k - 1)
+    assert analysis.parity_outofplace_time(k, p) == 2.0 * k + 0.5
+    assert analysis.parity_outofplace_epr(k) == k
+    assert analysis.parity_constdepth_time(k, p) == 4.5
+    assert analysis.parity_constdepth_epr(k) == k
+    assert analysis.parity_constdepth_epr(k, aux_colocated=True) == k - 1
+
+
+def test_tfim_formulas():
+    p = SendqParams(N=4, S=2, E=3.0, D_R=1.0)
+    assert analysis.tfim_trotter_compute_delay(16, p) == 8.0
+    assert analysis.tfim_step_delay(16, p) == max(8.0, 6.0)
+    p1 = p.with_(S=1)
+    assert analysis.tfim_step_delay(16, p1) == max(8.0, 8.0)
+    p_comm = p.with_(E=10.0)
+    assert analysis.tfim_step_delay(16, p_comm) == 20.0
+    assert analysis.tfim_step_delay(16, p_comm.with_(S=1)) == 22.0
+    with pytest.raises(ValueError):
+        analysis.tfim_trotter_compute_delay(17, p)
+    with pytest.raises(ValueError):
+        analysis.tfim_step_delay(16, p.with_(S=0))
+    assert analysis.tfim_max_nodes(16, SendqParams(E=2.0, D_R=1.0)) == 8
+    assert analysis.tfim_min_nodes_for_s2(16, 3) == 8
+    with pytest.raises(ValueError):
+        analysis.tfim_min_nodes_for_s2(16, 1)
+
+
+def test_tfim_odd_ring_refinement():
+    p = SendqParams(N=3, S=2, E=8.0, D_R=1.0)
+    assert analysis.tfim_step_delay_ring(6, p) == 24.0  # 3E, not 2E
+    p_even = SendqParams(N=4, S=2, E=8.0, D_R=1.0)
+    assert analysis.tfim_step_delay_ring(8, p_even) == analysis.tfim_step_delay(8, p_even)
+
+
+# ----------------------------------------------------------------------
+# engine invariants
+# ----------------------------------------------------------------------
+def test_program_validation():
+    prog = Program(2)
+    e = prog.epr(0, 1)
+    with pytest.raises(ValueError):
+        prog.epr(0, 0)
+    with pytest.raises(ValueError):
+        prog.epr(0, 5)
+    with pytest.raises(ValueError):
+        prog.rot(0, deps=[99])
+        schedule(prog, SendqParams(N=2))
+    prog2 = Program(2)
+    e2 = prog2.epr(0, 1)
+    prog2.local(0, releases=[(e2, 1)])  # wrong node? 1 is an endpoint - ok
+    bad = Program(2)
+    b_e = bad.epr(0, 1)
+    bad.local(0, releases=[(b_e + 100, 0)])
+    with pytest.raises(ValueError):
+        schedule(bad, SendqParams(N=2))
+
+
+def test_rotations_serialize_per_node():
+    prog = Program(1)
+    prog.rot(0)
+    prog.rot(0)
+    prog.rot(0)
+    tr = schedule(prog, SendqParams(N=1, D_R=2.0))
+    assert tr.makespan == 6.0
+    assert tr.utilization(0) == pytest.approx(1.0)
+
+
+def test_epr_port_exclusive():
+    prog = Program(3)
+    prog.epr(0, 1)
+    prog.epr(0, 2)  # shares node 0's port -> serial
+    tr = schedule(prog, SendqParams(N=3, S=2, E=1.0))
+    assert tr.makespan == 2.0
+    # disjoint pairs run in parallel
+    prog2 = Program(4)
+    prog2.epr(0, 1)
+    prog2.epr(2, 3)
+    tr2 = schedule(prog2, SendqParams(N=4, S=2, E=1.0))
+    assert tr2.makespan == 1.0
+
+
+def test_buffer_occupancy_never_exceeds_s():
+    from repro.sendq import programs
+
+    p = SendqParams(N=8, S=2, E=1.0, D_R=0.5)
+    tr = schedule(programs.bcast_cat_program(8), p)
+    # replay the trace and track buffer levels at every event
+    events = []
+    for e in tr.entries:
+        if e.kind == "epr":
+            for node in e.nodes:
+                events.append((e.start, 1, node))
+    # releases: find ops that release (we can't see releases in the trace,
+    # so check the weaker invariant: concurrent epr STARTs per node <= S)
+    for node in range(8):
+        spans = [(e.start, e.end) for e in tr.entries if e.kind == "epr" and node in e.nodes]
+        for i, (s1, e1) in enumerate(spans):
+            overlap = sum(1 for s2, e2 in spans if s2 < e1 and e2 > s1)
+            assert overlap <= p.S + 0  # at most S pairs in flight
+
+
+def test_deadlock_reported_with_labels():
+    prog = Program(2)
+    e1 = prog.epr(0, 1, label="first")
+    prog.epr(0, 1, label="second")  # S=1: nobody ever releases the first
+    with pytest.raises(ScheduleDeadlock) as ei:
+        schedule(prog, SendqParams(N=2, S=1, E=1.0))
+    assert "second" in str(ei.value)
+
+
+def test_classical_ops_are_free():
+    prog = Program(2)
+    c1 = prog.classical()
+    c2 = prog.classical(deps=[c1])
+    prog.classical(deps=[c2])
+    tr = schedule(prog, SendqParams(N=2))
+    assert tr.makespan == 0.0
+
+
+def test_trace_utilities():
+    prog = Program(2)
+    e = prog.epr(0, 1, label="pair")
+    prog.rot(0, deps=[e], releases=[(e, 0)], label="rotA")
+    prog.local(1, deps=[e], releases=[(e, 1)], flavor="measure", label="m")
+    tr = schedule(prog, SendqParams(N=2, S=1, E=2.0, D_R=1.0, D_M=0.5))
+    assert tr.makespan == 3.0
+    assert tr.epr_pairs() == 1
+    assert tr.end_of("pair") == 2.0
+    with pytest.raises(KeyError):
+        tr.end_of("nope")
+    g = tr.gantt(width=40)
+    assert "node   0" in g and "R" in g and "=" in g
+    rows = tr.as_rows()
+    assert rows[0]["kind"] == "epr"

@@ -1,0 +1,124 @@
+"""Engine-vs-formula agreement for every §7 workload program."""
+
+import pytest
+
+from repro.sendq import ScheduleDeadlock, SendqParams, analysis, programs, schedule
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5, 8, 16, 17, 64])
+def test_bcast_tree_matches_formula(n):
+    p = SendqParams(N=n, S=1, E=1.0, D_R=1.0)
+    tr = schedule(programs.bcast_tree_program(n), p)
+    assert tr.makespan == pytest.approx(analysis.bcast_tree_time(p))
+    assert tr.epr_pairs() == analysis.bcast_tree_epr(n)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 8, 16, 33])
+def test_bcast_cat_matches_formula(n):
+    p = SendqParams(N=n, S=2, E=1.0, D_M=0.25, D_F=0.125)
+    tr = schedule(programs.bcast_cat_program(n), p)
+    assert tr.makespan == pytest.approx(analysis.bcast_cat_time(p))
+    assert tr.epr_pairs() == analysis.bcast_cat_epr(n)
+
+
+def test_bcast_cat_infeasible_with_s1():
+    with pytest.raises(ScheduleDeadlock):
+        schedule(programs.bcast_cat_program(4), SendqParams(N=4, S=1, E=1.0))
+
+
+def test_bcast_tree_eager_epr_needs_buffers():
+    # §4.7-style pre-establishment: fine with S=2, deadlocks with S=1.
+    p2 = SendqParams(N=8, S=2, E=1.0)
+    tr = schedule(programs.bcast_tree_program(8, eager_epr=True), p2)
+    assert tr.epr_pairs() == 7
+    with pytest.raises(ScheduleDeadlock):
+        schedule(programs.bcast_tree_program(8, eager_epr=True), SendqParams(N=8, S=1, E=1.0))
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 5, 6, 8, 13, 16])
+def test_parity_inplace(k):
+    p = SendqParams(N=k, S=1, E=1.0, D_R=0.5)
+    tr = schedule(programs.parity_inplace_program(k), p)
+    assert tr.makespan == pytest.approx(analysis.parity_inplace_time(k, p))
+    assert tr.epr_pairs() == analysis.parity_inplace_epr(k)
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 8])
+def test_parity_outofplace(k):
+    p = SendqParams(N=k + 1, S=1, E=1.0, D_R=0.5)
+    tr = schedule(programs.parity_outofplace_program(k), p)
+    assert tr.makespan == pytest.approx(analysis.parity_outofplace_time(k, p))
+    assert tr.epr_pairs() == analysis.parity_outofplace_epr(k)
+
+
+@pytest.mark.parametrize("k", [3, 4, 8, 16])
+def test_parity_constdepth(k):
+    p = SendqParams(N=k, S=2, E=1.0, D_R=0.5)
+    tr = schedule(programs.parity_constdepth_program(k, aux_colocated=True), p)
+    assert tr.makespan == pytest.approx(analysis.parity_constdepth_time(k, p))
+    assert tr.epr_pairs() == analysis.parity_constdepth_epr(k, aux_colocated=True)
+
+
+def test_parity_method_crossovers():
+    # const-depth beats the others once k is large and E dominates
+    p = SendqParams(N=64, S=2, E=1.0, D_R=0.1)
+    k = 32
+    t_a = analysis.parity_inplace_time(k, p)
+    t_b = analysis.parity_outofplace_time(k, p)
+    t_c = analysis.parity_constdepth_time(k, p)
+    assert t_c < t_a < t_b
+    # for tiny k the orders flip around
+    assert analysis.parity_outofplace_time(2, p) == pytest.approx(2 * p.E + p.D_R)
+
+
+def _per_step(n_spins, n_nodes, S, E, D_R, steps=5):
+    p = SendqParams(N=n_nodes, S=S, E=E, D_R=D_R)
+    t1 = schedule(programs.tfim_step_program(n_spins, n_nodes, steps - 1), p).makespan
+    t2 = schedule(programs.tfim_step_program(n_spins, n_nodes, steps), p).makespan
+    return t2 - t1
+
+
+@pytest.mark.parametrize(
+    "n_spins,n_nodes,S,E,D_R",
+    [
+        (16, 4, 2, 1.0, 1.0),  # compute-bound, S>=2
+        (16, 4, 1, 1.0, 1.0),  # compute-bound, S=1
+        (8, 4, 2, 10.0, 1.0),  # comm-bound, S>=2
+        (8, 4, 1, 10.0, 1.0),  # comm-bound, S=1
+        (8, 4, 1, 5.0, 2.0),
+        (24, 4, 2, 2.0, 1.0),
+        (32, 8, 2, 1.0, 1.0),
+        (16, 8, 1, 3.0, 1.0),
+    ],
+)
+def test_tfim_steady_state_matches_formula(n_spins, n_nodes, S, E, D_R):
+    p = SendqParams(N=n_nodes, S=S, E=E, D_R=D_R)
+    assert _per_step(n_spins, n_nodes, S, E, D_R) == pytest.approx(
+        analysis.tfim_step_delay(n_spins, p)
+    )
+
+
+def test_tfim_odd_ring_engine_vs_refined_formula():
+    # odd rings need 3 EPR rounds (chromatic index of an odd cycle)
+    p = SendqParams(N=3, S=2, E=8.0, D_R=1.0)
+    assert _per_step(6, 3, 2, 8.0, 1.0) == pytest.approx(
+        analysis.tfim_step_delay_ring(6, p)
+    )
+
+
+def test_tfim_s1_strictly_slower_when_comm_bound():
+    fast = _per_step(8, 4, 2, 10.0, 1.0)
+    slow = _per_step(8, 4, 1, 10.0, 1.0)
+    assert slow == fast + 2.0  # the paper's 2*D_R penalty
+
+
+def test_tfim_single_node_no_communication():
+    p = SendqParams(N=1, S=1, E=1.0, D_R=1.0)
+    tr = schedule(programs.tfim_step_program(8, 1, 2), p)
+    assert tr.epr_pairs() == 0
+    assert tr.makespan == pytest.approx(2 * 2 * 8 * 1.0)  # 2 steps x 2n D_R
+
+
+def test_tfim_requires_divisibility():
+    with pytest.raises(ValueError):
+        programs.tfim_step_program(10, 4)

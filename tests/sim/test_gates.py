@@ -1,0 +1,87 @@
+"""Gate-matrix library unit tests, incl. the paper's Fig. 1(a) identity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import gates as G
+
+
+ALL_FIXED = [G.I2, G.X, G.Y, G.Z, G.H, G.S, G.SDG, G.T, G.TDG, G.SX, G.CX, G.CY, G.CZ, G.SWAP]
+
+
+@pytest.mark.parametrize("u", ALL_FIXED, ids=lambda u: f"shape{u.shape}")
+def test_fixed_gates_unitary(u):
+    assert G.is_unitary(u)
+
+
+@given(st.floats(-10, 10))
+def test_rotations_unitary(theta):
+    for axis in "XYZ":
+        assert G.is_unitary(G.rotation(axis, theta))
+
+
+def test_rotation_bad_axis():
+    with pytest.raises(ValueError):
+        G.rotation("Q", 0.1)
+
+
+def test_pauli_algebra():
+    assert np.allclose(G.X @ G.Y, 1j * G.Z)
+    assert np.allclose(G.Y @ G.Z, 1j * G.X)
+    assert np.allclose(G.Z @ G.X, 1j * G.Y)
+    for p in (G.X, G.Y, G.Z):
+        assert np.allclose(p @ p, G.I2)
+
+
+def test_hadamard_conjugation():
+    # H X H = Z and H Z H = X
+    assert np.allclose(G.H @ G.X @ G.H, G.Z)
+    assert np.allclose(G.H @ G.Z @ G.H, G.X)
+
+
+def test_fig1a_cnot_from_cz():
+    """Fig. 1(a): CNOT = (I (x) H) CZ (I (x) H)."""
+    ih = np.kron(G.I2, G.H)
+    assert np.allclose(ih @ G.CZ @ ih, G.CX)
+
+
+def test_s_and_t_powers():
+    assert np.allclose(G.T @ G.T, G.S)
+    assert np.allclose(G.S @ G.S, G.Z)
+    assert np.allclose(G.SX @ G.SX, G.X)
+
+
+@given(st.floats(-6, 6), st.floats(-6, 6), st.floats(-6, 6))
+def test_u3_unitary(t, p, l):
+    assert G.is_unitary(G.u3(t, p, l))
+
+
+def test_controlled_builder():
+    assert np.allclose(G.controlled(G.X), G.CX)
+    ccx = G.controlled(G.X, 2)
+    assert ccx.shape == (8, 8)
+    assert np.allclose(ccx[:6, :6], np.eye(6))
+    assert np.allclose(ccx[6:, 6:], G.X)
+    with pytest.raises(ValueError):
+        G.controlled(G.X, 0)
+
+
+def test_rz_is_exponential():
+    from scipy.linalg import expm
+
+    theta = 0.731
+    assert np.allclose(G.rz(theta), expm(-0.5j * theta * G.Z))
+    assert np.allclose(G.rx(theta), expm(-0.5j * theta * G.X))
+    assert np.allclose(G.ry(theta), expm(-0.5j * theta * G.Y))
+
+
+def test_kron_all():
+    assert np.allclose(G.kron_all(G.X, G.I2), np.kron(G.X, G.I2))
+    assert G.kron_all().shape == (1, 1)
+
+
+def test_is_unitary_rejects_junk():
+    assert not G.is_unitary(np.ones((2, 2)))
+    assert not G.is_unitary(np.ones((2, 3)))
+    assert not G.is_unitary(np.ones(4))

@@ -1,0 +1,72 @@
+"""Pauli-string operations vs dense references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from scipy.linalg import expm
+
+from repro.sim import StateVector
+from repro.sim.pauli import (
+    apply_pauli_string,
+    basis_change,
+    pauli_string_matrix,
+    rotate_pauli_string,
+    undo_basis_change,
+)
+from repro.sim.statevector import SimulationError
+
+
+def random_state(n, seed):
+    sv = StateVector(n, seed=seed)
+    rng = np.random.default_rng(seed)
+    for q in range(n):
+        sv.ry(q, float(rng.normal()))
+        sv.rz(q, float(rng.normal()))
+    sv.cnot(0, n - 1)
+    return sv
+
+
+pauli_mapping = st.dictionaries(
+    st.integers(0, 2), st.sampled_from(["X", "Y", "Z"]), min_size=1, max_size=3
+)
+
+
+@given(pauli_mapping, st.floats(-3, 3))
+def test_rotation_matches_expm(mapping, theta):
+    sv = random_state(3, seed=7)
+    ref = sv.statevector()
+    rotate_pauli_string(sv, mapping, theta)
+    P = pauli_string_matrix(mapping, [0, 1, 2])
+    expect = expm(-0.5j * theta * P) @ ref
+    assert np.allclose(sv.statevector(), expect, atol=1e-9)
+
+
+@given(pauli_mapping)
+def test_apply_matches_dense(mapping):
+    sv = random_state(3, seed=3)
+    ref = sv.statevector()
+    apply_pauli_string(sv, mapping)
+    expect = pauli_string_matrix(mapping, [0, 1, 2]) @ ref
+    assert np.allclose(sv.statevector(), expect, atol=1e-9)
+
+
+@given(pauli_mapping)
+def test_basis_change_roundtrip(mapping):
+    sv = random_state(3, seed=11)
+    ref = sv.statevector()
+    basis_change(sv, mapping)
+    undo_basis_change(sv, mapping)
+    assert np.allclose(sv.statevector(), ref, atol=1e-9)
+
+
+def test_empty_rotation_is_identity():
+    sv = random_state(2, seed=0)
+    ref = sv.statevector()
+    rotate_pauli_string(sv, {}, 0.5)
+    assert np.allclose(sv.statevector(), ref)
+
+
+def test_invalid_pauli_rejected():
+    sv = StateVector(1)
+    with pytest.raises(SimulationError):
+        apply_pauli_string(sv, {0: "Q"})

@@ -1,0 +1,53 @@
+"""Gate-counting wrapper tests."""
+
+from repro.sim import TrackedStateVector
+
+
+def test_named_gate_counts():
+    sv = TrackedStateVector(3, seed=0)
+    sv.h(0)
+    sv.h(1)
+    sv.cnot(0, 1)
+    sv.rz(2, 0.5)
+    sv.rx(2, 0.1)
+    sv.toffoli(0, 1, 2)
+    c = sv.counts
+    assert c.gates["h"] == 2
+    assert c.gates["cnot"] == 1
+    assert c.gates["rz"] == 1
+    assert c.gates["rx"] == 1
+    assert c.gates["toffoli"] == 1
+    assert c.total_gates() == 6
+    assert c.rotations() == 2
+
+
+def test_alloc_release_measure_counts():
+    sv = TrackedStateVector(seed=0)
+    ids = sv.alloc(3)
+    sv.x(ids[0])
+    sv.measure(ids[0])
+    sv.release(ids[1])
+    c = sv.counts
+    assert c.allocations == 3
+    assert c.releases == 1
+    assert c.measurements == 1
+    assert c.peak_qubits == 3
+
+
+def test_as_dict_roundtrip():
+    sv = TrackedStateVector(1, seed=0)
+    sv.h(0)
+    d = sv.counts.as_dict()
+    assert d["gates"] == {"h": 1}
+    assert d["total_gates"] == 1
+    assert d["peak_qubits"] == 1
+
+
+def test_generic_apply_counts():
+    import numpy as np
+
+    sv = TrackedStateVector(2, seed=0)
+    sv.apply(np.eye(4), 0, 1)
+    assert sv.counts.gates["u2"] == 1
+    sv.apply_controlled(np.eye(2), [0], [1])
+    assert sv.counts.gates["c1u1"] == 1
