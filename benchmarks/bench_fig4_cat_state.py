@@ -5,11 +5,9 @@ n-1 EPR pairs. Model: the SENDQ makespan is 2E + D_M + D_F independent
 of n (the paper's headline), vs E*ceil(log2 n) for the tree broadcast.
 """
 
-import numpy as np
 import pytest
 
 from repro.apps.ghz import run_ghz_fidelity
-from repro.qmpi import qmpi_run, cat_state_chain
 from repro.sendq import SendqParams, analysis, programs, schedule
 
 

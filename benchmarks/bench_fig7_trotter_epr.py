@@ -13,7 +13,6 @@ Shape requirements (validated below, matching the published figure):
   while at coarse granularity the two are comparable (crossover).
 """
 
-import pytest
 
 from repro.chem import epr_sweep
 

@@ -1,6 +1,5 @@
 """§6 — prototype microbenchmarks: the EPR example and simulator throughput."""
 
-import numpy as np
 import pytest
 
 from repro.qmpi import qmpi_run

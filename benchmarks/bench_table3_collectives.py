@@ -1,6 +1,5 @@
 """Table 3 — collectives and their resource classes (N = 3 ranks)."""
 
-import pytest
 
 from repro.qmpi import PARITY, qmpi_run
 

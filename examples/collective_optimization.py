@@ -10,7 +10,6 @@ quantum time is a constant 2E + D_M + D_F. Run:
     python examples/collective_optimization.py
 """
 
-import math
 
 from repro.qmpi import qmpi_run
 from repro.sendq import SendqParams, analysis, programs, schedule

@@ -1,6 +1,7 @@
-"""Shim for environments without the `wheel` package (legacy editable
-installs: ``pip install -e . --no-use-pep517 --no-build-isolation``).
-All metadata lives in pyproject.toml."""
+"""Shim for offline environments without the `wheel` package, where
+``pip install -e .`` cannot build its PEP 660 wheel: run
+``python setup.py develop`` instead. All metadata lives in
+pyproject.toml."""
 
 from setuptools import setup
 

@@ -8,8 +8,6 @@ quantum payload of the distributed chemistry example.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..sim.pauli import rotate_pauli_string
 from ..sim.statevector import StateVector
 from .fermion import FermionOperator

@@ -2,7 +2,8 @@
 
 Layering:
 
-* :mod:`~repro.qmpi.backend` — shared state-vector backend (§6 semantics)
+* :mod:`~repro.qmpi.backend` — quantum backends: shared (§6 semantics)
+  and sharded (chunk-distributed amplitudes), behind one registry
 * :mod:`~repro.qmpi.epr` — EPR pair establishment + S-limited buffers
 * :mod:`~repro.qmpi.p2p` — copy/move sends and their inverses (Table 2)
 * :mod:`~repro.qmpi.collectives` — Table 3 collectives incl. cat-state bcast
@@ -14,7 +15,15 @@ Layering:
 
 from . import collectives, p2p
 from .api import QmpiComm, QmpiWorld, qmpi_run
-from .backend import LocalityError, SharedBackend
+from .backend import (
+    BACKENDS,
+    LocalityError,
+    QuantumBackend,
+    SharedBackend,
+    ShardedBackend,
+    make_backend,
+    register_backend,
+)
 from .cat import CatHandle, cat_state_chain, cat_state_tree, uncat
 from .datatypes import QMPI_QUBIT, QubitType, type_contiguous, type_indexed, type_vector
 from .epr import EprBufferFull, EprService
@@ -28,6 +37,11 @@ __all__ = [
     "QmpiWorld",
     "qmpi_run",
     "SharedBackend",
+    "ShardedBackend",
+    "QuantumBackend",
+    "BACKENDS",
+    "make_backend",
+    "register_backend",
     "LocalityError",
     "EprService",
     "EprBufferFull",

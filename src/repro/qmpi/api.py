@@ -6,9 +6,9 @@ preparation, all point-to-point and collective operations of Tables 2-3,
 and access to the classical MPI communicator (§4.1: classical and quantum
 communication are separate; classical data goes through MPI).
 
-:func:`qmpi_run` is the ``mpiexec`` of this package: it builds the shared
-backend, EPR service, and resource ledger, then runs the SPMD function on
-N ranks.
+:func:`qmpi_run` is the ``mpiexec`` of this package: it builds the
+quantum backend (shared or sharded, via ``backend=``), EPR service, and
+resource ledger, then runs the SPMD function on N ranks.
 
 Paper-style aliases (``QMPI_Send``, ``QMPI_Prepare_EPR``, ...) are
 generated at the bottom for one-to-one correspondence with the C API in
@@ -21,7 +21,7 @@ from typing import Any, Callable, Sequence
 
 from ..mpi.comm import Communicator
 from ..mpi.runtime import run_spmd
-from .backend import SharedBackend
+from .backend import QuantumBackend, make_backend
 from .epr import EprRequest, EprService
 from . import collectives as _coll
 from . import p2p as _p2p
@@ -40,7 +40,7 @@ class QmpiComm:
         The user's classical MPI communicator (use freely for classical
         data; QMPI protocol traffic travels on a private dup).
     backend:
-        The shared quantum backend (rank-checked gate access).
+        The quantum backend (rank-checked gate access; shared or sharded).
     epr:
         The EPR rendezvous service.
     ledger:
@@ -50,7 +50,7 @@ class QmpiComm:
     def __init__(
         self,
         comm: Communicator,
-        backend: SharedBackend,
+        backend: QuantumBackend,
         epr: EprService,
         ledger: Ledger,
     ):
@@ -326,9 +326,9 @@ class QmpiComm:
 
 class QmpiWorld:
     """Result bundle of a :func:`qmpi_run`: per-rank return values plus the
-    shared backend and ledger for post-run inspection."""
+    backend and ledger for post-run inspection."""
 
-    def __init__(self, results: list, backend: SharedBackend, ledger: Ledger):
+    def __init__(self, results: list, backend: QuantumBackend, ledger: Ledger):
         self.results = results
         self.backend = backend
         self.ledger = ledger
@@ -342,6 +342,8 @@ def qmpi_run(
     s_limit: int | None = None,
     seed: int | None = 0,
     timeout: float = 120.0,
+    backend: "str | type[QuantumBackend] | QuantumBackend" = "shared",
+    backend_opts: dict | None = None,
 ) -> QmpiWorld:
     """Run ``fn(qcomm, *args, **kwargs)`` on ``n_ranks`` quantum ranks.
 
@@ -352,9 +354,23 @@ def qmpi_run(
         enforced functionally: protocols that need more concurrent EPR
         halves raise :class:`~repro.qmpi.epr.EprBufferFull`.
     seed:
-        Measurement RNG seed for reproducible runs.
+        Measurement RNG seed for reproducible runs. Ignored (along with
+        ``backend_opts``) when ``backend`` is a prebuilt instance, which
+        keeps its own RNG and configuration.
+    backend:
+        Engine selection: ``"shared"`` (the paper's §6 rank-0 state
+        vector), ``"sharded"`` / ``"sharded:<n>"`` (amplitudes chunked
+        across simulation ranks), a backend class, or a prebuilt
+        :class:`~repro.qmpi.backend.QuantumBackend` instance. Plain
+        ``"sharded"`` sizes the chunk count to ``n_ranks`` (next power of
+        two). See :func:`repro.qmpi.backend.make_backend`.
+    backend_opts:
+        Extra keyword arguments for the backend constructor (e.g.
+        ``{"n_shards": 8}`` or ``{"enforce_locality": False}``).
     """
-    backend = SharedBackend(seed=seed)
+    backend = make_backend(
+        backend, seed=seed, n_ranks=n_ranks, **(backend_opts or {})
+    )
     ledger = Ledger()
     epr = EprService(backend, ledger, s_limit=s_limit)
 

@@ -1,15 +1,24 @@
-"""Shared quantum backend with rank-0 semantics.
+"""Quantum backends: rank-checked facades over a simulation engine.
 
 The paper's prototype (§6): "To ensure that the state vector faithfully
 represents the quantum state of the distributed quantum computer at any
 point throughout the computation, all ranks forward quantum operations to
 rank 0, which then applies the operation to the state vector."
 
-Here the forwarding is a mutex: all ranks call into one lock-protected
-:class:`~repro.sim.statevector.StateVector`. On top of the raw engine the
-backend enforces *locality*: a rank may only touch qubits it owns, so any
-cross-node interaction must go through the EPR-based QMPI protocols —
-exactly the discipline real distributed hardware imposes.
+:class:`QuantumBackend` keeps that discipline — a mutex plus per-rank
+qubit *ownership*, so any cross-node interaction must go through the
+EPR-based QMPI protocols, exactly as real distributed hardware imposes —
+but decouples it from how the amplitudes are stored:
+
+* :class:`SharedBackend` reproduces the paper's rank-0 bottleneck with
+  one monolithic :class:`~repro.sim.statevector.StateVector`;
+* :class:`ShardedBackend` distributes the amplitudes over per-rank
+  chunks (:class:`~repro.sim.sharded.ShardedStateVector`), the layout
+  classical HPC simulators use to scale.
+
+Both are drop-in interchangeable anywhere a backend is consumed; pick one
+via :func:`make_backend` or the ``backend=`` argument of
+:func:`repro.qmpi.api.qmpi_run`.
 """
 
 from __future__ import annotations
@@ -19,21 +28,35 @@ from typing import Sequence
 
 import numpy as np
 
+from ..sim.sharded import ShardedStateVector
 from ..sim.statevector import SimulationError, StateVector
 from .qubit import Qureg
 
-__all__ = ["SharedBackend", "LocalityError"]
+__all__ = [
+    "QuantumBackend",
+    "SharedBackend",
+    "ShardedBackend",
+    "LocalityError",
+    "BACKENDS",
+    "make_backend",
+    "register_backend",
+]
 
 
 class LocalityError(SimulationError):
     """A rank attempted to operate on a qubit it does not own."""
 
 
-class SharedBackend:
-    """Thread-safe global state vector with per-rank qubit ownership."""
+class QuantumBackend:
+    """Thread-safe engine facade with per-rank qubit ownership.
 
-    def __init__(self, seed=None, enforce_locality: bool = True):
-        self._sv = StateVector(seed=seed)
+    Subclasses supply the engine (anything with the
+    :class:`~repro.sim.statevector.StateVector` surface); this base class
+    owns the lock, the ownership table, and locality enforcement.
+    """
+
+    def __init__(self, engine, enforce_locality: bool = True):
+        self._sv = engine
         self._lock = threading.RLock()
         self._owner: dict[int, int] = {}
         self.enforce_locality = enforce_locality
@@ -210,6 +233,81 @@ class SharedBackend:
         with self._lock:
             return Qureg(self._sv.qubit_ids)
 
-    def raw(self) -> StateVector:
+    def raw(self):
         """The underlying engine, for white-box tests."""
         return self._sv
+
+
+class SharedBackend(QuantumBackend):
+    """The paper's §6 semantics: one monolithic rank-0-style state vector."""
+
+    def __init__(self, seed=None, enforce_locality: bool = True):
+        super().__init__(StateVector(seed=seed), enforce_locality)
+
+
+class ShardedBackend(QuantumBackend):
+    """Amplitudes split into per-rank chunks (chunk = simulation rank).
+
+    Local-axis gates run as vectorized strided kernels on each flat chunk;
+    high-axis gates exchange pair chunks over a private
+    :class:`repro.mpi.Fabric`. See :mod:`repro.sim.sharded` for the layout.
+    """
+
+    def __init__(self, seed=None, enforce_locality: bool = True, n_shards: int = 4):
+        super().__init__(
+            ShardedStateVector(seed=seed, n_shards=n_shards), enforce_locality
+        )
+        self.n_shards = n_shards
+
+
+# ----------------------------------------------------------------------
+# backend registry
+# ----------------------------------------------------------------------
+#: Name -> backend class; extend with :func:`register_backend`.
+BACKENDS: dict[str, type[QuantumBackend]] = {
+    "shared": SharedBackend,
+    "sharded": ShardedBackend,
+}
+
+
+def register_backend(name: str, cls: type[QuantumBackend]) -> None:
+    """Register a backend class under ``name`` for :func:`make_backend`."""
+    BACKENDS[name] = cls
+
+
+def make_backend(
+    spec: "str | type[QuantumBackend] | QuantumBackend" = "shared",
+    *,
+    seed=None,
+    n_ranks: int = 1,
+    **opts,
+) -> QuantumBackend:
+    """Resolve a backend spec into a ready instance.
+
+    ``spec`` may be an existing :class:`QuantumBackend` instance (returned
+    as-is; ``seed``/``opts`` ignored), a backend class, or a registry name
+    — ``"shared"``, ``"sharded"``, or ``"sharded:<n>"`` to pin the shard
+    count. A plain ``"sharded"`` defaults ``n_shards`` to the smallest
+    power of two >= ``n_ranks`` (chunk = rank, as in QCMPI).
+    """
+    if isinstance(spec, QuantumBackend):
+        return spec
+    if isinstance(spec, type):
+        if issubclass(spec, ShardedBackend):
+            opts.setdefault("n_shards", 1 << max(0, n_ranks - 1).bit_length())
+        return spec(seed=seed, **opts)
+    name, _, arg = str(spec).partition(":")
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {spec!r}; known: {sorted(BACKENDS)}"
+        ) from None
+    if issubclass(cls, ShardedBackend):
+        if arg:
+            opts.setdefault("n_shards", int(arg))
+        else:
+            opts.setdefault("n_shards", 1 << max(0, n_ranks - 1).bit_length())
+    elif arg:
+        raise ValueError(f"backend {name!r} takes no ':' argument, got {spec!r}")
+    return cls(seed=seed, **opts)

@@ -22,7 +22,6 @@ from dataclasses import dataclass
 import networkx as nx
 
 from ..mpi import reduce_ops
-from .qubit import Qureg
 
 __all__ = ["cat_state_chain", "cat_state_tree", "uncat", "CatHandle"]
 

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from ..mpi import reduce_ops
 from . import p2p
-from .cat import CatHandle, cat_state_chain, cat_state_tree
+from .cat import cat_state_chain
 from .qubit import Qureg, as_qureg
 from .reductions import PARITY, QuantumOp
 

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..mpi.errors import MpiAbort
-from .backend import SharedBackend
+from .backend import QuantumBackend
 from .resource import Ledger
 
 __all__ = ["EprService", "EprRequest", "EprBufferFull", "EprKey"]
@@ -79,7 +79,7 @@ class EprService:
 
     def __init__(
         self,
-        backend: SharedBackend,
+        backend: QuantumBackend,
         ledger: Ledger,
         s_limit: Optional[int] = None,
         abort: Optional[threading.Event] = None,

@@ -21,10 +21,10 @@ telling you the schedule is infeasible, not just slow.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .params import SendqParams
-from .program import Op, Program
+from .program import Program
 from .trace import ScheduleTrace, TraceEntry
 
 __all__ = ["schedule", "ScheduleDeadlock"]

@@ -21,8 +21,8 @@ programs read like straight-line code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from dataclasses import dataclass
+from typing import Iterable
 
 from .params import SendqParams
 

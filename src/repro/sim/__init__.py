@@ -3,6 +3,7 @@
 Public surface:
 
 * :class:`~repro.sim.statevector.StateVector` — the engine
+* :class:`~repro.sim.sharded.ShardedStateVector` — chunk-distributed engine
 * :class:`~repro.sim.tracker.TrackedStateVector` — engine + gate tallies
 * :mod:`~repro.sim.gates` — gate matrices
 * :mod:`~repro.sim.pauli` — Pauli-string application / rotation
@@ -10,11 +11,13 @@ Public surface:
 """
 
 from . import arith, gates, pauli
+from .sharded import ShardedStateVector
 from .statevector import SimulationError, StateVector
 from .tracker import GateCounts, TrackedStateVector
 
 __all__ = [
     "StateVector",
+    "ShardedStateVector",
     "TrackedStateVector",
     "GateCounts",
     "SimulationError",

@@ -1,0 +1,627 @@
+"""Sharded state-vector engine: amplitudes distributed across chunk ranks.
+
+Classical HPC simulators (QCMPI; QuEST; the chunked ``SimDistribute``
+design) do not funnel every operation through one rank-0-owned array the
+way the paper's §6 prototype does. Instead the ``2^n`` amplitudes are
+split into ``R`` contiguous chunks, one per simulation rank, and each
+gate is applied cooperatively:
+
+* a gate on a **local axis** (one of the low ``n - log2(R)`` bits) only
+  permutes/combines amplitudes *within* each chunk, so every rank applies
+  a vectorized strided kernel to its own flat array — no communication;
+* a gate on a **high axis** (one of the top ``log2(R)`` bits) pairs each
+  chunk with the chunk whose index differs in that bit, and the pair
+  exchange their amplitudes before combining — here the exchange travels
+  through the same :class:`repro.mpi.Fabric` mailboxes that carry QMPI's
+  classical traffic, so message matching is exercised for real;
+* **diagonal** gates — single-qubit (Z, S, T, Rz) or single-target
+  controlled (CZ, controlled-phase) — never need the exchange even on
+  high axes: each chunk just scales itself.
+
+Layout
+------
+The state is a list of ``R`` flat contiguous complex128 arrays.  Global
+amplitude index ``g`` lives in ``chunks[g >> n_local][g & (csize - 1)]``
+with ``csize = 2^n_local``.  Qubit handles are stable integer ids mapped
+to *bit positions*: a freshly allocated qubit is the least significant
+bit, pushing all existing qubits one bit up, which keeps both allocation
+(interleave-doubling each chunk) and the paper-convention ``statevector``
+(first-allocated qubit = most significant bit = plain chunk
+concatenation) purely local operations.
+
+While fewer than ``log2(R)`` qubits exist the engine runs with
+``min(R, 2^n)`` active chunks and grows to the full shard count as qubits
+are allocated; releasing a high-axis qubit compacts the chunk list again.
+
+The class mirrors :class:`repro.sim.statevector.StateVector`'s public API
+exactly (same methods, same error messages, same RNG draw discipline), so
+the two engines are drop-in interchangeable behind
+:class:`repro.qmpi.backend.QuantumBackend`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..mpi.fabric import Fabric
+from . import gates as G
+from .statevector import SimulationError
+
+__all__ = ["ShardedStateVector"]
+
+
+class ShardedStateVector:
+    """A dynamically sized state-vector simulator sharded into chunks.
+
+    Parameters
+    ----------
+    n_qubits:
+        Number of qubits to allocate immediately (ids ``0..n-1``).
+    seed:
+        Seed or :class:`numpy.random.Generator` for measurement sampling.
+    n_shards:
+        Number of chunks the amplitudes are distributed over; must be a
+        power of two. ``n_shards=1`` degenerates to a single flat array.
+
+    Examples
+    --------
+    >>> sv = ShardedStateVector(2, n_shards=2)
+    >>> sv.h(0); sv.cnot(0, 1)
+    >>> abs(sv.amplitude([0, 0])) ** 2  # doctest: +ELLIPSIS
+    0.4999...
+    """
+
+    def __init__(self, n_qubits: int = 0, seed=None, n_shards: int = 4):
+        if n_shards < 1 or (n_shards & (n_shards - 1)):
+            raise SimulationError(f"n_shards must be a power of two, got {n_shards}")
+        self.n_shards = n_shards
+        self._fabric = Fabric(n_shards)
+        self._tags = itertools.count()
+        # Zero qubits == one chunk holding the single amplitude 1.
+        self._chunks: list[np.ndarray] = [np.ones(1, dtype=np.complex128)]
+        self._bit_of: dict[int, int] = {}
+        self._next_id = 0
+        if isinstance(seed, np.random.Generator):
+            self.rng = seed
+        else:
+            self.rng = np.random.default_rng(seed)
+        if n_qubits:
+            self.alloc(n_qubits)
+
+    # ------------------------------------------------------------------
+    # layout introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of currently allocated qubits."""
+        return len(self._bit_of)
+
+    @property
+    def num_chunks(self) -> int:
+        """Active chunk count (at most ``min(n_shards, 2^num_qubits)``;
+        releasing a high-axis qubit halves it until the next alloc
+        rebalances)."""
+        return len(self._chunks)
+
+    @property
+    def chunk_size(self) -> int:
+        """Amplitudes per chunk (``2^n_local``)."""
+        return self._chunks[0].size
+
+    @property
+    def n_local(self) -> int:
+        """Number of local (intra-chunk) axes."""
+        return self.chunk_size.bit_length() - 1
+
+    def chunk(self, rank: int) -> np.ndarray:
+        """Chunk ``rank``'s amplitudes (a live view, for white-box tests)."""
+        return self._chunks[rank]
+
+    @property
+    def qubit_ids(self) -> tuple[int, ...]:
+        """Allocated qubit ids in allocation order (descending bit position)."""
+        return tuple(sorted(self._bit_of, key=self._bit_of.__getitem__, reverse=True))
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def alloc(self, n: int = 1) -> list[int]:
+        """Allocate ``n`` fresh qubits in |0> and return their ids."""
+        if n < 1:
+            raise SimulationError(f"cannot allocate {n} qubits")
+        ids = []
+        for _ in range(n):
+            qid = self._next_id
+            self._next_id += 1
+            for q in self._bit_of:
+                self._bit_of[q] += 1
+            self._bit_of[qid] = 0
+            # New LSB in |0>: amplitudes interleave with zeros, chunk-locally.
+            grown = []
+            for c in self._chunks:
+                g = np.zeros(2 * c.size, dtype=np.complex128)
+                g[0::2] = c
+                grown.append(g)
+            if len(grown) < self.n_shards:
+                # Rebalance: split each doubled chunk at its top bit so the
+                # active chunk count tracks min(n_shards, 2^n).
+                half = grown[0].size // 2
+                grown = [part for c in grown for part in (c[:half].copy(), c[half:].copy())]
+            self._chunks = grown
+            ids.append(qid)
+        return ids
+
+    def release(self, qubit: int) -> None:
+        """Release a qubit that is disentangled and in state |0>.
+
+        Mirrors ``QMPI_Free_qmem``: freeing a qubit that still carries
+        amplitude in |1> (or is entangled) is a program error.
+        """
+        b = self._bit(qubit)
+        nl = self.n_local
+        if b < nl:
+            stride = 1 << b
+            views = [c.reshape(-1, 2, stride) for c in self._chunks]
+            if any(not np.allclose(v[:, 1, :], 0.0, atol=1e-9) for v in views):
+                self._raise_not_zero(qubit)
+            self._chunks = [np.ascontiguousarray(v[:, 0, :]).reshape(-1) for v in views]
+        else:
+            mask = 1 << (b - nl)
+            ones = [c for i, c in enumerate(self._chunks) if i & mask]
+            if any(not np.allclose(c, 0.0, atol=1e-9) for c in ones):
+                self._raise_not_zero(qubit)
+            self._chunks = [c for i, c in enumerate(self._chunks) if not i & mask]
+        del self._bit_of[qubit]
+        for q, bb in self._bit_of.items():
+            if bb > b:
+                self._bit_of[q] = bb - 1
+
+    def measure_and_release(self, qubit: int) -> int:
+        """Measure ``qubit`` in the Z basis, then remove it. Returns the bit."""
+        bit = self.measure(qubit)
+        if bit:
+            self.x(qubit)
+        self.release(qubit)
+        return bit
+
+    def _bit(self, qubit: int) -> int:
+        try:
+            return self._bit_of[qubit]
+        except KeyError:
+            raise SimulationError(f"unknown qubit id {qubit}") from None
+
+    @staticmethod
+    def _raise_not_zero(qubit: int) -> None:
+        raise SimulationError(
+            f"qubit {qubit} is not in |0> (or is entangled); "
+            "measure/uncompute before releasing"
+        )
+
+    # ------------------------------------------------------------------
+    # chunk exchange (the communication layer)
+    # ------------------------------------------------------------------
+    def _pair_exchange(self, shard_bit: int) -> list[np.ndarray]:
+        """Every chunk sends its amplitudes to its partner in ``shard_bit``
+        and receives the partner's, all through the fabric mailboxes.
+        Returns the partner chunk for each chunk index."""
+        tag = next(self._tags)
+        mask = 1 << shard_bit
+        for c in range(len(self._chunks)):
+            self._fabric.send(0, c, c ^ mask, tag, self._chunks[c])
+        return [
+            self._fabric.recv(0, c, c ^ mask, tag).payload
+            for c in range(len(self._chunks))
+        ]
+
+    def _group_exchange(
+        self, shard_bits: Sequence[int]
+    ) -> tuple[dict[int, list[int]], dict[int, list[np.ndarray]]]:
+        """All-to-all chunk exchange within each ``2^h``-member group.
+
+        Chunks agreeing on every shard bit *not* in ``shard_bits`` form a
+        group; each member ships its chunk to every other member over the
+        fabric. Returns ``(groups, gathered)`` where ``groups`` maps a
+        group base index to its member indices (ascending, i.e. ordered by
+        the value of the ``shard_bits`` coordinate) and ``gathered`` maps
+        each chunk index to the group's chunks in that same order.
+        """
+        tag = next(self._tags)
+        groups: dict[int, list[int]] = {}
+        for c in range(len(self._chunks)):
+            base = c
+            for j in shard_bits:
+                base &= ~(1 << j)
+            groups.setdefault(base, []).append(c)
+        for members in groups.values():
+            for src in members:
+                for dst in members:
+                    if dst != src:
+                        self._fabric.send(0, src, dst, tag, self._chunks[src])
+        gathered: dict[int, list[np.ndarray]] = {}
+        for members in groups.values():
+            for dst in members:
+                gathered[dst] = [
+                    self._chunks[dst]
+                    if src == dst
+                    else self._fabric.recv(0, dst, src, tag).payload
+                    for src in members
+                ]
+        return groups, gathered
+
+    # ------------------------------------------------------------------
+    # gate application
+    # ------------------------------------------------------------------
+    def apply(self, u: np.ndarray, *qubits: int) -> None:
+        """Apply a ``2^k x 2^k`` unitary to ``k`` qubits.
+
+        The first qubit in ``qubits`` corresponds to the most significant
+        bit of the matrix index (``U = sum |i><j|`` over k-bit ints).
+        """
+        k = len(qubits)
+        if len(set(qubits)) != k:
+            raise SimulationError(f"duplicate qubits in {qubits}")
+        u = np.asarray(u, dtype=np.complex128)
+        if u.shape != (2**k, 2**k):
+            raise SimulationError(
+                f"matrix shape {u.shape} does not match {k} qubits"
+            )
+        bits = [self._bit(q) for q in qubits]
+        if k == 1:
+            self._apply_single(u, bits[0])
+        elif all(b < self.n_local for b in bits):
+            self._apply_local(u, bits)
+        else:
+            self._apply_mixed(u, bits)
+
+    def _apply_single(self, u: np.ndarray, b: int) -> None:
+        nl = self.n_local
+        if u[0, 1] == 0 and u[1, 0] == 0:
+            # Diagonal gate: pure per-amplitude phase, never communicates.
+            if b < nl:
+                stride = 1 << b
+                for c in self._chunks:
+                    v = c.reshape(-1, 2, stride)
+                    if u[0, 0] != 1.0:
+                        v[:, 0, :] *= u[0, 0]
+                    if u[1, 1] != 1.0:
+                        v[:, 1, :] *= u[1, 1]
+            else:
+                mask = 1 << (b - nl)
+                for i, c in enumerate(self._chunks):
+                    c *= u[1, 1] if i & mask else u[0, 0]
+            return
+        if b < nl:
+            # Local axis: strided in-place kernel on each flat chunk.
+            stride = 1 << b
+            for c in self._chunks:
+                v = c.reshape(-1, 2, stride)
+                a0 = v[:, 0, :].copy()
+                a1 = v[:, 1, :]
+                v[:, 0, :] = u[0, 0] * a0 + u[0, 1] * a1
+                v[:, 1, :] = u[1, 0] * a0 + u[1, 1] * a1
+            return
+        # High axis: pair-chunk exchange, then a local linear combination.
+        mask = 1 << (b - nl)
+        partners = self._pair_exchange(b - nl)
+        self._chunks = [
+            u[1, 0] * partners[i] + u[1, 1] * c
+            if i & mask
+            else u[0, 0] * c + u[0, 1] * partners[i]
+            for i, c in enumerate(self._chunks)
+        ]
+
+    def _apply_local(self, u: np.ndarray, bits: Sequence[int]) -> None:
+        # All axes intra-chunk: tensor contraction per chunk, no traffic.
+        k = len(bits)
+        nl = self.n_local
+        axes = [nl - 1 - b for b in bits]
+        ut = u.reshape((2,) * (2 * k))
+        for i, c in enumerate(self._chunks):
+            t = np.tensordot(ut, c.reshape((2,) * nl), axes=(range(k, 2 * k), axes))
+            self._chunks[i] = np.ascontiguousarray(
+                np.moveaxis(t, range(k), axes)
+            ).reshape(-1)
+
+    def _apply_mixed(self, u: np.ndarray, bits: Sequence[int]) -> None:
+        # At least one high axis: gather the 2^h group chunks, contract the
+        # full group tensor, keep our slice. (Each member recomputes the
+        # group tensor — redundant by 2^h, but h <= log2(n_shards) and
+        # high-axis multi-qubit gates are the rare, communication-bound
+        # case by construction.)
+        k = len(bits)
+        nl = self.n_local
+        shard_bits = sorted({b - nl for b in bits if b >= nl})
+        h = len(shard_bits)
+        groups, gathered = self._group_exchange(shard_bits)
+        ut = u.reshape((2,) * (2 * k))
+        # Group-tensor axes: h shard axes first (most significant shard bit
+        # first), then the n_local intra-chunk axes (bit nl-1 first).
+        axes = [
+            (h - 1 - shard_bits.index(b - nl)) if b >= nl else (h + nl - 1 - b)
+            for b in bits
+        ]
+        new_chunks: list[np.ndarray] = [None] * len(self._chunks)  # type: ignore[list-item]
+        for members in groups.values():
+            for dst in members:
+                t = np.stack(gathered[dst]).reshape((2,) * h + (2,) * nl)
+                t = np.tensordot(ut, t, axes=(range(k, 2 * k), axes))
+                t = np.moveaxis(t, range(k), axes)
+                own = tuple((dst >> shard_bits[h - 1 - i]) & 1 for i in range(h))
+                new_chunks[dst] = np.ascontiguousarray(t[own]).reshape(-1)
+        self._chunks = new_chunks
+
+    def apply_controlled(
+        self, u: np.ndarray, controls: Sequence[int], targets: Sequence[int]
+    ) -> None:
+        """Apply ``u`` on ``targets`` conditioned on all ``controls`` = |1>.
+
+        When every target is a local axis this needs no communication at
+        all, regardless of where the controls live: a chunk participates
+        only if all its high-axis control bits are 1, and within it the
+        |1...1> local-control slice is updated in place. Diagonal
+        single-target gates (cz, controlled-phase) are communication-free
+        on any axis; only a non-diagonal high-axis *target* falls back to
+        the dense controlled matrix (and its exchange).
+        """
+        controls = list(controls)
+        targets = list(targets)
+        if set(controls) & set(targets):
+            raise SimulationError("control and target qubits overlap")
+        k = len(targets)
+        u = np.asarray(u, dtype=np.complex128)
+        if u.shape != (2**k, 2**k):
+            raise SimulationError(
+                f"matrix shape {u.shape} does not match {k} targets"
+            )
+        if not controls:
+            self.apply(u, *targets)
+            return
+        nl = self.n_local
+        c_bits = [self._bit(q) for q in controls]
+        t_bits = [self._bit(q) for q in targets]
+        if len(set(c_bits + t_bits)) != len(c_bits) + len(t_bits):
+            raise SimulationError(f"duplicate qubits in {(*controls, *targets)}")
+        if any(b >= nl for b in t_bits):
+            if k == 1 and u[0, 1] == 0 and u[1, 0] == 0:
+                # Diagonal single-target (cz, controlled-phase): a pure
+                # phase needs no exchange even on a high axis — the
+                # target bit is fixed per chunk.
+                tb = t_bits[0] - nl
+                cmask = sum(1 << (b - nl) for b in c_bits if b >= nl)
+                idx: list = [slice(None)] * nl
+                for b in c_bits:
+                    if b < nl:
+                        idx[nl - 1 - b] = 1
+                idx = tuple(idx)
+                for i, c in enumerate(self._chunks):
+                    if (i & cmask) != cmask:
+                        continue
+                    f = u[1, 1] if (i >> tb) & 1 else u[0, 0]
+                    if f != 1.0:
+                        c.reshape((2,) * nl)[idx] *= f
+                return
+            self.apply(G.controlled(u, len(controls)), *controls, *targets)
+            return
+        mask = sum(1 << (b - nl) for b in c_bits if b >= nl)
+        local_controls = [b for b in c_bits if b < nl]
+        ut = u.reshape((2,) * (2 * k))
+        idx: list = [slice(None)] * nl
+        for b in local_controls:
+            idx[nl - 1 - b] = 1
+        idx = tuple(idx)
+        if k == 1:
+            # Strided fast path for the cnot/cz/toffoli family: operate on
+            # the two target slices of the |1...1> control subspace.
+            ax = nl - 1 - t_bits[0]
+            idx0 = list(idx)
+            idx0[ax] = 0
+            idx0 = tuple(idx0)
+            idx1 = list(idx)
+            idx1[ax] = 1
+            idx1 = tuple(idx1)
+            diag = u[0, 1] == 0 and u[1, 0] == 0
+            for i, c in enumerate(self._chunks):
+                if (i & mask) != mask:
+                    continue
+                view = c.reshape((2,) * nl)
+                if diag:
+                    # Indexed in-place ops: a plain `view[idx0] * u` would be
+                    # a copy once every axis is integer-indexed (chunk_size 2).
+                    if u[0, 0] != 1.0:
+                        view[idx0] *= u[0, 0]
+                    if u[1, 1] != 1.0:
+                        view[idx1] *= u[1, 1]
+                else:
+                    a0 = view[idx0]
+                    a1 = view[idx1]
+                    new0 = u[0, 0] * a0 + u[0, 1] * a1
+                    view[idx1] = u[1, 0] * a0 + u[1, 1] * a1
+                    view[idx0] = new0
+            return
+        # Target axes within the sliced view shift down past removed
+        # control axes (same arithmetic as StateVector.apply_controlled).
+        t_axes = [
+            nl - 1 - b - sum(1 for cb in local_controls if cb > b) for b in t_bits
+        ]
+        for i, c in enumerate(self._chunks):
+            if (i & mask) != mask:
+                continue
+            view = c.reshape((2,) * nl)
+            sub = view[idx]
+            new = np.tensordot(ut, sub, axes=(range(k, 2 * k), t_axes))
+            view[idx] = np.moveaxis(new, range(k), t_axes)
+
+    # -- conveniences ---------------------------------------------------
+    def h(self, q: int) -> None:
+        self.apply(G.H, q)
+
+    def x(self, q: int) -> None:
+        self.apply(G.X, q)
+
+    def y(self, q: int) -> None:
+        self.apply(G.Y, q)
+
+    def z(self, q: int) -> None:
+        self.apply(G.Z, q)
+
+    def s(self, q: int) -> None:
+        self.apply(G.S, q)
+
+    def sdg(self, q: int) -> None:
+        self.apply(G.SDG, q)
+
+    def t(self, q: int) -> None:
+        self.apply(G.T, q)
+
+    def tdg(self, q: int) -> None:
+        self.apply(G.TDG, q)
+
+    def rx(self, q: int, theta: float) -> None:
+        self.apply(G.rx(theta), q)
+
+    def ry(self, q: int, theta: float) -> None:
+        self.apply(G.ry(theta), q)
+
+    def rz(self, q: int, theta: float) -> None:
+        self.apply(G.rz(theta), q)
+
+    def cnot(self, control: int, target: int) -> None:
+        self.apply_controlled(G.X, [control], [target])
+
+    def cz(self, control: int, target: int) -> None:
+        self.apply_controlled(G.Z, [control], [target])
+
+    def swap(self, a: int, b: int) -> None:
+        self.apply(G.SWAP, a, b)
+
+    def toffoli(self, c1: int, c2: int, target: int) -> None:
+        self.apply_controlled(G.X, [c1, c2], [target])
+
+    # ------------------------------------------------------------------
+    # measurement and inspection
+    # ------------------------------------------------------------------
+    def prob_one(self, qubit: int) -> float:
+        """Probability of measuring |1> on ``qubit`` (no collapse)."""
+        b = self._bit(qubit)
+        nl = self.n_local
+        if b < nl:
+            stride = 1 << b
+            return float(
+                sum(
+                    np.sum(np.abs(c.reshape(-1, 2, stride)[:, 1, :]) ** 2)
+                    for c in self._chunks
+                )
+            )
+        mask = 1 << (b - nl)
+        return float(
+            sum(
+                np.sum(np.abs(c) ** 2)
+                for i, c in enumerate(self._chunks)
+                if i & mask
+            )
+        )
+
+    def measure(self, qubit: int) -> int:
+        """Projective Z-basis measurement with collapse. Returns 0 or 1."""
+        p1 = self.prob_one(qubit)
+        bit = int(self.rng.random() < p1)
+        self.postselect(qubit, bit)
+        return bit
+
+    def postselect(self, qubit: int, bit: int) -> None:
+        """Project ``qubit`` onto ``|bit>`` and renormalize."""
+        b = self._bit(qubit)
+        nl = self.n_local
+        if b < nl:
+            stride = 1 << b
+            for c in self._chunks:
+                c.reshape(-1, 2, stride)[:, 1 - bit, :] = 0.0
+        else:
+            mask = 1 << (b - nl)
+            for i, c in enumerate(self._chunks):
+                if bool(i & mask) != bool(bit):
+                    c[:] = 0.0
+        norm = self.norm()
+        if norm < 1e-12:
+            raise SimulationError(
+                f"postselecting qubit {qubit} on {bit}: outcome has zero "
+                "probability"
+            )
+        for c in self._chunks:
+            c /= norm
+
+    def measure_many(self, qubits: Iterable[int]) -> list[int]:
+        """Measure several qubits sequentially (with collapse)."""
+        return [self.measure(q) for q in qubits]
+
+    def amplitude(self, bits: Sequence[int], qubits: Sequence[int] | None = None) -> complex:
+        """Amplitude of the computational basis state given by ``bits``.
+
+        ``qubits`` defaults to all qubits in allocation order.
+        """
+        qubits = list(qubits) if qubits is not None else list(self.qubit_ids)
+        if len(bits) != len(qubits):
+            raise SimulationError("bits and qubits must have equal length")
+        if len(qubits) != self.num_qubits:
+            raise SimulationError("amplitude() requires all qubits")
+        g = 0
+        for bval, q in zip(bits, qubits):
+            g |= int(bval) << self._bit(q)
+        nl = self.n_local
+        return complex(self._chunks[g >> nl][g & ((1 << nl) - 1)])
+
+    def statevector(self, qubits: Sequence[int] | None = None) -> np.ndarray:
+        """Dense state vector with ``qubits[0]`` as the most significant bit.
+
+        ``qubits`` must enumerate all allocated qubits; defaults to
+        allocation order (for which this is a plain chunk concatenation).
+        """
+        qubits = list(qubits) if qubits is not None else list(self.qubit_ids)
+        if sorted(qubits) != sorted(self._bit_of):
+            raise SimulationError("statevector() requires all qubit ids exactly once")
+        full = np.concatenate(self._chunks)
+        n = self.num_qubits
+        # Axis i of the (2,)*n view is global bit n-1-i == qubit_ids[i].
+        axes = [n - 1 - self._bit(q) for q in qubits]
+        return np.moveaxis(full.reshape((2,) * n), axes, range(n)).reshape(-1).copy()
+
+    def probabilities(self, qubits: Sequence[int] | None = None) -> np.ndarray:
+        """Measurement distribution over computational basis states."""
+        vec = self.statevector(qubits)
+        return np.abs(vec) ** 2
+
+    def norm(self) -> float:
+        """Euclidean norm of the state (should always be ~1)."""
+        return float(np.sqrt(sum(float(np.sum(np.abs(c) ** 2)) for c in self._chunks)))
+
+    def expectation_pauli(self, mapping: dict[int, str]) -> float:
+        """Expectation value of a Pauli string ``{qubit: 'X'|'Y'|'Z'}``."""
+        saved = [c.copy() for c in self._chunks]
+        try:
+            for q, p in mapping.items():
+                self.apply(G.PAULIS[p.upper()], q)
+            val = sum(np.vdot(s, c) for s, c in zip(saved, self._chunks))
+        finally:
+            self._chunks = saved
+        return float(np.real(val))
+
+    def copy(self) -> "ShardedStateVector":
+        """Deep copy (shares no state, including a cloned RNG)."""
+        out = ShardedStateVector.__new__(ShardedStateVector)
+        out.n_shards = self.n_shards
+        out._fabric = Fabric(self.n_shards)
+        out._tags = itertools.count()
+        out._chunks = [c.copy() for c in self._chunks]
+        out._bit_of = dict(self._bit_of)
+        out._next_id = self._next_id
+        out.rng = np.random.default_rng(self.rng.integers(2**63))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ShardedStateVector n={self.num_qubits} chunks={self.num_chunks}"
+            f"x{self.chunk_size} ids={self.qubit_ids}>"
+        )

@@ -1,0 +1,223 @@
+"""Shared vs. sharded backend equivalence.
+
+Two layers:
+
+1. Amplitude-exactness: GHZ-cat, teleportation, and TFIM-Trotter
+   workloads must leave *identical* final states (up to global phase,
+   atol 1e-10) on both backends at 1, 2, and 4 ranks.
+2. Scenario reruns: the existing ``test_p2p`` teleport and
+   ``test_cat_and_misc`` GHZ scenarios, parametrized over both backends,
+   with their original assertions (probabilities + ledger accounting).
+
+Programs used for exactness allocate their primary qubits in rank order
+(`_ordered_alloc`) so qubit ids are deterministic across runs; the
+protocols' internal measurement fixups are outcome-independent, so the
+final state does not depend on thread interleaving.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.tfim import tfim_time_evolution
+from repro.qmpi import cat_state_chain, cat_state_tree, qmpi_run
+
+BACKEND_SPECS = ["shared", "sharded"]
+RANK_COUNTS = [1, 2, 4]
+
+
+@pytest.fixture(params=BACKEND_SPECS)
+def backend_spec(request):
+    """Run the decorated scenario once per backend."""
+    return request.param
+
+
+def _ordered_alloc(qc, n=1):
+    """Allocate ``n`` qubits per rank, in rank order (deterministic ids)."""
+    out = None
+    for r in range(qc.size):
+        if qc.rank == r:
+            out = qc.alloc_qmem(n)
+        qc.barrier()
+    return out
+
+
+def assert_same_up_to_phase(vec_a, vec_b, atol=1e-10):
+    """Amplitude-identical up to one global phase."""
+    assert vec_a.shape == vec_b.shape
+    pivot = int(np.argmax(np.abs(vec_a)))
+    assert abs(vec_a[pivot]) > 1e-6, "degenerate reference state"
+    phase = vec_b[pivot] / vec_a[pivot]
+    assert abs(abs(phase) - 1.0) < atol
+    np.testing.assert_allclose(vec_a * phase, vec_b, atol=atol)
+
+
+def run_both(n_ranks, prog, seed=0, **kwargs):
+    shared = qmpi_run(n_ranks, prog, seed=seed, backend="shared", **kwargs)
+    sharded = qmpi_run(n_ranks, prog, seed=seed, backend="sharded", **kwargs)
+    return shared, sharded
+
+
+# ----------------------------------------------------------------------
+# amplitude-exact equivalence (the acceptance bar)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_ranks", RANK_COUNTS)
+def test_ghz_cat_amplitude_exact(n_ranks):
+    def prog(qc):
+        q = _ordered_alloc(qc)
+        cat_state_chain(qc, q[0])
+        qc.barrier()
+        return q[0]
+
+    shared, sharded = run_both(n_ranks, prog, seed=3)
+    assert shared.results == sharded.results  # deterministic qubit ids
+    order = list(shared.results)
+    assert_same_up_to_phase(
+        shared.backend.statevector(order), sharded.backend.statevector(order)
+    )
+    assert shared.ledger.epr_pairs == sharded.ledger.epr_pairs == n_ranks - 1
+
+
+@pytest.mark.parametrize("n_ranks", [2, 4])
+def test_teleport_amplitude_exact(n_ranks):
+    theta, phi = 1.234, 0.5
+
+    def prog(qc):
+        q = _ordered_alloc(qc)
+        last = qc.size - 1
+        if qc.rank == 0:
+            qc.ry(q[0], theta)
+            qc.rz(q[0], phi)
+            qc.send_move(q, last)
+            # rank 0's qubit is measured out by the move protocol;
+            # intermediate ranks keep their (idle) qubit
+            qc.barrier()
+            return None
+        if qc.rank == last:
+            t = qc.recv_move(q, 0)
+            qc.barrier()
+            return t[0]
+        qc.barrier()
+        return q[0]
+
+    shared, sharded = run_both(n_ranks, prog, seed=0)
+    assert shared.results == sharded.results
+    order = sorted(shared.backend.qubit_ids())
+    assert order == sorted(sharded.backend.qubit_ids())
+    assert_same_up_to_phase(
+        shared.backend.statevector(order), sharded.backend.statevector(order)
+    )
+    # and the teleported amplitudes are the prepared ones
+    p1 = math.sin(theta / 2) ** 2
+    received = shared.results[n_ranks - 1]
+
+    def prob(world):
+        vec = world.backend.statevector([received] + [q for q in order if q != received])
+        half = vec.reshape(2, -1)[1]
+        return float(np.sum(np.abs(half) ** 2))
+
+    assert prob(shared) == pytest.approx(p1, abs=1e-10)
+    assert prob(sharded) == pytest.approx(p1, abs=1e-10)
+
+
+@pytest.mark.parametrize("n_ranks", RANK_COUNTS)
+def test_tfim_trotter_amplitude_exact(n_ranks):
+    J, g, time, spins, steps = 0.7, 0.9, 0.8, 2, 3
+
+    def prog(qc):
+        q = _ordered_alloc(qc, spins)
+        for qq in q:
+            qc.h(qq)
+        tfim_time_evolution(qc, J, g, time, q, steps)
+        qc.barrier()
+        return list(q)
+
+    shared, sharded = run_both(n_ranks, prog, seed=0, timeout=300.0)
+    assert shared.results == sharded.results
+    order = [q for block in shared.results for q in block]
+    assert_same_up_to_phase(
+        shared.backend.statevector(order), sharded.backend.statevector(order)
+    )
+
+
+def test_seeded_measurements_agree_across_backends():
+    # Sequential protocol => same RNG draw order => identical outcomes.
+    def prog(qc):
+        q = _ordered_alloc(qc)
+        cat_state_chain(qc, q[0])
+        qc.barrier()
+        out = []
+        for r in range(qc.size):
+            if qc.rank == r:
+                out.append(qc.measure(q[0]))
+            qc.barrier()
+        return out[0]
+
+    for seed in range(4):
+        shared = qmpi_run(3, prog, seed=seed, backend="shared")
+        sharded = qmpi_run(3, prog, seed=seed, backend="sharded")
+        assert shared.results == sharded.results
+        assert len(set(shared.results)) == 1  # GHZ correlations
+
+
+# ----------------------------------------------------------------------
+# existing scenarios, parametrized over both backends
+# ----------------------------------------------------------------------
+def test_teleport_scenario_both_backends(backend_spec):
+    # The test_p2p.py teleport scenario, verbatim assertions.
+    theta, phi = 0.9, -1.1
+
+    def prog(qc):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(1)
+            qc.ry(q[0], theta)
+            qc.rz(q[0], phi)
+            qc.send_move(q, 1)
+            return None
+        t = qc.alloc_qmem(1)
+        qc.recv_move(t, 0)
+        return qc.prob_one(t[0])
+
+    w = qmpi_run(2, prog, seed=0, backend=backend_spec)
+    assert w.results[1] == pytest.approx(math.sin(theta / 2) ** 2, abs=1e-9)
+    snap = w.ledger.snapshot()
+    assert (snap.epr_pairs, snap.classical_bits) == (1, 2)  # Table 1: move
+
+
+@pytest.mark.parametrize("algo", ["chain", "tree"])
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_ghz_scenario_both_backends(backend_spec, algo, n):
+    # The test_cat_and_misc.py GHZ scenario, verbatim assertions.
+    def prog(qc):
+        q = qc.alloc_qmem(1)
+        if algo == "chain":
+            cat_state_chain(qc, q[0])
+        else:
+            cat_state_tree(qc, q[0])
+        qc.barrier()
+        return q[0]
+
+    w = qmpi_run(n, prog, seed=3, backend=backend_spec)
+    vec = w.backend.statevector(list(w.results))
+    ideal = np.zeros(2**n, dtype=complex)
+    ideal[0] = ideal[-1] = 2**-0.5
+    assert abs(np.vdot(ideal, vec)) ** 2 == pytest.approx(1.0, abs=1e-9)
+    assert w.ledger.epr_pairs == n - 1
+
+
+def test_copy_roundtrip_scenario_both_backends(backend_spec):
+    def prog(qc):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(1)
+            qc.ry(q[0], 1.3)
+            qc.send(q, 1)
+            qc.unsend(q, 1)
+            return qc.prob_one(q[0])
+        t = qc.alloc_qmem(1)
+        qc.recv(t, 0)
+        qc.unrecv(t, 0)
+        return None
+
+    w = qmpi_run(2, prog, seed=0, backend=backend_spec)
+    assert w.results[0] == pytest.approx(math.sin(0.65) ** 2, abs=1e-9)

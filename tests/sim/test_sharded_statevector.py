@@ -1,0 +1,326 @@
+"""Sharded engine: chunk layout, kernels, and equivalence to StateVector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import ShardedStateVector, SimulationError, StateVector
+from repro.sim import gates as G
+
+SHARDS = [1, 2, 4, 8]
+
+
+def rand_unitary(dim, rng):
+    m = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(m)
+    return q * (np.diag(r) / np.abs(np.diag(r)))
+
+
+def make_pair(n, n_shards, seed=0):
+    a = StateVector(n, seed=seed)
+    b = ShardedStateVector(n, seed=seed, n_shards=n_shards)
+    assert a.qubit_ids == b.qubit_ids
+    return a, b
+
+
+def assert_same_state(a, b, atol=1e-12):
+    np.testing.assert_allclose(a.statevector(), b.statevector(), atol=atol)
+
+
+# ----------------------------------------------------------------------
+# layout
+# ----------------------------------------------------------------------
+def test_bad_shard_count_rejected():
+    for bad in (0, 3, 6, -4):
+        with pytest.raises(SimulationError):
+            ShardedStateVector(n_shards=bad)
+
+
+@pytest.mark.parametrize("n_shards", SHARDS)
+def test_chunk_layout_tracks_allocation(n_shards):
+    sv = ShardedStateVector(n_shards=n_shards)
+    assert sv.num_chunks == 1 and sv.chunk_size == 1
+    sv.alloc(5)
+    assert sv.num_chunks == min(n_shards, 32)
+    assert sv.num_chunks * sv.chunk_size == 32
+    assert sv.n_local == 5 - (sv.num_chunks.bit_length() - 1)
+    # statevector in allocation order is the plain chunk concatenation
+    np.testing.assert_array_equal(
+        sv.statevector(), np.concatenate([sv.chunk(i) for i in range(sv.num_chunks)])
+    )
+
+
+def test_vacuum_statevector_is_scalar_one():
+    sv = ShardedStateVector(n_shards=4)
+    np.testing.assert_allclose(sv.statevector(), [1.0])
+    assert sv.num_qubits == 0 and sv.norm() == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# gate equivalence against the reference engine
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_shards", SHARDS)
+def test_single_qubit_gates_all_axes(n_shards):
+    # Qubit 0 is the highest axis (pair exchange for n_shards > 1),
+    # the last qubit the lowest (pure local kernel).
+    a, b = make_pair(4, n_shards)
+    for q in range(4):
+        for f in ("h", "x", "y", "s", "t", "sdg", "tdg", "z"):
+            getattr(a, f)(q)
+            getattr(b, f)(q)
+        a.rx(q, 0.3), b.rx(q, 0.3)
+        a.ry(q, -0.8), b.ry(q, -0.8)
+        a.rz(q, 1.7), b.rz(q, 1.7)
+        assert_same_state(a, b)
+
+
+@pytest.mark.parametrize("n_shards", SHARDS)
+def test_two_qubit_gates_mixed_axes(n_shards):
+    a, b = make_pair(4, n_shards)
+    for q in range(4):
+        a.h(q), b.h(q)
+    pairs = [(0, 1), (1, 0), (0, 3), (3, 0), (2, 3), (1, 2)]
+    for c, t in pairs:
+        a.cnot(c, t), b.cnot(c, t)
+        a.cz(c, t), b.cz(c, t)
+        a.swap(c, t), b.swap(c, t)
+        assert_same_state(a, b)
+    a.toffoli(0, 1, 3), b.toffoli(0, 1, 3)
+    a.toffoli(3, 2, 0), b.toffoli(3, 2, 0)
+    assert_same_state(a, b)
+
+
+@pytest.mark.parametrize("n_shards", SHARDS)
+def test_random_circuit_equivalence(n_shards, rng):
+    a, b = make_pair(5, n_shards, seed=11)
+    ids = list(a.qubit_ids)
+    for _ in range(40):
+        k = int(rng.integers(1, 4))
+        qs = [int(q) for q in rng.choice(ids, size=k, replace=False)]
+        u = rand_unitary(2**k, rng)
+        a.apply(u, *qs)
+        b.apply(u, *qs)
+    assert_same_state(a, b)
+    assert b.norm() == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("n_shards", [2, 4])
+def test_apply_controlled_matches_reference(n_shards, rng):
+    a, b = make_pair(4, n_shards)
+    for q in range(4):
+        a.h(q), b.h(q)
+    u = rand_unitary(2, rng)
+    a.apply_controlled(u, [0], [3])
+    b.apply_controlled(u, [0], [3])
+    a.apply_controlled(u, [3, 1], [0])
+    b.apply_controlled(u, [3, 1], [0])
+    a.apply_controlled(u, [], [2])
+    b.apply_controlled(u, [], [2])
+    assert_same_state(a, b)
+
+
+@settings(max_examples=10)
+@given(theta=st.floats(-3.0, 3.0, allow_nan=False), q=st.integers(0, 2))
+def test_rotation_angles_property(theta, q):
+    a = StateVector(3, seed=0)
+    b = ShardedStateVector(3, seed=0, n_shards=4)
+    a.h(q), b.h(q)
+    a.ry(q, theta), b.ry(q, theta)
+    np.testing.assert_allclose(a.statevector(), b.statevector(), atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# allocation / release dynamics
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_shards", SHARDS)
+def test_alloc_release_interleaved(n_shards):
+    a, b = make_pair(2, n_shards)
+    a.h(0), b.h(0)
+    a.cnot(0, 1), b.cnot(0, 1)
+    (x,) = a.alloc(1)
+    assert b.alloc(1) == [x]
+    a.h(x), b.h(x)
+    a.h(x), b.h(x)  # uncompute
+    a.release(x), b.release(x)
+    assert_same_state(a, b)
+    more_a, more_b = a.alloc(2), b.alloc(2)
+    assert more_a == more_b
+    a.x(more_a[0]), b.x(more_b[0])
+    assert_same_state(a, b)
+    assert a.qubit_ids == b.qubit_ids
+
+
+@pytest.mark.parametrize("n_shards", [2, 4, 8])
+def test_release_high_axis_qubit_compacts_chunks(n_shards):
+    sv = ShardedStateVector(3, seed=0, n_shards=n_shards)
+    ref = StateVector(3, seed=0)
+    sv.h(2), ref.h(2)
+    before = sv.num_chunks
+    sv.release(0), ref.release(0)  # first-allocated == highest axis
+    assert sv.num_chunks == before // 2
+    np.testing.assert_allclose(sv.statevector(), ref.statevector(), atol=1e-12)
+    # next alloc rebalances back up
+    sv.alloc(1), ref.alloc(1)
+    assert sv.num_chunks == min(n_shards, 8)
+    np.testing.assert_allclose(sv.statevector(), ref.statevector(), atol=1e-12)
+
+
+def test_release_nonzero_qubit_raises():
+    sv = ShardedStateVector(2, seed=0, n_shards=2)
+    sv.x(0)
+    with pytest.raises(SimulationError):
+        sv.release(0)  # high axis, |1>
+    sv.x(1)
+    with pytest.raises(SimulationError):
+        sv.release(1)  # local axis, |1>
+
+
+def test_release_entangled_qubit_raises():
+    sv = ShardedStateVector(2, seed=0, n_shards=2)
+    sv.h(0)
+    sv.cnot(0, 1)
+    with pytest.raises(SimulationError):
+        sv.release(1)
+
+
+def test_unknown_and_duplicate_qubits_raise():
+    sv = ShardedStateVector(2, seed=0, n_shards=2)
+    with pytest.raises(SimulationError):
+        sv.h(42)
+    with pytest.raises(SimulationError):
+        sv.apply(G.SWAP, 0, 0)
+    with pytest.raises(SimulationError):
+        sv.apply(G.H, 0, 1)  # shape mismatch
+    with pytest.raises(SimulationError):
+        sv.alloc(0)
+
+
+# ----------------------------------------------------------------------
+# measurement
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_shards", SHARDS)
+def test_measurement_parity_with_reference(n_shards):
+    # Same seed + same draw discipline => identical outcomes and states.
+    a, b = make_pair(4, n_shards, seed=123)
+    for q in range(4):
+        a.h(q), b.h(q)
+    a.cnot(0, 3), b.cnot(0, 3)
+    for q in (3, 0, 1):
+        assert a.measure(q) == b.measure(q)
+        assert_same_state(a, b)
+    assert a.measure_many([2]) == b.measure_many([2])
+
+
+@pytest.mark.parametrize("n_shards", [1, 4])
+def test_prob_one_and_postselect_axes(n_shards):
+    a, b = make_pair(3, n_shards)
+    a.ry(0, 0.7), b.ry(0, 0.7)
+    a.ry(2, 1.3), b.ry(2, 1.3)
+    for q in range(3):
+        assert b.prob_one(q) == pytest.approx(a.prob_one(q), abs=1e-12)
+    a.postselect(0, 1), b.postselect(0, 1)
+    a.postselect(2, 0), b.postselect(2, 0)
+    assert_same_state(a, b)
+    assert b.norm() == pytest.approx(1.0)
+
+
+def test_postselect_zero_probability_raises():
+    sv = ShardedStateVector(2, seed=0, n_shards=2)
+    with pytest.raises(SimulationError):
+        sv.postselect(0, 1)
+
+
+@pytest.mark.parametrize("n_shards", [2, 4])
+def test_measure_and_release(n_shards):
+    sv = ShardedStateVector(n_shards=n_shards, seed=0)
+    q = sv.alloc(2)
+    sv.x(q[0])
+    assert sv.measure_and_release(q[0]) == 1
+    assert sv.num_qubits == 1
+    assert sv.measure_and_release(q[1]) == 0
+    assert sv.num_qubits == 0
+
+
+# ----------------------------------------------------------------------
+# inspection
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_shards", [1, 4])
+def test_amplitude_statevector_probabilities(n_shards):
+    a, b = make_pair(3, n_shards)
+    a.h(0), b.h(0)
+    a.cnot(0, 2), b.cnot(0, 2)
+    for bits in ([0, 0, 0], [1, 0, 1], [1, 1, 0]):
+        assert b.amplitude(bits) == pytest.approx(a.amplitude(bits), abs=1e-12)
+    # permuted qubit order
+    order = [2, 0, 1]
+    np.testing.assert_allclose(
+        b.statevector(order), a.statevector(order), atol=1e-12
+    )
+    np.testing.assert_allclose(
+        b.probabilities(order), a.probabilities(order), atol=1e-12
+    )
+    with pytest.raises(SimulationError):
+        b.amplitude([0, 1])
+    with pytest.raises(SimulationError):
+        b.statevector([0, 1])
+
+
+@pytest.mark.parametrize("n_shards", [1, 4])
+def test_expectation_pauli(n_shards):
+    a, b = make_pair(3, n_shards)
+    a.h(0), b.h(0)
+    a.cnot(0, 1), b.cnot(0, 1)
+    a.ry(2, 0.9), b.ry(2, 0.9)
+    for mapping in ({0: "Z"}, {0: "X", 1: "X"}, {2: "Y"}, {0: "Z", 1: "Z", 2: "Z"}):
+        assert b.expectation_pauli(mapping) == pytest.approx(
+            a.expectation_pauli(mapping), abs=1e-12
+        )
+    # expectation must not perturb the state
+    assert_same_state(a, b)
+
+
+def test_copy_is_independent():
+    sv = ShardedStateVector(3, seed=0, n_shards=4)
+    sv.h(0)
+    dup = sv.copy()
+    dup.x(1)
+    assert sv.prob_one(1) == pytest.approx(0.0)
+    assert dup.prob_one(1) == pytest.approx(1.0)
+
+
+def test_exchange_traffic_goes_through_fabric():
+    # A high-axis H must move chunk pairs through the fabric mailboxes;
+    # a diagonal high-axis Rz must not.
+    sv = ShardedStateVector(3, seed=0, n_shards=4)
+    sent = []
+    original = sv._fabric.send
+
+    def spy(context, source, dest, tag, payload):
+        sent.append((source, dest))
+        original(context, source, dest, tag, payload)
+
+    sv._fabric.send = spy
+    sv.rz(0, 0.5)
+    assert sent == []  # diagonal: no communication
+    sv.cz(2, 0)  # diagonal controlled, high-axis target: still none
+    sv.cz(0, 2)  # ... and high-axis control
+    assert sent == []
+    sv.h(0)  # qubit 0 = highest axis = shard bit
+    assert sorted(sent) == [(0, 2), (1, 3), (2, 0), (3, 1)]
+    sent.clear()
+    sv.h(2)  # lowest axis = local, no traffic
+    assert sent == []
+
+
+@pytest.mark.parametrize("n_shards", [2, 4, 8])
+def test_cz_high_axis_target_matches_reference(n_shards):
+    # cz/controlled-phase with a shard-bit target takes the phase-only
+    # path; check it against the reference on every control/target split.
+    a, b = make_pair(3, n_shards)
+    for q in range(3):
+        a.h(q), b.h(q)
+    for c, t in [(2, 0), (0, 2), (1, 0), (0, 1), (2, 1), (1, 2)]:
+        a.cz(c, t), b.cz(c, t)
+        a.apply_controlled(G.phase(0.7), [c], [t])
+        b.apply_controlled(G.phase(0.7), [c], [t])
+        assert_same_state(a, b)
