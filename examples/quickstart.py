@@ -5,8 +5,10 @@ Two quantum ranks each allocate one qubit and call QMPI_Prepare_EPR with
 the other rank; measuring both halves of the shared EPR pair always gives
 the same outcome. Run:
 
-    python examples/quickstart.py
+    python examples/quickstart.py [--backend shared|sharded]
 """
+
+import argparse
 
 from repro.qmpi import qmpi_run
 
@@ -24,8 +26,12 @@ def main_program(qc):
 
 
 def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--backend", default="shared", choices=["shared", "sharded"],
+                    help="simulation engine (see README: Simulation backends)")
+    args = ap.parse_args()
     for trial in range(4):
-        world = qmpi_run(2, main_program, seed=trial)
+        world = qmpi_run(2, main_program, seed=trial, backend=args.backend)
         a, b = world.results
         assert a == b, "EPR halves must agree!"
         print(f"trial {trial}: both ranks measured {a}  "

@@ -1,5 +1,5 @@
 """Distributed quantum applications built on QMPI (§7 of the paper)."""
 
-from . import ghz, parity, teleport, tfim
+from . import ghz, parity, qft, teleport, tfim
 
-__all__ = ["teleport", "ghz", "parity", "tfim"]
+__all__ = ["teleport", "ghz", "parity", "qft", "tfim"]

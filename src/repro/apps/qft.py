@@ -1,0 +1,79 @@
+"""Quantum Fourier transform on a rank's local register.
+
+The QFT is the workhorse subroutine of the paper's §2 algorithm families
+(phase estimation, Shor) and a natural stress test for the op-stream
+gate path: it is built almost entirely from *diagonal* controlled
+phases, which the stream coalesces and the sharded engine applies with
+zero communication, plus the final bit-reversal — textbook circuits
+spell each reversal swap as 3 CNOTs; here it is the native ``swap`` op
+from the GATESET (one op, one strided kernel / pair exchange).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..qmpi.api import QmpiComm, qmpi_run
+from ..qmpi.qubit import as_qureg
+
+__all__ = ["qft", "inverse_qft", "qft_program", "run_qft"]
+
+
+def qft(qc: QmpiComm, qubits, reverse: bool = True) -> None:
+    """Apply the QFT to this rank's ``qubits`` (``qubits[0]`` = MSB).
+
+    ``reverse=True`` (default) finishes with the bit-reversal swaps so
+    the output ordering matches the DFT matrix convention; pass False to
+    keep the reversed order and fold the permutation into the caller's
+    indexing (the usual trick when a full inverse follows).
+    """
+    qubits = as_qureg(qubits)
+    n = len(qubits)
+    for i in range(n):
+        qc.h(qubits[i])
+        for j in range(i + 1, n):
+            qc.cphase(qubits[j], qubits[i], math.pi / (1 << (j - i)))
+    if reverse:
+        for i in range(n // 2):
+            qc.swap(qubits[i], qubits[n - 1 - i])
+
+
+def inverse_qft(qc: QmpiComm, qubits, reverse: bool = True) -> None:
+    """Exact inverse circuit of :func:`qft` (conjugate phases, reversed)."""
+    qubits = as_qureg(qubits)
+    n = len(qubits)
+    if reverse:
+        for i in range(n // 2):
+            qc.swap(qubits[i], qubits[n - 1 - i])
+    for i in reversed(range(n)):
+        for j in reversed(range(i + 1, n)):
+            qc.cphase(qubits[j], qubits[i], -math.pi / (1 << (j - i)))
+        qc.h(qubits[i])
+
+
+def qft_program(qc: QmpiComm, n_qubits: int, value: int) -> list[int]:
+    """Each rank QFTs its own ``n_qubits``-qubit register prepared in
+    basis state ``|value + rank>`` and returns its qubit ids (tests
+    compare the backend state against the DFT matrix column)."""
+    q = qc.alloc_qmem(n_qubits)
+    x = (value + qc.rank) % (1 << n_qubits)
+    for i, qb in enumerate(q):
+        if (x >> (n_qubits - 1 - i)) & 1:
+            qc.x(qb)
+    qft(qc, q)
+    qc.barrier()
+    return list(q)
+
+
+def run_qft(n_ranks: int = 1, n_qubits: int = 3, value: int = 1, seed=0, **kwargs):
+    """Launch :func:`qft_program`; returns the :class:`QmpiWorld`."""
+    return qmpi_run(n_ranks, qft_program, args=(n_qubits, value), seed=seed, **kwargs)
+
+
+def _dft_column(n_qubits: int, x: int) -> np.ndarray:
+    """Column ``x`` of the unitary DFT matrix (reference for tests)."""
+    dim = 1 << n_qubits
+    k = np.arange(dim)
+    return np.exp(2j * math.pi * k * x / dim) / math.sqrt(dim)

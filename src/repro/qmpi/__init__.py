@@ -2,6 +2,10 @@
 
 Layering:
 
+* :mod:`~repro.qmpi.ops` — typed operation IR: :class:`Op` records and
+  the canonical ``GATESET`` registry
+* :mod:`~repro.qmpi.stream` — per-rank op streams: fusion + batched
+  ``apply_ops`` dispatch
 * :mod:`~repro.qmpi.backend` — quantum backends: shared (§6 semantics)
   and sharded (chunk-distributed amplitudes), behind one registry
 * :mod:`~repro.qmpi.epr` — EPR pair establishment + S-limited buffers
@@ -27,10 +31,12 @@ from .backend import (
 from .cat import CatHandle, cat_state_chain, cat_state_tree, uncat
 from .datatypes import QMPI_QUBIT, QubitType, type_contiguous, type_indexed, type_vector
 from .epr import EprBufferFull, EprService
+from .ops import GATESET, UNITARY, GateDef, Op, register_gate
 from .persistent import PersistentChannel
 from .qubit import Qureg
 from .reductions import PARITY, SUM, QuantumOp
 from .resource import Ledger, LedgerSnapshot
+from .stream import OpStream
 
 __all__ = [
     "QmpiComm",
@@ -43,6 +49,12 @@ __all__ = [
     "make_backend",
     "register_backend",
     "LocalityError",
+    "Op",
+    "GateDef",
+    "GATESET",
+    "UNITARY",
+    "register_gate",
+    "OpStream",
     "EprService",
     "EprBufferFull",
     "Qureg",

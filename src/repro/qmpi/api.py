@@ -24,9 +24,12 @@ from ..mpi.runtime import run_spmd
 from .backend import QuantumBackend, make_backend
 from .epr import EprRequest, EprService
 from . import collectives as _coll
+from . import ops as _ops
 from . import p2p as _p2p
+from .ops import GateDef, Op
 from .qubit import Qureg, as_qureg
 from .resource import Ledger
+from .stream import OpStream
 
 __all__ = ["QmpiComm", "qmpi_run", "QmpiWorld"]
 
@@ -45,6 +48,13 @@ class QmpiComm:
         The EPR rendezvous service.
     ledger:
         Shared resource ledger (EPR pairs, classical bits).
+    stream:
+        This rank's :class:`~repro.qmpi.stream.OpStream`. Local gate
+        calls append typed :class:`~repro.qmpi.ops.Op` records here; the
+        buffer is fused and dispatched as ``apply_ops`` batches, and
+        auto-flushed at every semantic boundary (measurement,
+        ``prob_one``, EPR preparation, p2p/collective entry, barrier,
+        qubit release, program exit).
     """
 
     def __init__(
@@ -53,6 +63,7 @@ class QmpiComm:
         backend: QuantumBackend,
         epr: EprService,
         ledger: Ledger,
+        fusion="auto",
     ):
         self.comm = comm
         self._pcomm = comm.dup()  # protocol traffic, isolated context
@@ -60,6 +71,7 @@ class QmpiComm:
         self.epr = epr
         self.ledger = ledger
         self.context = self._pcomm.context
+        self.stream = OpStream(backend, comm.rank, fusion=fusion)
 
     # ------------------------------------------------------------------
     # identity
@@ -81,80 +93,78 @@ class QmpiComm:
 
     def free_qmem(self, qubits) -> None:
         """Free local qubits (must be disentangled |0>)."""
+        self.flush_ops()
         self.backend.free(self.rank, list(as_qureg(qubits)))
 
     # ------------------------------------------------------------------
-    # local gates & measurement (forwarded to the shared backend, §6)
+    # local gates & measurement (recorded on the op stream, §6)
     # ------------------------------------------------------------------
-    def h(self, q: int) -> None:
-        self.backend.h(self.rank, q)
+    # Named gate methods — h(q), cnot(c, t), crz(c, t, theta), ... — are
+    # generated from the GATESET registry at the bottom of this module:
+    # each appends one typed Op to self.stream instead of issuing an
+    # eager backend call.
 
-    def x(self, q: int) -> None:
-        self.backend.x(self.rank, q)
+    def flush_ops(self) -> None:
+        """Dispatch this rank's buffered gate stream (one apply_ops batch).
 
-    def y(self, q: int) -> None:
-        self.backend.y(self.rank, q)
-
-    def z(self, q: int) -> None:
-        self.backend.z(self.rank, q)
-
-    def s(self, q: int) -> None:
-        self.backend.s(self.rank, q)
-
-    def sdg(self, q: int) -> None:
-        self.backend.sdg(self.rank, q)
-
-    def t(self, q: int) -> None:
-        self.backend.t(self.rank, q)
-
-    def rx(self, q: int, theta: float) -> None:
-        self.backend.rx(self.rank, q, theta)
-
-    def ry(self, q: int, theta: float) -> None:
-        self.backend.ry(self.rank, q, theta)
-
-    def rz(self, q: int, theta: float) -> None:
-        self.backend.rz(self.rank, q, theta)
-
-    def cnot(self, c: int, t: int) -> None:
-        self.backend.cnot(self.rank, c, t)
-
-    def cz(self, c: int, t: int) -> None:
-        self.backend.cz(self.rank, c, t)
-
-    def toffoli(self, c1: int, c2: int, t: int) -> None:
-        self.backend.toffoli(self.rank, c1, c2, t)
+        Called automatically at every semantic boundary; manual calls are
+        only needed before white-box backend inspection mid-program.
+        """
+        self.stream.flush()
 
     def measure(self, q: int) -> int:
+        self.flush_ops()
         return self.backend.measure(self.rank, q)
 
     def measure_and_release(self, q: int) -> int:
+        self.flush_ops()
         return self.backend.measure_and_release(self.rank, q)
 
     def prob_one(self, q: int) -> float:
+        self.flush_ops()
         return self.backend.prob_one(self.rank, q)
+
+    def statevector(self, qubits=None):
+        """Global state for verification/debugging (not part of QMPI).
+
+        Flushes this rank's stream first; other ranks flush their own
+        at their boundaries — coordinate with :meth:`barrier` for a
+        consistent global view mid-program.
+        """
+        self.flush_ops()
+        return self.backend.statevector(qubits)
 
     # ------------------------------------------------------------------
     # classical protocol bits (ledger-counted)
     # ------------------------------------------------------------------
+    # Convention: every transmitted bit increments the global totals
+    # exactly once, on the *sending* side; the receiving side attributes
+    # the same bits to its own operation row without touching totals, so
+    # two-sided protocols (send/recv, unsend/unrecv) account their
+    # Table 1-3 classical cost on both endpoints' rows.
     def send_bits(self, value: int, nbits: int, dest: int, tag: int = 0) -> None:
         """Send protocol fixup bits over the private classical channel."""
         self.ledger.record_classical(nbits)
         self._pcomm.send(value, dest, tag)
 
     def recv_bits(self, nbits: int, source: int, tag: int = 0) -> int:
-        return self._pcomm.recv(source=source, tag=tag)
+        """Receive protocol fixup bits (row-attributed, not re-counted)."""
+        value = self._pcomm.recv(source=source, tag=tag)
+        self.ledger.record_classical_receipt(nbits)
+        return value
 
     # ------------------------------------------------------------------
     # EPR (§4.3)
     # ------------------------------------------------------------------
     def prepare_epr(self, qubit: int, dest: int, tag: int = 0) -> None:
         """Blocking QMPI_Prepare_EPR (symmetric rendezvous)."""
+        self.flush_ops()
         with self.ledger.scope("prepare_epr"):
             self.epr.prepare(self.rank, qubit, dest, tag, self.context, direction=0)
 
     def iprepare_epr(self, qubit: int, dest: int, tag: int = 0) -> EprRequest:
         """Non-blocking QMPI_Iprepare_EPR."""
+        self.flush_ops()
         with self.ledger.scope("prepare_epr"):
             return self.epr.iprepare(self.rank, qubit, dest, tag, self.context, direction=0)
 
@@ -317,11 +327,47 @@ class QmpiComm:
         _coll.unexscan(self, handle)
 
     def barrier(self) -> None:
-        """Classical barrier across the QMPI world."""
+        """Classical barrier across the QMPI world (flushes the stream)."""
+        self.flush_ops()
         self._pcomm.barrier()
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<QmpiComm rank={self.rank}/{self.size}>"
+
+
+# ----------------------------------------------------------------------
+# GATESET-generated gate methods (h, x, ..., swap, crz, cphase, ...)
+# ----------------------------------------------------------------------
+def _comm_gate_shim(gd: GateDef):
+    n_args = gd.n_qubits + gd.n_params
+
+    def shim(self: QmpiComm, *args):
+        if len(args) != n_args:
+            raise TypeError(
+                f"{gd.name}({gd.signature()}) takes {n_args} operands, "
+                f"got {len(args)}"
+            )
+        self.stream.append(Op(gd.name, args[: gd.n_qubits], args[gd.n_qubits :]))
+
+    shim.__name__ = gd.name
+    shim.__qualname__ = f"QmpiComm.{gd.name}"
+    shim.__doc__ = (
+        f"``{gd.name}({gd.signature()})`` — recorded on this rank's op "
+        f"stream (fused/batched; applied no later than the next flush "
+        f"boundary)."
+    )
+    shim._gateset_shim = True
+    return shim
+
+
+def _install_comm_shim(gd: GateDef) -> None:
+    existing = getattr(QmpiComm, gd.name, None)
+    if existing is not None and not getattr(existing, "_gateset_shim", False):
+        raise ValueError(f"gate name {gd.name!r} would shadow QmpiComm.{gd.name}")
+    setattr(QmpiComm, gd.name, _comm_gate_shim(gd))
+
+
+_ops.bind_gateset(_install_comm_shim)
 
 
 class QmpiWorld:
@@ -344,6 +390,7 @@ def qmpi_run(
     timeout: float = 120.0,
     backend: "str | type[QuantumBackend] | QuantumBackend" = "shared",
     backend_opts: dict | None = None,
+    fusion="auto",
 ) -> QmpiWorld:
     """Run ``fn(qcomm, *args, **kwargs)`` on ``n_ranks`` quantum ranks.
 
@@ -367,6 +414,11 @@ def qmpi_run(
     backend_opts:
         Extra keyword arguments for the backend constructor (e.g.
         ``{"n_shards": 8}`` or ``{"enforce_locality": False}``).
+    fusion:
+        Per-rank gate-stream fusion: ``"auto"`` (default) buffers, fuses
+        and batch-dispatches local gates; ``"off"`` forwards every gate
+        eagerly as a one-op batch (the escape hatch — identical
+        semantics, no batching). See :class:`~repro.qmpi.stream.OpStream`.
     """
     backend = make_backend(
         backend, seed=seed, n_ranks=n_ranks, **(backend_opts or {})
@@ -376,8 +428,11 @@ def qmpi_run(
 
     def wrapper(comm: Communicator, *a: Any, **k: Any) -> Any:
         epr.abort = comm.fabric.abort
-        qc = QmpiComm(comm, backend, epr, ledger)
-        return fn(qc, *a, **k)
+        qc = QmpiComm(comm, backend, epr, ledger, fusion=fusion)
+        try:
+            return fn(qc, *a, **k)
+        finally:
+            qc.flush_ops()
 
     results = run_spmd(n_ranks, wrapper, args, kwargs, timeout)
     return QmpiWorld(results, backend, ledger)

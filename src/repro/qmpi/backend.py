@@ -30,6 +30,8 @@ import numpy as np
 
 from ..sim.sharded import ShardedStateVector
 from ..sim.statevector import SimulationError, StateVector
+from . import ops as _ops
+from .ops import UNITARY, GateDef, Op
 from .qubit import Qureg
 
 __all__ = [
@@ -53,6 +55,13 @@ class QuantumBackend:
     Subclasses supply the engine (anything with the
     :class:`~repro.sim.statevector.StateVector` surface); this base class
     owns the lock, the ownership table, and locality enforcement.
+
+    All gates funnel through :meth:`apply_ops`, the single batched entry
+    point. Named gate methods (``h(rank, q)``, ``cnot(rank, c, t)``,
+    ``crz(rank, c, t, theta)``, ...) are generated from the
+    :data:`~repro.qmpi.ops.GATESET` registry — one shim per gate, each
+    emitting a one-op batch — so registering a new
+    :class:`~repro.qmpi.ops.GateDef` extends every backend at once.
     """
 
     def __init__(self, engine, enforce_locality: bool = True):
@@ -114,77 +123,41 @@ class QuantumBackend:
                 )
 
     # ------------------------------------------------------------------
-    # gates (all rank-checked and serialized)
+    # gates: one batched entry point (rank-checked and serialized)
     # ------------------------------------------------------------------
+    def apply_ops(self, rank: int, ops) -> None:
+        """Execute a batch of :class:`~repro.qmpi.ops.Op` records.
+
+        This is the *only* gate path: ownership of every operand is
+        checked and the whole batch is handed to the engine under one
+        lock acquisition. The named convenience methods (``h``, ``x``,
+        ..., one per :data:`~repro.qmpi.ops.GATESET` entry) are thin
+        shims emitting one-op batches.
+        """
+        ops = tuple(ops)
+        if not ops:
+            return
+        with self._lock:
+            for op in ops:
+                self._check_owner(rank, *op.qubits)
+            sv_apply_ops = getattr(self._sv, "apply_ops", None)
+            if sv_apply_ops is not None:
+                sv_apply_ops(ops)
+            else:  # engines predating the op IR: unroll generically
+                for op in ops:
+                    if op.n_controls:
+                        self._sv.apply_controlled(
+                            op.target_matrix(), list(op.controls), list(op.targets)
+                        )
+                    else:
+                        self._sv.apply(op.target_matrix(), *op.targets)
+
     def apply(self, rank: int, u: np.ndarray, *qubits: int) -> None:
-        with self._lock:
-            self._check_owner(rank, *qubits)
-            self._sv.apply(u, *qubits)
-
-    def h(self, rank: int, q: int) -> None:
-        with self._lock:
-            self._check_owner(rank, q)
-            self._sv.h(q)
-
-    def x(self, rank: int, q: int) -> None:
-        with self._lock:
-            self._check_owner(rank, q)
-            self._sv.x(q)
-
-    def y(self, rank: int, q: int) -> None:
-        with self._lock:
-            self._check_owner(rank, q)
-            self._sv.y(q)
-
-    def z(self, rank: int, q: int) -> None:
-        with self._lock:
-            self._check_owner(rank, q)
-            self._sv.z(q)
-
-    def s(self, rank: int, q: int) -> None:
-        with self._lock:
-            self._check_owner(rank, q)
-            self._sv.s(q)
-
-    def sdg(self, rank: int, q: int) -> None:
-        with self._lock:
-            self._check_owner(rank, q)
-            self._sv.sdg(q)
-
-    def t(self, rank: int, q: int) -> None:
-        with self._lock:
-            self._check_owner(rank, q)
-            self._sv.t(q)
-
-    def rx(self, rank: int, q: int, theta: float) -> None:
-        with self._lock:
-            self._check_owner(rank, q)
-            self._sv.rx(q, theta)
-
-    def ry(self, rank: int, q: int, theta: float) -> None:
-        with self._lock:
-            self._check_owner(rank, q)
-            self._sv.ry(q, theta)
-
-    def rz(self, rank: int, q: int, theta: float) -> None:
-        with self._lock:
-            self._check_owner(rank, q)
-            self._sv.rz(q, theta)
-
-    def cnot(self, rank: int, c: int, t: int) -> None:
-        with self._lock:
-            self._check_owner(rank, c, t)
-            self._sv.cnot(c, t)
-
-    def cz(self, rank: int, c: int, t: int) -> None:
-        with self._lock:
-            self._check_owner(rank, c, t)
-            self._sv.cz(c, t)
-
-    def toffoli(self, rank: int, c1: int, c2: int, t: int) -> None:
-        with self._lock:
-            self._check_owner(rank, c1, c2, t)
-            self._sv.toffoli(c1, c2, t)
+        """Apply an explicit ``2^k x 2^k`` unitary (emitted as one
+        :data:`~repro.qmpi.ops.UNITARY` op)."""
+        self.apply_ops(
+            rank, (Op(UNITARY, tuple(qubits), u=np.asarray(u, dtype=np.complex128)),)
+        )
 
     # ------------------------------------------------------------------
     # measurement
@@ -258,6 +231,42 @@ class ShardedBackend(QuantumBackend):
             ShardedStateVector(seed=seed, n_shards=n_shards), enforce_locality
         )
         self.n_shards = n_shards
+
+
+# ----------------------------------------------------------------------
+# GATESET-generated gate shims
+# ----------------------------------------------------------------------
+def _backend_gate_shim(gd: GateDef):
+    n_args = gd.n_qubits + gd.n_params
+
+    def shim(self, rank: int, *args):
+        if len(args) != n_args:
+            raise TypeError(
+                f"{gd.name}(rank, {gd.signature()}) takes {n_args} operands, "
+                f"got {len(args)}"
+            )
+        self.apply_ops(rank, (Op(gd.name, args[: gd.n_qubits], args[gd.n_qubits :]),))
+
+    shim.__name__ = gd.name
+    shim.__qualname__ = f"QuantumBackend.{gd.name}"
+    shim.__doc__ = (
+        f"``{gd.name}(rank, {gd.signature()})`` — rank-checked, emitted as a "
+        f"one-op batch through :meth:`apply_ops`."
+    )
+    shim._gateset_shim = True
+    return shim
+
+
+def _install_backend_shim(gd: GateDef) -> None:
+    existing = getattr(QuantumBackend, gd.name, None)
+    if existing is not None and not getattr(existing, "_gateset_shim", False):
+        raise ValueError(
+            f"gate name {gd.name!r} would shadow QuantumBackend.{gd.name}"
+        )
+    setattr(QuantumBackend, gd.name, _backend_gate_shim(gd))
+
+
+_ops.bind_gateset(_install_backend_shim)
 
 
 # ----------------------------------------------------------------------

@@ -42,6 +42,7 @@ def cat_state_chain(qc, qubit: int, tag: int = 0) -> CatHandle:
     rank's share of the cat state. This is the paper's Fig. 4 construction
     with the fixup parities computed by a classical exscan.
     """
+    qc.flush_ops()
     rank, size = qc.rank, qc.size
     with qc.ledger.scope("cat_chain"):
         if size == 1:
@@ -94,6 +95,7 @@ def cat_state_tree(qc, qubit: int, graph: nx.Graph | None = None, root: int = 0,
     is purely classical.
     """
     rank, size = qc.rank, qc.size
+    qc.flush_ops()
     with qc.ledger.scope("cat_tree"):
         if size == 1:
             qc.backend.h(rank, qubit)
@@ -183,6 +185,7 @@ def uncat(qc, handle: CatHandle) -> None:
     full cat to |0> everywhere for symmetry with tests.
     """
     rank = qc.rank
+    qc.flush_ops()
     with qc.ledger.scope("uncat"):
         if qc.size == 1:
             qc.backend.h(rank, handle.qubit)

@@ -91,6 +91,7 @@ def bcast(qc, qubits, root: int = 0, tag: int = 0, algorithm: str = "tree") -> B
     """
     qubits = as_qureg(qubits)
     rank, size = qc.rank, qc.size
+    qc.flush_ops()
     with qc.ledger.scope("bcast"):
         if size == 1:
             return BcastHandle(qubits, root, tag, algorithm)
@@ -139,6 +140,7 @@ def unbcast(qc, handle: BcastHandle) -> None:
     root — N-1 classical bits per qubit, zero EPR pairs (Table 1 uncopy).
     """
     rank = qc.rank
+    qc.flush_ops()
     with qc.ledger.scope("unbcast"):
         if qc.size == 1:
             return
@@ -186,6 +188,7 @@ def gather_move(qc, qubits, root: int = 0, tag: int = 0) -> tuple[Qureg | None, 
 def _gather_impl(qc, qubits, root, tag, move, op):
     qubits = as_qureg(qubits)
     rank, size = qc.rank, qc.size
+    qc.flush_ops()
     with qc.ledger.scope(op):
         handle = GatherHandle(root=root, tag=tag, move=move)
         if rank == root:
@@ -214,6 +217,7 @@ def _gather_impl(qc, qubits, root, tag, move, op):
 def ungather(qc, handle: GatherHandle) -> None:
     """Inverse of gather: root unreceives every copy, sources apply Z."""
     rank = qc.rank
+    qc.flush_ops()
     with qc.ledger.scope("ungather"):
         if rank == handle.root:
             for src, reg in handle.received.items():
@@ -235,6 +239,7 @@ def gatherv(qc, qubits, counts: list[int], root: int = 0, tag: int = 0):
     if len(qubits) != counts[qc.rank]:
         raise ValueError("register size does not match counts[rank]")
     rank, size = qc.rank, qc.size
+    qc.flush_ops()
     with qc.ledger.scope("gatherv"):
         handle = GatherHandle(root=root, tag=tag, move=False)
         if rank == root:
@@ -287,6 +292,7 @@ def scatter_move(qc, qubits, recv_qubits, root: int = 0, tag: int = 0):
 
 def _scatter_impl(qc, qubits, recv_qubits, root, tag, move, op):
     rank, size = qc.rank, qc.size
+    qc.flush_ops()
     with qc.ledger.scope(op):
         handle = ScatterHandle(root=root, tag=tag, move=move)
         if rank == root:
@@ -317,6 +323,7 @@ def _scatter_impl(qc, qubits, recv_qubits, root, tag, move, op):
 def unscatter(qc, handle: ScatterHandle) -> None:
     """Inverse of scatter: non-roots unreceive, root applies fixups."""
     rank = qc.rank
+    qc.flush_ops()
     with qc.ledger.scope("unscatter"):
         if rank == handle.root:
             for dst, block in handle.kept.items():
@@ -334,6 +341,7 @@ def unscatter(qc, handle: ScatterHandle) -> None:
 def scatterv(qc, qubits, counts: list[int], recv_qubits, root: int = 0, tag: int = 0):
     """Scatter with per-rank block sizes."""
     rank, size = qc.rank, qc.size
+    qc.flush_ops()
     with qc.ledger.scope("scatterv"):
         handle = ScatterHandle(root=root, tag=tag, move=False)
         if rank == root:
@@ -381,6 +389,7 @@ def allgather(qc, qubits, tag: int = 0, algorithm: str = "tree") -> tuple[Qureg,
     """
     qubits = as_qureg(qubits)
     rank, size = qc.rank, qc.size
+    qc.flush_ops()
     with qc.ledger.scope("allgather"):
         handle = AllgatherHandle(tag=tag)
         blocks: list[Qureg] = []
@@ -396,6 +405,7 @@ def allgather(qc, qubits, tag: int = 0, algorithm: str = "tree") -> tuple[Qureg,
 
 
 def unallgather(qc, handle: AllgatherHandle) -> None:
+    qc.flush_ops()
     with qc.ledger.scope("unallgather"):
         for h in handle.bcast_handles:
             unbcast(qc, h)
@@ -430,6 +440,7 @@ def _alltoall_impl(qc, qubits, tag, move, op):
     if len(qubits) % size:
         raise ValueError("alltoall register must split into equal blocks")
     blk = len(qubits) // size
+    qc.flush_ops()
     with qc.ledger.scope(op):
         handle = AlltoallHandle(tag=tag, move=move)
         out_blocks: dict[int, Qureg] = {rank: qubits[rank * blk : (rank + 1) * blk]}
@@ -459,6 +470,7 @@ def _alltoall_impl(qc, qubits, tag, move, op):
 
 def unalltoall(qc, handle: AlltoallHandle) -> None:
     rank = qc.rank
+    qc.flush_ops()
     with qc.ledger.scope("unalltoall"):
         for src, reg in handle.received.items():
             if handle.move:
@@ -483,6 +495,7 @@ def alltoallv(qc, qubits, send_counts: list[int], tag: int = 0):
     rank, size = qc.rank, qc.size
     if len(qubits) != sum(send_counts):
         raise ValueError("alltoallv register size != sum(send_counts)")
+    qc.flush_ops()
     with qc.ledger.scope("alltoallv"):
         matrix = qc.comm.allgather(list(send_counts))
         handle = AlltoallHandle(tag=tag, move=False)
@@ -554,6 +567,7 @@ def reduce(
     """
     qubits = as_qureg(qubits)
     rank, size = qc.rank, qc.size
+    qc.flush_ops()
     with qc.ledger.scope("reduce"):
         if schedule == "linear":
             handle = ReduceHandle(root, tag, op, schedule, None)
@@ -620,6 +634,7 @@ def _reduce_tree(qc, qubits, out, op, root, tag):
 def unreduce(qc, handle: ReduceHandle) -> None:
     """Uncompute a reduction: zero EPR pairs, N-1 classical bits/qubit."""
     rank = qc.rank
+    qc.flush_ops()
     with qc.ledger.scope("unreduce"):
         if handle.schedule == "linear":
             if rank == handle.root:
@@ -648,6 +663,7 @@ def allreduce(
 ) -> tuple[Qureg, "AllreduceHandle"]:
     """Reduce to rank 0 then broadcast the result register (Table 3:
     reduce + copy). Every rank gets an entangled copy of the result."""
+    qc.flush_ops()
     with qc.ledger.scope("allreduce"):
         res, rh = reduce(qc, qubits, None, op, 0, tag, schedule)
         if qc.rank == 0:
@@ -665,6 +681,7 @@ class AllreduceHandle:
 
 
 def unallreduce(qc, handle: AllreduceHandle) -> None:
+    qc.flush_ops()
     with qc.ledger.scope("unallreduce"):
         unbcast(qc, handle.bcast_handle)
         unreduce(qc, handle.reduce_handle)
@@ -680,6 +697,7 @@ def reduce_scatter_block(
     if len(qubits) % size:
         raise ValueError("reduce_scatter register must split into equal blocks")
     blk = len(qubits) // size
+    qc.flush_ops()
     with qc.ledger.scope("reduce_scatter_block"):
         handles = []
         result: Qureg | None = None
@@ -693,6 +711,7 @@ def reduce_scatter_block(
 
 
 def unreduce_scatter_block(qc, handles: list) -> None:
+    qc.flush_ops()
     with qc.ledger.scope("unreduce_scatter_block"):
         for h in reversed(handles):
             unreduce(qc, h)
@@ -736,6 +755,7 @@ def _scan_impl(qc, qubits, out, op, tag, inclusive):
     qubits = as_qureg(qubits)
     rank, size = qc.rank, qc.size
     name = "scan" if inclusive else "exscan"
+    qc.flush_ops()
     with qc.ledger.scope(name):
         if out is None:
             out = qc.backend.alloc(rank, len(qubits))
@@ -770,6 +790,7 @@ def unscan(qc, handle: ScanHandle) -> None:
     """
     rank, size = qc.rank, qc.size
     name = "unscan" if handle.inclusive else "unexscan"
+    qc.flush_ops()
     with qc.ledger.scope(name):
         if handle.inclusive:
             handle.op.unapply(qc, _own_of(qc, handle), handle.out)

@@ -1,0 +1,244 @@
+"""Typed operation IR for the QMPI gate path.
+
+Every local gate a program issues becomes an :class:`Op` record — gate
+kind, qubit operands, rotation parameters — instead of an eager
+per-gate backend call. Ops are the unit the whole pipeline speaks:
+
+* :class:`~repro.qmpi.stream.OpStream` buffers and fuses them per rank;
+* ``QuantumBackend.apply_ops(rank, ops)`` is the single batched entry
+  point (the legacy ``h``/``x``/.../``toffoli`` methods are thin shims
+  that emit one-op batches);
+* the engines (``StateVector.apply_ops`` / ``ShardedStateVector.apply_ops``)
+  execute a whole batch in one pass.
+
+The :data:`GATESET` registry is the canonical description of every
+named gate — operand signature, control count, target matrix, and
+diagonality — replacing the per-gate method forest that used to live in
+``QuantumBackend``. Registering a new :class:`GateDef` via
+:func:`register_gate` automatically installs the matching convenience
+method on ``QuantumBackend`` and ``QmpiComm`` (they subscribe through
+:func:`bind_gateset`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..sim import gates as G
+from ..sim.statevector import SimulationError
+
+__all__ = ["Op", "GateDef", "GATESET", "UNITARY", "register_gate", "bind_gateset"]
+
+#: Pseudo-gate name for an Op carrying an explicit unitary payload
+#: (generic ``apply`` calls and fused single-qubit products).
+UNITARY = "unitary"
+
+
+@dataclass(frozen=True)
+class GateDef:
+    """Registry entry describing one named gate.
+
+    ``qubit_args``/``param_args`` name the operands (used for generated
+    method signatures and error messages); the first ``n_controls``
+    qubit operands are control qubits, the rest are targets. ``const``
+    or ``builder`` supplies the matrix *on the targets only* —
+    ``Op.matrix()`` extends it with the controls. ``diagonal`` states
+    whether the full operator (controls included) is diagonal in the
+    computational basis, which is what the fusion and sharded-dispatch
+    layers key on.
+    """
+
+    name: str
+    qubit_args: tuple[str, ...]
+    param_args: tuple[str, ...] = ()
+    n_controls: int = 0
+    const: np.ndarray | None = None
+    builder: Callable[..., np.ndarray] | None = None
+    diagonal: bool = False
+
+    @property
+    def n_qubits(self) -> int:
+        return len(self.qubit_args)
+
+    @property
+    def n_params(self) -> int:
+        return len(self.param_args)
+
+    def signature(self) -> str:
+        return ", ".join(self.qubit_args + self.param_args)
+
+    def target_matrix(self, params: Sequence[float]) -> np.ndarray:
+        if self.builder is not None:
+            return self.builder(*params)
+        assert self.const is not None
+        return self.const
+
+
+@dataclass(frozen=True)
+class Op:
+    """One quantum operation: frozen, validated at construction.
+
+    ``gate`` is a :data:`GATESET` name or :data:`UNITARY`; for the
+    latter, ``u`` carries the explicit (target) matrix. ``qubits`` lists
+    controls first (per the gate's :class:`GateDef`), then targets.
+    """
+
+    gate: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = ()
+    #: Explicit target matrix, only for ``gate == UNITARY`` ops.
+    u: np.ndarray | None = field(default=None, compare=False, repr=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+        object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+        if len(set(self.qubits)) != len(self.qubits):
+            raise SimulationError(f"duplicate qubits in {self.qubits}")
+        if self.gate == UNITARY:
+            if self.u is None:
+                raise ValueError("unitary ops require an explicit matrix")
+            dim = 1 << len(self.qubits)
+            mat = np.asarray(self.u, dtype=np.complex128)
+            if mat.shape != (dim, dim):
+                raise SimulationError(
+                    f"matrix shape {mat.shape} does not match {len(self.qubits)} qubits"
+                )
+            object.__setattr__(self, "u", mat)
+            return
+        spec = GATESET.get(self.gate)
+        if spec is None:
+            raise ValueError(f"unknown gate {self.gate!r}; known: {sorted(GATESET)}")
+        if len(self.qubits) != spec.n_qubits:
+            raise ValueError(
+                f"{self.gate}({spec.signature()}) takes {spec.n_qubits} qubits, "
+                f"got {len(self.qubits)}"
+            )
+        if len(self.params) != spec.n_params:
+            raise ValueError(
+                f"{self.gate}({spec.signature()}) takes {spec.n_params} parameters, "
+                f"got {len(self.params)}"
+            )
+
+    # -- structure -------------------------------------------------------
+    @property
+    def spec(self) -> GateDef | None:
+        """The registry entry, or None for :data:`UNITARY` ops."""
+        return GATESET.get(self.gate)
+
+    @property
+    def n_controls(self) -> int:
+        spec = self.spec
+        return spec.n_controls if spec is not None else 0
+
+    @property
+    def controls(self) -> tuple[int, ...]:
+        return self.qubits[: self.n_controls]
+
+    @property
+    def targets(self) -> tuple[int, ...]:
+        return self.qubits[self.n_controls :]
+
+    # -- semantics -------------------------------------------------------
+    def target_matrix(self) -> np.ndarray:
+        """The unitary on the target qubits (controls excluded)."""
+        if self.u is not None:
+            return self.u
+        return self.spec.target_matrix(self.params)  # type: ignore[union-attr]
+
+    def matrix(self) -> np.ndarray:
+        """The full ``2^k x 2^k`` unitary over ``qubits`` (controls as
+        the most significant axes)."""
+        m = self.target_matrix()
+        nc = self.n_controls
+        return G.controlled(m, nc) if nc else m
+
+    @cached_property
+    def is_diagonal(self) -> bool:
+        """True iff the full operator is diagonal in the Z basis (such
+        ops commute with each other and never need chunk exchange on the
+        sharded engine)."""
+        spec = self.spec
+        if spec is not None:
+            return spec.diagonal
+        m = self.u
+        if m.shape == (2, 2):  # the fused-single hot path
+            return m[0, 1] == 0 and m[1, 0] == 0
+        return bool(np.count_nonzero(m - np.diag(np.diagonal(m))) == 0)
+
+    @property
+    def is_single(self) -> bool:
+        """An uncontrolled one-qubit op (the fusable kind)."""
+        return len(self.qubits) == 1 and self.n_controls == 0
+
+
+# ----------------------------------------------------------------------
+# the canonical gate set
+# ----------------------------------------------------------------------
+GATESET: dict[str, GateDef] = {}
+
+#: Shim installers (``QuantumBackend``, ``QmpiComm``) notified on every
+#: registration; see :func:`bind_gateset`.
+_BINDERS: list[Callable[[GateDef], None]] = []
+
+
+def register_gate(gd: GateDef) -> None:
+    """Add a gate to :data:`GATESET` and install its convenience method
+    on every bound facade class.
+
+    The name must be a valid identifier and must not shadow an existing
+    non-gate attribute of a bound class (``measure``, ``barrier``,
+    ``send``, ...) — a collision would silently replace protocol methods
+    with a gate shim.
+    """
+    if gd.name == UNITARY:
+        raise ValueError(f"{UNITARY!r} is reserved for explicit-matrix ops")
+    if gd.name in GATESET:
+        raise ValueError(f"gate {gd.name!r} already registered")
+    if not gd.name.isidentifier():
+        raise ValueError(f"gate name {gd.name!r} is not a valid identifier")
+    GATESET[gd.name] = gd
+    try:
+        for binder in _BINDERS:
+            binder(gd)
+    except Exception:
+        del GATESET[gd.name]
+        raise
+
+
+def bind_gateset(binder: Callable[[GateDef], None]) -> None:
+    """Subscribe a shim installer; it is applied to every already
+    registered gate immediately and to each future :func:`register_gate`."""
+    _BINDERS.append(binder)
+    for gd in GATESET.values():
+        binder(gd)
+
+
+for _gd in [
+    # single-qubit constants
+    GateDef("h", ("q",), const=G.H),
+    GateDef("x", ("q",), const=G.X),
+    GateDef("y", ("q",), const=G.Y),
+    GateDef("z", ("q",), const=G.Z, diagonal=True),
+    GateDef("s", ("q",), const=G.S, diagonal=True),
+    GateDef("sdg", ("q",), const=G.SDG, diagonal=True),
+    GateDef("t", ("q",), const=G.T, diagonal=True),
+    GateDef("tdg", ("q",), const=G.TDG, diagonal=True),
+    # single-qubit rotations
+    GateDef("rx", ("q",), ("theta",), builder=G.rx),
+    GateDef("ry", ("q",), ("theta",), builder=G.ry),
+    GateDef("rz", ("q",), ("theta",), builder=G.rz, diagonal=True),
+    GateDef("phase", ("q",), ("lam",), builder=G.phase, diagonal=True),
+    # two-qubit
+    GateDef("swap", ("a", "b"), const=G.SWAP),
+    GateDef("cnot", ("c", "t"), n_controls=1, const=G.X),
+    GateDef("cz", ("c", "t"), n_controls=1, const=G.Z, diagonal=True),
+    GateDef("crz", ("c", "t"), ("theta",), n_controls=1, builder=G.rz, diagonal=True),
+    GateDef("cphase", ("c", "t"), ("lam",), n_controls=1, builder=G.phase, diagonal=True),
+    # three-qubit
+    GateDef("toffoli", ("c1", "c2", "t"), n_controls=2, const=G.X),
+]:
+    GATESET[_gd.name] = _gd

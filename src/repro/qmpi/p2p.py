@@ -87,6 +87,7 @@ def isend(qc, qubits, dest: int, tag: int = 0, move: bool = False, _op: str | No
     receiver shows up — no blocking, so head-to-head exchanges are safe.
     The caller must not touch the sent qubits again before ``wait()``.
     """
+    qc.flush_ops()
     qubits = as_qureg(qubits)
     op = _op or ("isend_move" if move else "isend")
     reqs = []
@@ -120,6 +121,7 @@ def isend_move(qc, qubits, dest: int, tag: int = 0) -> QmpiRequest:
 
 def irecv(qc, qubits, source: int, tag: int = 0, move: bool = False) -> QmpiRequest:
     """Non-blocking receive; ``wait()`` returns the register after fixups."""
+    qc.flush_ops()
     qubits = as_qureg(qubits)
     op = "irecv_move" if move else "irecv"
     reqs = [
@@ -155,6 +157,7 @@ def send(qc, qubits, dest: int, tag: int = 0, _op: str = "send") -> None:
     measure it (parity measurement), and ship the outcome; the receiver
     fixes its half with X if the parity was 1.
     """
+    qc.flush_ops()  # stream boundary: buffered gates precede the protocol
     qubits = as_qureg(qubits)
     with qc.ledger.scope(_op):
         for q in qubits:
@@ -168,6 +171,7 @@ def send(qc, qubits, dest: int, tag: int = 0, _op: str = "send") -> None:
 
 def recv(qc, qubits, source: int, tag: int = 0, _op: str = "recv") -> Qureg:
     """Receive an entangled copy into fresh |0> ``qubits``."""
+    qc.flush_ops()  # stream boundary: buffered gates precede the protocol
     qubits = as_qureg(qubits)
     with qc.ledger.scope(_op):
         for q in qubits:
@@ -186,6 +190,7 @@ def unrecv(qc, qubits, source: int, tag: int = 0, _op: str = "unrecv") -> None:
     outcome 1. No EPR pair needed — one classical bit per qubit. The copy
     qubits are measured out and released.
     """
+    qc.flush_ops()  # stream boundary: buffered gates precede the protocol
     qubits = as_qureg(qubits)
     with qc.ledger.scope(_op):
         for q in qubits:
@@ -196,6 +201,7 @@ def unrecv(qc, qubits, source: int, tag: int = 0, _op: str = "unrecv") -> None:
 
 def unsend(qc, qubits, dest: int, tag: int = 0, _op: str = "unsend") -> None:
     """Complete the uncopy on the original sender: conditional Z fixup."""
+    qc.flush_ops()  # stream boundary: buffered gates precede the protocol
     qubits = as_qureg(qubits)
     with qc.ledger.scope(_op):
         for q in qubits:
@@ -213,6 +219,7 @@ def send_move(qc, qubits, dest: int, tag: int = 0, _op: str = "send_move") -> No
     The local qubits are measured out and released; ownership of the state
     transfers to the receiver's target qubits.
     """
+    qc.flush_ops()  # stream boundary: buffered gates precede the protocol
     qubits = as_qureg(qubits)
     with qc.ledger.scope(_op):
         for q in qubits:
@@ -228,6 +235,7 @@ def send_move(qc, qubits, dest: int, tag: int = 0, _op: str = "send_move") -> No
 
 def recv_move(qc, qubits, source: int, tag: int = 0, _op: str = "recv_move") -> Qureg:
     """Receive teleported qubits into fresh |0> targets (QMPI_Recv_move)."""
+    qc.flush_ops()  # stream boundary: buffered gates precede the protocol
     qubits = as_qureg(qubits)
     with qc.ledger.scope(_op):
         for q in qubits:

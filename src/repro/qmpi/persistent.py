@@ -81,6 +81,7 @@ class PersistentChannel:
         """Entangled-copy send using pooled pairs: only classical bits move."""
         qc = self.qc
         qubits = Qureg(qubits) if not isinstance(qubits, int) else Qureg((qubits,))
+        qc.flush_ops()
         with qc.ledger.scope("persistent_send"):
             for q in qubits:
                 e = self._take()
@@ -93,6 +94,7 @@ class PersistentChannel:
         """Receive entangled copies into pooled halves; returns them."""
         qc = self.qc
         out = []
+        qc.flush_ops()
         with qc.ledger.scope("persistent_recv"):
             for _ in range(n):
                 q = self._take()
@@ -107,6 +109,7 @@ class PersistentChannel:
         """Teleport using pooled pairs (2 classical bits per qubit)."""
         qc = self.qc
         qubits = Qureg(qubits) if not isinstance(qubits, int) else Qureg((qubits,))
+        qc.flush_ops()
         with qc.ledger.scope("persistent_send_move"):
             for q in qubits:
                 e = self._take()
@@ -121,6 +124,7 @@ class PersistentChannel:
         """Receive teleported qubits into pooled halves."""
         qc = self.qc
         out = []
+        qc.flush_ops()
         with qc.ledger.scope("persistent_recv_move"):
             for _ in range(n):
                 q = self._take()

@@ -95,9 +95,25 @@ class Ledger:
                 row.epr_pairs += n
 
     def record_classical(self, bits: int) -> None:
+        """Count ``bits`` transmitted classical bits (sending side only:
+        each bit increments the global totals exactly once)."""
         with self._lock:
             self.classical_bits += bits
             self.classical_messages += 1
+            for row in self._current_rows():
+                row.classical_bits += bits
+
+    def record_classical_receipt(self, bits: int) -> None:
+        """Attribute ``bits`` *received* classical bits to the current
+        scope's rows without touching the global totals.
+
+        Convention: bits are counted once, on the sending side
+        (:meth:`record_classical`); the receiving operation still shows
+        its Table 1-3 classical cost on its own row. Row sums may
+        therefore exceed the global totals — a bit lands on both
+        endpoints' rows but is transmitted once.
+        """
+        with self._lock:
             for row in self._current_rows():
                 row.classical_bits += bits
 

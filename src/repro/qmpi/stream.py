@@ -1,0 +1,119 @@
+"""Per-rank operation stream: gate buffering, fusion, batched dispatch.
+
+Each :class:`~repro.qmpi.api.QmpiComm` owns one :class:`OpStream`. Gate
+calls append :class:`~repro.qmpi.ops.Op` records instead of hitting the
+backend one at a time; the stream peephole-fuses as it records and hands
+the backend whole batches through ``apply_ops`` at every semantic
+boundary (measurement, ``prob_one``, EPR preparation, p2p/collective
+entry, barrier, qubit release, program exit).
+
+Fusion rules
+------------
+* **Single-qubit fusion** — an uncontrolled one-qubit op is merged into
+  the most recent buffered one-qubit op on the same qubit (one 2x2
+  matrix product) whenever it can be commuted back to it: every op in
+  between either touches disjoint qubits or is, like the new op,
+  diagonal in the Z basis. Products that collapse to the identity are
+  dropped outright.
+* **Diagonal coalescing** — diagonal ops (z, s, t, rz, cz, crz, cphase)
+  commute with each other even on shared qubits, so runs of diagonal
+  ops are transparent to the backward scan; long Rz chains on one qubit
+  coalesce into a single diagonal regardless of interleaved diagonal
+  traffic on other qubits.
+
+Fusion changes *nothing* semantically: the fused matrix product equals
+the sequential application, and every measurement-like operation flushes
+first. The escape hatch ``fusion="off"`` forwards each op eagerly as a
+one-op batch, which is exactly the legacy per-gate path.
+"""
+
+from __future__ import annotations
+
+from .ops import UNITARY, Op
+
+__all__ = ["OpStream"]
+
+
+class OpStream:
+    """Records, fuses and batches the gate stream of one rank.
+
+    Parameters
+    ----------
+    backend:
+        The :class:`~repro.qmpi.backend.QuantumBackend` batches are
+        dispatched to (via ``backend.apply_ops(rank, ops)``).
+    rank:
+        The owning rank (ownership is checked at flush time).
+    fusion:
+        ``"auto"``/``"on"``/``True`` — buffer and fuse (default);
+        ``"off"``/``False`` — forward each op immediately, unfused.
+    max_pending:
+        Auto-flush threshold bounding buffer growth for long straight-
+        line circuits.
+    """
+
+    def __init__(self, backend, rank: int, fusion="auto", max_pending: int = 256):
+        if fusion not in ("auto", "on", "off", True, False):
+            raise ValueError(f"fusion must be 'auto', 'on' or 'off', got {fusion!r}")
+        self._backend = backend
+        self._rank = rank
+        self._eager = fusion in ("off", False)
+        self._buf: list[Op] = []
+        self._max_pending = max_pending
+
+    @property
+    def fusion(self) -> bool:
+        """Whether this stream buffers and fuses (False = eager legacy path)."""
+        return not self._eager
+
+    @property
+    def pending(self) -> int:
+        """Number of ops currently buffered."""
+        return len(self._buf)
+
+    # ------------------------------------------------------------------
+    def append(self, op: Op) -> None:
+        """Record one op (applying it immediately when fusion is off)."""
+        if self._eager:
+            self._backend.apply_ops(self._rank, (op,))
+            return
+        if op.is_single and self._try_fuse(op):
+            return
+        self._buf.append(op)
+        if len(self._buf) >= self._max_pending:
+            self.flush()
+
+    def flush(self) -> None:
+        """Dispatch everything buffered as one ``apply_ops`` batch.
+
+        On error (e.g. a locality violation) the buffered batch is
+        discarded — partial replay would double-apply its prefix.
+        """
+        if self._buf:
+            buf, self._buf = self._buf, []
+            self._backend.apply_ops(self._rank, tuple(buf))
+
+    # ------------------------------------------------------------------
+    def _try_fuse(self, op: Op) -> bool:
+        """Merge a single-qubit ``op`` into the newest compatible buffered
+        one-qubit op on the same qubit, commuting backwards over disjoint
+        or mutually-diagonal ops. Returns True if merged (or annihilated)."""
+        q = op.qubits[0]
+        diag = op.is_diagonal
+        for i in range(len(self._buf) - 1, -1, -1):
+            prior = self._buf[i]
+            if prior.is_single and prior.qubits[0] == q:
+                m = op.target_matrix() @ prior.target_matrix()
+                if (  # scalar identity check: the allclose of the hot path
+                    abs(m[0, 1]) < 1e-14
+                    and abs(m[1, 0]) < 1e-14
+                    and abs(m[0, 0] - 1.0) < 1e-14
+                    and abs(m[1, 1] - 1.0) < 1e-14
+                ):
+                    del self._buf[i]
+                else:
+                    self._buf[i] = Op(UNITARY, (q,), u=m)
+                return True
+            if q in prior.qubits and not (diag and prior.is_diagonal):
+                return False
+        return False

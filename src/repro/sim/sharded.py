@@ -254,6 +254,60 @@ class ShardedStateVector:
     # ------------------------------------------------------------------
     # gate application
     # ------------------------------------------------------------------
+    def apply_ops(self, ops) -> None:
+        """Execute a batch of typed op records (see :mod:`repro.qmpi.ops`)
+        with per-chunk batching.
+
+        Communication-free single-qubit ops (local axis, or diagonal on
+        any axis) are collected into runs and executed chunk-by-chunk in
+        a single pass — one traversal of each flat chunk for the whole
+        run instead of one per gate. Ops that need chunk exchange (or
+        multi-qubit contraction) are barriers: they drain the pending
+        run, dispatch individually, and the next run resumes after them.
+        """
+        run: list[tuple[np.ndarray, int, bool]] = []  # (u, bit, diagonal)
+        for op in ops:
+            if not op.controls and len(op.qubits) == 1:
+                u = np.asarray(op.target_matrix(), dtype=np.complex128)
+                b = self._bit(op.qubits[0])
+                diag = u[0, 1] == 0 and u[1, 0] == 0
+                if diag or b < self.n_local:
+                    run.append((u, b, diag))
+                    continue
+            if run:
+                self._apply_single_run(run)
+                run = []
+            if op.controls:
+                self.apply_controlled(op.target_matrix(), list(op.controls), list(op.targets))
+            else:
+                self.apply(op.target_matrix(), *op.targets)
+        if run:
+            self._apply_single_run(run)
+
+    def _apply_single_run(self, run) -> None:
+        """One pass over each chunk applying a run of communication-free
+        single-qubit kernels (same arithmetic as :meth:`_apply_single`)."""
+        nl = self.n_local
+        for ci, c in enumerate(self._chunks):
+            for u, b, diag in run:
+                if b >= nl:
+                    # Diagonal on a shard axis: the whole chunk scales.
+                    f = u[1, 1] if (ci >> (b - nl)) & 1 else u[0, 0]
+                    if f != 1.0:
+                        c *= f
+                elif diag:
+                    v = c.reshape(-1, 2, 1 << b)
+                    if u[0, 0] != 1.0:
+                        v[:, 0, :] *= u[0, 0]
+                    if u[1, 1] != 1.0:
+                        v[:, 1, :] *= u[1, 1]
+                else:
+                    v = c.reshape(-1, 2, 1 << b)
+                    a0 = v[:, 0, :].copy()
+                    a1 = v[:, 1, :]
+                    v[:, 0, :] = u[0, 0] * a0 + u[0, 1] * a1
+                    v[:, 1, :] = u[1, 0] * a0 + u[1, 1] * a1
+
     def apply(self, u: np.ndarray, *qubits: int) -> None:
         """Apply a ``2^k x 2^k`` unitary to ``k`` qubits.
 
@@ -403,6 +457,9 @@ class ShardedStateVector:
                     if f != 1.0:
                         c.reshape((2,) * nl)[idx] *= f
                 return
+            if k == 1:
+                self._apply_controlled_high_target(u, c_bits, t_bits[0])
+                return
             self.apply(G.controlled(u, len(controls)), *controls, *targets)
             return
         mask = sum(1 << (b - nl) for b in c_bits if b >= nl)
@@ -454,6 +511,45 @@ class ShardedStateVector:
             new = np.tensordot(ut, sub, axes=(range(k, 2 * k), t_axes))
             view[idx] = np.moveaxis(new, range(k), t_axes)
 
+    def _apply_controlled_high_target(self, u: np.ndarray, c_bits, t_bit: int) -> None:
+        """Non-diagonal single-target controlled gate whose target is a
+        shard axis: pair-chunk exchange restricted to participating chunks.
+
+        Only chunks whose high-axis control bits are all 1 take part; each
+        sends its amplitudes to its partner in the target bit and combines
+        on the |1...1> slice of any *local* control axes. This replaces
+        the dense ``controlled(u)`` + group all-to-all fallback: half (or
+        fewer) of the chunks exchange, pairwise, with no group tensor.
+        """
+        nl = self.n_local
+        cmask = sum(1 << (b - nl) for b in c_bits if b >= nl)
+        idx: list = [slice(None)] * nl
+        for b in c_bits:
+            if b < nl:
+                idx[nl - 1 - b] = 1
+        idx = tuple(idx)
+        pmask = 1 << (t_bit - nl)
+        tag = next(self._tags)
+        parts = [i for i in range(len(self._chunks)) if (i & cmask) == cmask]
+        for i in parts:
+            self._fabric.send(0, i, i ^ pmask, tag, self._chunks[i])
+        partners = {
+            i: self._fabric.recv(0, i, i ^ pmask, tag).payload for i in parts
+        }
+        # Two passes: payloads may alias live peer chunks (the in-process
+        # fabric does not copy), so compute every new slice before any
+        # chunk is mutated.
+        new = {}
+        for i in parts:
+            own = self._chunks[i].reshape((2,) * nl)
+            par = partners[i].reshape((2,) * nl)
+            if i & pmask:
+                new[i] = u[1, 0] * par[idx] + u[1, 1] * own[idx]
+            else:
+                new[i] = u[0, 0] * own[idx] + u[0, 1] * par[idx]
+        for i in parts:
+            self._chunks[i].reshape((2,) * nl)[idx] = new[i]
+
     # -- conveniences ---------------------------------------------------
     def h(self, q: int) -> None:
         self.apply(G.H, q)
@@ -493,6 +589,12 @@ class ShardedStateVector:
 
     def cz(self, control: int, target: int) -> None:
         self.apply_controlled(G.Z, [control], [target])
+
+    def crz(self, control: int, target: int, theta: float) -> None:
+        self.apply_controlled(G.rz(theta), [control], [target])
+
+    def cphase(self, control: int, target: int, lam: float) -> None:
+        self.apply_controlled(G.phase(lam), [control], [target])
 
     def swap(self, a: int, b: int) -> None:
         self.apply(G.SWAP, a, b)

@@ -186,6 +186,21 @@ class StateVector:
         new = np.tensordot(ut, sub, axes=(range(k, 2 * k), t_axes))
         view[tuple(idx)] = np.moveaxis(new, range(k), t_axes)
 
+    def apply_ops(self, ops) -> None:
+        """Execute a batch of typed op records (see :mod:`repro.qmpi.ops`).
+
+        Ops are duck-typed: anything with ``controls``/``targets`` and a
+        ``target_matrix()`` works. The monolithic engine has no
+        communication to batch away, so this is a straight in-order loop;
+        the sharded engine overlays real per-chunk batching.
+        """
+        for op in ops:
+            controls = op.controls
+            if controls:
+                self.apply_controlled(op.target_matrix(), list(controls), list(op.targets))
+            else:
+                self.apply(op.target_matrix(), *op.targets)
+
     # -- conveniences ---------------------------------------------------
     def h(self, q: int) -> None:
         self.apply(G.H, q)
@@ -225,6 +240,12 @@ class StateVector:
 
     def cz(self, control: int, target: int) -> None:
         self.apply_controlled(G.Z, [control], [target])
+
+    def crz(self, control: int, target: int, theta: float) -> None:
+        self.apply_controlled(G.rz(theta), [control], [target])
+
+    def cphase(self, control: int, target: int, lam: float) -> None:
+        self.apply_controlled(G.phase(lam), [control], [target])
 
     def swap(self, a: int, b: int) -> None:
         self.apply(G.SWAP, a, b)

@@ -76,6 +76,16 @@ class TrackedStateVector(StateVector):
         super().apply_controlled(u, controls, targets)
         self.counts.gates[f"c{len(list(controls))}u{len(list(targets))}"] += 1
 
+    def apply_ops(self, ops) -> None:
+        # Re-tag registry-named ops so batched execution counts like the
+        # named conveniences; fused/unitary ops keep the generic tag.
+        for op in ops:
+            super().apply_ops((op,))
+            if op.spec is not None:
+                nc = op.n_controls
+                generic = f"c{nc}u{len(op.targets)}" if nc else f"u{len(op.targets)}"
+                self._named(op.gate, generic)
+
     # Re-tag the named gates so counts are human readable. The base class
     # conveniences call apply()/apply_controlled(); we override to replace
     # the generic tag with the gate name.
@@ -136,6 +146,18 @@ class TrackedStateVector(StateVector):
     def cz(self, c, t):
         super().cz(c, t)
         self._named("cz", "c1u1")
+
+    def crz(self, c, t, theta):
+        super().crz(c, t, theta)
+        self._named("crz", "c1u1")
+
+    def cphase(self, c, t, lam):
+        super().cphase(c, t, lam)
+        self._named("cphase", "c1u1")
+
+    def swap(self, a, b):
+        super().swap(a, b)
+        self._named("swap", "u2")
 
     def toffoli(self, c1, c2, t):
         super().toffoli(c1, c2, t)
