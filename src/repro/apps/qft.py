@@ -18,7 +18,7 @@ import numpy as np
 from ..qmpi.api import QmpiComm, qmpi_run
 from ..qmpi.qubit import as_qureg
 
-__all__ = ["qft", "inverse_qft", "qft_program", "run_qft"]
+__all__ = ["qft", "inverse_qft", "qft_program", "run_qft", "dft_column"]
 
 
 def qft(qc: QmpiComm, qubits, reverse: bool = True) -> None:
@@ -72,8 +72,13 @@ def run_qft(n_ranks: int = 1, n_qubits: int = 3, value: int = 1, seed=0, **kwarg
     return qmpi_run(n_ranks, qft_program, args=(n_qubits, value), seed=seed, **kwargs)
 
 
-def _dft_column(n_qubits: int, x: int) -> np.ndarray:
-    """Column ``x`` of the unitary DFT matrix (reference for tests)."""
+def dft_column(n_qubits: int, x: int) -> np.ndarray:
+    """Column ``x`` of the unitary DFT matrix — the analytic reference
+    :func:`qft` is checked against (tests, examples)."""
     dim = 1 << n_qubits
     k = np.arange(dim)
     return np.exp(2j * math.pi * k * x / dim) / math.sqrt(dim)
+
+
+#: Backwards-compatible alias (pre-export name).
+_dft_column = dft_column

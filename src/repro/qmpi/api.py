@@ -51,10 +51,12 @@ class QmpiComm:
     stream:
         This rank's :class:`~repro.qmpi.stream.OpStream`. Local gate
         calls append typed :class:`~repro.qmpi.ops.Op` records here; the
-        buffer is fused and dispatched as ``apply_ops`` batches, and
-        auto-flushed at every semantic boundary (measurement,
-        ``prob_one``, EPR preparation, p2p/collective entry, barrier,
-        qubit release, program exit).
+        buffer is fused, diagonal runs coalesce into
+        :class:`~repro.qmpi.ops.DiagBatch` phase vectors, batches are
+        dispatched through ``apply_ops``, and everything auto-flushes at
+        every semantic boundary (measurement, ``prob_one``, EPR
+        preparation, p2p/collective entry, barrier, qubit release,
+        program exit).
     """
 
     def __init__(
@@ -413,12 +415,20 @@ def qmpi_run(
         two). See :func:`repro.qmpi.backend.make_backend`.
     backend_opts:
         Extra keyword arguments for the backend constructor (e.g.
-        ``{"n_shards": 8}`` or ``{"enforce_locality": False}``).
+        ``{"n_shards": 8}``, ``{"enforce_locality": False}``, or
+        ``{"workers": 2}`` to enable the sharded engine's
+        process-parallel chunk executor — N persistent worker processes
+        updating the chunks through shared memory; call
+        ``world.backend.close()`` when done with a worker-enabled
+        backend).
     fusion:
-        Per-rank gate-stream fusion: ``"auto"`` (default) buffers, fuses
-        and batch-dispatches local gates; ``"off"`` forwards every gate
-        eagerly as a one-op batch (the escape hatch — identical
-        semantics, no batching). See :class:`~repro.qmpi.stream.OpStream`.
+        Per-rank gate-stream fusion: ``"auto"`` (default) buffers,
+        fuses, and coalesces diagonal runs into
+        :class:`~repro.qmpi.ops.DiagBatch` phase vectors;
+        ``"nodiag"`` fuses but skips diagonal batching (the benchmark
+        baseline); ``"off"`` forwards every gate eagerly as a one-op
+        batch (the escape hatch — identical semantics, no batching).
+        See :class:`~repro.qmpi.stream.OpStream`.
     """
     backend = make_backend(
         backend, seed=seed, n_ranks=n_ranks, **(backend_opts or {})

@@ -28,6 +28,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..sim.diag import DiagBatch
 from ..sim.sharded import ShardedStateVector
 from ..sim.statevector import SimulationError, StateVector
 from . import ops as _ops
@@ -92,6 +93,7 @@ class QuantumBackend:
                 del self._owner[q]
 
     def owner(self, qubit: int) -> int:
+        """The rank that currently owns ``qubit``."""
         with self._lock:
             try:
                 return self._owner[qubit]
@@ -99,6 +101,7 @@ class QuantumBackend:
                 raise SimulationError(f"unknown qubit {qubit}") from None
 
     def owned_by(self, rank: int) -> Qureg:
+        """All qubits currently owned by ``rank`` (ascending ids)."""
         with self._lock:
             return Qureg(sorted(q for q, r in self._owner.items() if r == rank))
 
@@ -133,6 +136,14 @@ class QuantumBackend:
         lock acquisition. The named convenience methods (``h``, ``x``,
         ..., one per :data:`~repro.qmpi.ops.GATESET` entry) are thin
         shims emitting one-op batches.
+
+        Batches may contain :class:`~repro.qmpi.ops.DiagBatch` records —
+        coalesced runs of diagonal ops (see
+        :func:`repro.sim.diag.coalesce_diagonals`). Engines with their
+        own ``apply_ops`` are expected to handle them (the shipped
+        engines apply one precomputed phase vector); the generic unroll
+        for engines without ``apply_ops`` expands each batch through
+        ``DiagBatch.terms()``.
         """
         ops = tuple(ops)
         if not ops:
@@ -145,7 +156,10 @@ class QuantumBackend:
                 sv_apply_ops(ops)
             else:  # engines predating the op IR: unroll generically
                 for op in ops:
-                    if op.n_controls:
+                    if isinstance(op, DiagBatch):
+                        for qs, table in op.terms():
+                            self._sv.apply(np.diag(table), *qs)
+                    elif op.n_controls:
                         self._sv.apply_controlled(
                             op.target_matrix(), list(op.controls), list(op.targets)
                         )
@@ -153,8 +167,11 @@ class QuantumBackend:
                         self._sv.apply(op.target_matrix(), *op.targets)
 
     def apply(self, rank: int, u: np.ndarray, *qubits: int) -> None:
-        """Apply an explicit ``2^k x 2^k`` unitary (emitted as one
-        :data:`~repro.qmpi.ops.UNITARY` op)."""
+        """Apply an explicit ``2^k x 2^k`` unitary to ``k`` owned qubits.
+
+        Emitted as a one-op batch carrying a
+        :data:`~repro.qmpi.ops.UNITARY` record.
+        """
         self.apply_ops(
             rank, (Op(UNITARY, tuple(qubits), u=np.asarray(u, dtype=np.complex128)),)
         )
@@ -163,11 +180,13 @@ class QuantumBackend:
     # measurement
     # ------------------------------------------------------------------
     def measure(self, rank: int, q: int) -> int:
+        """Projective Z-basis measurement of an owned qubit (collapses)."""
         with self._lock:
             self._check_owner(rank, q)
             return self._sv.measure(q)
 
     def measure_and_release(self, rank: int, q: int) -> int:
+        """Measure an owned qubit, then free it. Returns the bit."""
         with self._lock:
             self._check_owner(rank, q)
             bit = self._sv.measure_and_release(q)
@@ -175,6 +194,7 @@ class QuantumBackend:
             return bit
 
     def prob_one(self, rank: int, q: int) -> float:
+        """Probability of measuring |1> on an owned qubit (no collapse)."""
         with self._lock:
             self._check_owner(rank, q)
             return self._sv.prob_one(q)
@@ -194,6 +214,7 @@ class QuantumBackend:
 
     @property
     def num_qubits(self) -> int:
+        """Total number of allocated qubits across all ranks."""
         with self._lock:
             return self._sv.num_qubits
 
@@ -203,12 +224,24 @@ class QuantumBackend:
             return self._sv.statevector(qubits)
 
     def qubit_ids(self) -> Qureg:
+        """Every allocated qubit id, in engine order."""
         with self._lock:
             return Qureg(self._sv.qubit_ids)
 
     def raw(self):
         """The underlying engine, for white-box tests."""
         return self._sv
+
+    def close(self) -> None:
+        """Release engine resources (worker pools, shared memory).
+
+        A no-op for engines without a ``close`` method. Idempotent, and
+        the shipped engines stay usable (serially) afterwards.
+        """
+        closer = getattr(self._sv, "close", None)
+        if closer is not None:
+            with self._lock:
+                closer()
 
 
 class SharedBackend(QuantumBackend):
@@ -224,13 +257,35 @@ class ShardedBackend(QuantumBackend):
     Local-axis gates run as vectorized strided kernels on each flat chunk;
     high-axis gates exchange pair chunks over a private
     :class:`repro.mpi.Fabric`. See :mod:`repro.sim.sharded` for the layout.
+
+    ``workers=N`` (default 0 = serial) enables the opt-in
+    process-parallel chunk executor: communication-free op runs and
+    coalesced diagonal phase-vector multiplies are mapped across the
+    chunks by ``N`` persistent worker processes operating on
+    shared-memory chunk buffers (see :mod:`repro.sim.parallel`). Call
+    :meth:`~QuantumBackend.close` to shut the pool down deterministically;
+    ``parallel_min_chunk`` tunes the smallest chunk size dispatched.
     """
 
-    def __init__(self, seed=None, enforce_locality: bool = True, n_shards: int = 4):
+    def __init__(
+        self,
+        seed=None,
+        enforce_locality: bool = True,
+        n_shards: int = 4,
+        workers: int = 0,
+        parallel_min_chunk: int = 1 << 14,
+    ):
         super().__init__(
-            ShardedStateVector(seed=seed, n_shards=n_shards), enforce_locality
+            ShardedStateVector(
+                seed=seed,
+                n_shards=n_shards,
+                workers=workers,
+                parallel_min_chunk=parallel_min_chunk,
+            ),
+            enforce_locality,
         )
         self.n_shards = n_shards
+        self.workers = workers
 
 
 # ----------------------------------------------------------------------
@@ -240,6 +295,7 @@ def _backend_gate_shim(gd: GateDef):
     n_args = gd.n_qubits + gd.n_params
 
     def shim(self, rank: int, *args):
+        """Generated gate shim (docstring replaced per gate below)."""
         if len(args) != n_args:
             raise TypeError(
                 f"{gd.name}(rank, {gd.signature()}) takes {n_args} operands, "

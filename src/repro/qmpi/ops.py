@@ -29,9 +29,18 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..sim import gates as G
+from ..sim.diag import DiagBatch
 from ..sim.statevector import SimulationError
 
-__all__ = ["Op", "GateDef", "GATESET", "UNITARY", "register_gate", "bind_gateset"]
+__all__ = [
+    "Op",
+    "GateDef",
+    "DiagBatch",
+    "GATESET",
+    "UNITARY",
+    "register_gate",
+    "bind_gateset",
+]
 
 #: Pseudo-gate name for an Op carrying an explicit unitary payload
 #: (generic ``apply`` calls and fused single-qubit products).
@@ -62,16 +71,20 @@ class GateDef:
 
     @property
     def n_qubits(self) -> int:
+        """Number of qubit operands (controls included)."""
         return len(self.qubit_args)
 
     @property
     def n_params(self) -> int:
+        """Number of rotation-parameter operands."""
         return len(self.param_args)
 
     def signature(self) -> str:
+        """Human-readable operand list, e.g. ``"c, t, theta"``."""
         return ", ".join(self.qubit_args + self.param_args)
 
     def target_matrix(self, params: Sequence[float]) -> np.ndarray:
+        """The unitary on the target qubits for the given parameters."""
         if self.builder is not None:
             return self.builder(*params)
         assert self.const is not None
@@ -131,15 +144,18 @@ class Op:
 
     @property
     def n_controls(self) -> int:
+        """Number of control qubits (0 for :data:`UNITARY` ops)."""
         spec = self.spec
         return spec.n_controls if spec is not None else 0
 
     @property
     def controls(self) -> tuple[int, ...]:
+        """The control qubits (a prefix of :attr:`qubits`; may be empty)."""
         return self.qubits[: self.n_controls]
 
     @property
     def targets(self) -> tuple[int, ...]:
+        """The target qubits (everything after the controls)."""
         return self.qubits[self.n_controls :]
 
     # -- semantics -------------------------------------------------------
@@ -150,17 +166,23 @@ class Op:
         return self.spec.target_matrix(self.params)  # type: ignore[union-attr]
 
     def matrix(self) -> np.ndarray:
-        """The full ``2^k x 2^k`` unitary over ``qubits`` (controls as
-        the most significant axes)."""
+        """The full unitary over :attr:`qubits`, controls included.
+
+        Controls are the most significant axes; the result is
+        ``2^k x 2^k`` for ``k = len(qubits)``.
+        """
         m = self.target_matrix()
         nc = self.n_controls
         return G.controlled(m, nc) if nc else m
 
     @cached_property
     def is_diagonal(self) -> bool:
-        """True iff the full operator is diagonal in the Z basis (such
-        ops commute with each other and never need chunk exchange on the
-        sharded engine)."""
+        """True iff the full operator is diagonal in the Z basis.
+
+        Diagonal ops commute with each other, coalesce into
+        :class:`DiagBatch` records at flush time, and never need chunk
+        exchange on the sharded engine.
+        """
         spec = self.spec
         if spec is not None:
             return spec.diagonal
@@ -186,8 +208,7 @@ _BINDERS: list[Callable[[GateDef], None]] = []
 
 
 def register_gate(gd: GateDef) -> None:
-    """Add a gate to :data:`GATESET` and install its convenience method
-    on every bound facade class.
+    """Add a gate to the registry and install its convenience methods.
 
     The name must be a valid identifier and must not shadow an existing
     non-gate attribute of a bound class (``measure``, ``barrier``,
@@ -210,8 +231,11 @@ def register_gate(gd: GateDef) -> None:
 
 
 def bind_gateset(binder: Callable[[GateDef], None]) -> None:
-    """Subscribe a shim installer; it is applied to every already
-    registered gate immediately and to each future :func:`register_gate`."""
+    """Subscribe a shim installer to the gate registry.
+
+    The installer is applied to every already-registered gate
+    immediately and to each future :func:`register_gate`.
+    """
     _BINDERS.append(binder)
     for gd in GATESET.values():
         binder(gd)

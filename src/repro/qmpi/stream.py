@@ -20,15 +20,24 @@ Fusion rules
   ops are transparent to the backward scan; long Rz chains on one qubit
   coalesce into a single diagonal regardless of interleaved diagonal
   traffic on other qubits.
+* **Diagonal batching** — at flush time, maximal runs of diagonal ops
+  collapse into one :class:`~repro.qmpi.ops.DiagBatch` record each
+  (per-qubit / per-pair phase tables, see
+  :func:`repro.sim.diag.coalesce_diagonals`), which the engines apply
+  as a single precomputed phase-vector multiply.
 
 Fusion changes *nothing* semantically: the fused matrix product equals
-the sequential application, and every measurement-like operation flushes
-first. The escape hatch ``fusion="off"`` forwards each op eagerly as a
-one-op batch, which is exactly the legacy per-gate path.
+the sequential application, diagonal ops commute so batching them is
+exact, and every measurement-like operation flushes first. The escape
+hatch ``fusion="off"`` forwards each op eagerly as a one-op batch,
+which is exactly the legacy per-gate path; ``fusion="nodiag"`` keeps
+peephole fusion but skips diagonal batching (the PR 2 dispatch, kept as
+a benchmark baseline).
 """
 
 from __future__ import annotations
 
+from ..sim.diag import coalesce_diagonals
 from .ops import UNITARY, Op
 
 __all__ = ["OpStream"]
@@ -45,19 +54,24 @@ class OpStream:
     rank:
         The owning rank (ownership is checked at flush time).
     fusion:
-        ``"auto"``/``"on"``/``True`` — buffer and fuse (default);
-        ``"off"``/``False`` — forward each op immediately, unfused.
+        ``"auto"``/``"on"``/``True`` — buffer, fuse and batch diagonals
+        (default); ``"nodiag"`` — buffer and fuse but skip diagonal
+        batching; ``"off"``/``False`` — forward each op immediately,
+        unfused and unbatched.
     max_pending:
         Auto-flush threshold bounding buffer growth for long straight-
         line circuits.
     """
 
     def __init__(self, backend, rank: int, fusion="auto", max_pending: int = 256):
-        if fusion not in ("auto", "on", "off", True, False):
-            raise ValueError(f"fusion must be 'auto', 'on' or 'off', got {fusion!r}")
+        if fusion not in ("auto", "on", "off", "nodiag", True, False):
+            raise ValueError(
+                f"fusion must be 'auto', 'on', 'nodiag' or 'off', got {fusion!r}"
+            )
         self._backend = backend
         self._rank = rank
         self._eager = fusion in ("off", False)
+        self._diag_batching = not self._eager and fusion != "nodiag"
         self._buf: list[Op] = []
         self._max_pending = max_pending
 
@@ -65,6 +79,11 @@ class OpStream:
     def fusion(self) -> bool:
         """Whether this stream buffers and fuses (False = eager legacy path)."""
         return not self._eager
+
+    @property
+    def diag_batching(self) -> bool:
+        """Whether flushes coalesce diagonal runs into ``DiagBatch`` records."""
+        return self._diag_batching
 
     @property
     def pending(self) -> int:
@@ -86,11 +105,16 @@ class OpStream:
     def flush(self) -> None:
         """Dispatch everything buffered as one ``apply_ops`` batch.
 
-        On error (e.g. a locality violation) the buffered batch is
-        discarded — partial replay would double-apply its prefix.
+        Maximal runs of diagonal ops are coalesced into
+        :class:`~repro.qmpi.ops.DiagBatch` records on the way out
+        (unless ``fusion="nodiag"``). On error (e.g. a locality
+        violation) the buffered batch is discarded — partial replay
+        would double-apply its prefix.
         """
         if self._buf:
             buf, self._buf = self._buf, []
+            if self._diag_batching:
+                buf = coalesce_diagonals(buf)
             self._backend.apply_ops(self._rank, tuple(buf))
 
     # ------------------------------------------------------------------

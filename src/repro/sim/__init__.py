@@ -5,12 +5,16 @@ Public surface:
 * :class:`~repro.sim.statevector.StateVector` — the engine
 * :class:`~repro.sim.sharded.ShardedStateVector` — chunk-distributed engine
 * :class:`~repro.sim.tracker.TrackedStateVector` — engine + gate tallies
+* :mod:`~repro.sim.diag` — diagonal phase-vector batching (``DiagBatch``)
+* :mod:`~repro.sim.parallel` — process-parallel chunk executor
 * :mod:`~repro.sim.gates` — gate matrices
 * :mod:`~repro.sim.pauli` — Pauli-string application / rotation
 * :mod:`~repro.sim.arith` — reversible adders for QMPI_SUM reductions
 """
 
-from . import arith, gates, pauli
+from . import arith, diag, gates, parallel, pauli
+from .diag import DiagBatch, coalesce_diagonals
+from .parallel import ChunkPool
 from .sharded import ShardedStateVector
 from .statevector import SimulationError, StateVector
 from .tracker import GateCounts, TrackedStateVector
@@ -20,7 +24,12 @@ __all__ = [
     "ShardedStateVector",
     "TrackedStateVector",
     "GateCounts",
+    "DiagBatch",
+    "ChunkPool",
+    "coalesce_diagonals",
     "SimulationError",
+    "diag",
+    "parallel",
     "gates",
     "pauli",
     "arith",

@@ -1,0 +1,317 @@
+"""Diagonal phase-vector batching: the ``DiagBatch`` record and its kernels.
+
+Diagonal ops (z, s, t, tdg, rz, phase, cz, crz, cphase, and any fused
+2x2 diagonal) all commute in the computational basis, so a run of them
+is a single diagonal operator.  :func:`coalesce_diagonals` collapses
+such runs — the :class:`~repro.qmpi.stream.OpStream` calls it at flush
+time — into one :class:`DiagBatch` op carrying *phase tables*:
+
+* ``phases1[q]``      — a length-2 table: the factor each value of qubit
+  ``q`` picks up;
+* ``phases2[(a, b)]`` — a length-4 table indexed by ``(bit_a << 1) |
+  bit_b``: the joint factor a qubit pair picks up (cz / crz / cphase
+  collapse here, with repeats on the same pair merging into one table).
+
+The engines then materialize each batch as **one phase vector** and
+apply it in a single vectorized multiply instead of one strided pass
+per gate: :func:`chunk_phase` builds a broadcastable tensor over the
+``(2,)*n`` amplitude view, resolving any *shard-axis* bits against the
+chunk index so distributed chunks only ever scale themselves — no
+pair-chunk traffic, on any axis.  Chunks sharing the same shard-bit
+signature share the same vector, so it is computed once per shape and
+reused (or recomputed per worker in the parallel executor, which is the
+same trade the QMPI paper's rank-0 broadcast makes).
+
+This module lives in :mod:`repro.sim` (below the op IR) so both engines
+and the :mod:`repro.sim.parallel` workers can import it without cycles;
+:mod:`repro.qmpi.ops` re-exports :class:`DiagBatch` as part of the
+public IR.
+"""
+
+from __future__ import annotations
+
+import cmath
+
+import numpy as np
+
+__all__ = ["DiagBatch", "coalesce_diagonals", "chunk_phase"]
+
+#: Table re-index that swaps the two bits of a pair phase table
+#: (``(a, b) -> (b, a)``: entries 01 and 10 trade places).
+_PAIR_SWAP = (0, 2, 1, 3)
+
+
+class DiagBatch:
+    """A coalesced run of commuting diagonal ops, as phase tables.
+
+    Instances quack like :class:`~repro.qmpi.ops.Op` where the pipeline
+    cares (``qubits``/``targets``/``controls``, ``is_diagonal``,
+    ``spec``/``gate``/``params``) so rank-ownership checks and dispatch
+    treat them uniformly; engines special-case them for the phase-vector
+    fast path, and anything else can fall back to :meth:`terms`.
+
+    Build instances with :meth:`from_ops` (or let
+    :func:`coalesce_diagonals` do it); the constructor trusts its
+    arguments.
+    """
+
+    __slots__ = ("phases1", "phases2", "_qubits")
+
+    #: Op-protocol constants: a batch is an uncontrolled, multi-target,
+    #: diagonal pseudo-op outside the GATESET registry.
+    spec = None
+    gate = "diag_batch"
+    params: tuple = ()
+    controls: tuple = ()
+    n_controls = 0
+    is_diagonal = True
+    is_single = False
+    u = None
+
+    def __init__(self, phases1, phases2, qubits):
+        self.phases1 = phases1
+        self.phases2 = phases2
+        self._qubits = tuple(qubits)
+
+    @property
+    def qubits(self) -> tuple:
+        """Every qubit the batch touches, in first-touch order."""
+        return self._qubits
+
+    @property
+    def targets(self) -> tuple:
+        """Alias of :attr:`qubits` (a batch has no control operands)."""
+        return self._qubits
+
+    @property
+    def n_ops(self) -> int:
+        """Number of phase tables carried (after same-operand merging)."""
+        return len(self.phases1) + len(self.phases2)
+
+    @classmethod
+    def from_ops(cls, ops) -> "DiagBatch":
+        """Coalesce a run of diagonal ops (or batches) into one batch.
+
+        Every op must be diagonal on one or two qubits (controls count:
+        ``crz(c, t)`` is a two-qubit diagonal).  Repeated operands
+        multiply into the existing table — L layers of the same ZZ pair
+        cost one table — and a reversed pair key ``(b, a)`` is permuted
+        into the first-seen orientation.
+        """
+        phases1: dict[int, np.ndarray] = {}
+        phases2: dict[tuple[int, int], np.ndarray] = {}
+        order: list[int] = []
+        seen: set[int] = set()
+
+        def touch(qs):
+            for q in qs:
+                if q not in seen:
+                    seen.add(q)
+                    order.append(q)
+
+        def mul1(q, table):
+            if q in phases1:
+                phases1[q] *= table
+            else:
+                phases1[q] = np.array(table, dtype=np.complex128)
+
+        def mul2(a, b, table):
+            if (a, b) in phases2:
+                phases2[(a, b)] *= table
+            elif (b, a) in phases2:
+                phases2[(b, a)] *= np.asarray(table)[list(_PAIR_SWAP)]
+            else:
+                phases2[(a, b)] = np.array(table, dtype=np.complex128)
+
+        for op in ops:
+            if isinstance(op, DiagBatch):
+                for q, t in op.phases1.items():
+                    touch((q,))
+                    mul1(q, t)
+                for (a, b), t in op.phases2.items():
+                    touch((a, b))
+                    mul2(a, b, t)
+                continue
+            qs = op.qubits
+            if not op.is_diagonal or not 1 <= len(qs) <= 2:
+                raise ValueError(f"cannot coalesce non-diagonal op {op!r}")
+            touch(qs)
+            # Read the diagonal without materializing the (controlled)
+            # matrix: a single-control gate contributes (1, 1, u00, u11).
+            tm = op.target_matrix()
+            if op.n_controls == 1 and len(op.targets) == 1:
+                d = (1.0, 1.0, tm[0, 0], tm[1, 1])
+            else:
+                d = np.diagonal(tm)
+            if len(qs) == 1:
+                mul1(qs[0], d)
+            else:
+                mul2(qs[0], qs[1], d)
+        return cls(phases1, phases2, order)
+
+    def terms(self):
+        """Yield ``(qubits, table)`` elementary diagonal factors.
+
+        The generic fallback for engines without a phase-vector path:
+        applying ``np.diag(table)`` to each ``qubits`` tuple in order
+        reproduces the batch exactly.
+        """
+        for q, t in self.phases1.items():
+            yield (q,), t
+        for (a, b), t in self.phases2.items():
+            yield (a, b), t
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DiagBatch singles={sorted(self.phases1)} "
+            f"pairs={sorted(self.phases2)}>"
+        )
+
+
+def coalesce_diagonals(ops):
+    """Collapse maximal runs of small diagonal ops into ``DiagBatch`` records.
+
+    Scans the op sequence in order: contiguous runs of diagonal ops on
+    one or two qubits (z/s/t/tdg/rz/phase/cz/crz/cphase, fused 2x2
+    diagonals, prior batches) collapse into one :class:`DiagBatch` per
+    run; any other op — including diagonal ops wider than two qubits —
+    is a barrier that splits the run.  Runs of length one are left as
+    plain ops (a lone cz already has a communication-free path).
+    Semantics are exact: diagonal ops commute, so the batched product
+    equals the sequential application.
+    """
+    out: list = []
+    run: list = []
+
+    def drain():
+        if len(run) >= 2:
+            out.append(DiagBatch.from_ops(run))
+        else:
+            out.extend(run)
+        run.clear()
+
+    for op in ops:
+        if op.is_diagonal and 1 <= len(op.qubits) <= 2:
+            run.append(op)
+        else:
+            drain()
+            out.append(op)
+    drain()
+    return out
+
+
+def chunk_phase(singles, pairs, n_axes, ci=0):
+    """Materialize phase tables as one broadcastable tensor.
+
+    Parameters
+    ----------
+    singles:
+        Iterable of ``(bit, table2)`` — single-qubit phase tables at bit
+        position ``bit`` (bit 0 = least significant amplitude index).
+    pairs:
+        Iterable of ``((bit_a, bit_b), table4)`` — pair tables indexed
+        by ``(bit_a << 1) | bit_b``.
+    n_axes:
+        Number of *local* axes: the returned tensor broadcasts against
+        an amplitude view of shape ``(2,) * n_axes``.
+    ci:
+        Chunk index.  Bits ``>= n_axes`` are shard-axis bits whose value
+        is fixed per chunk: they contribute scalars (or collapse a pair
+        table to a single-axis table) read from ``ci``'s bits.
+
+    Returns a complex tensor of shape ``(1|2,) * n_axes`` — size 2 only
+    on the axes a table touches — so applying a whole batch to a chunk
+    is the single in-place multiply ``chunk.reshape((2,)*n_axes) *= out``.
+    """
+    scalar = complex(1.0)
+    parts: list[tuple[tuple[int, ...], np.ndarray]] = []
+    for b, t in singles:
+        if b >= n_axes:
+            scalar *= complex(t[(ci >> (b - n_axes)) & 1])
+        else:
+            parts.append(((n_axes - 1 - b,), np.asarray(t, dtype=np.complex128)))
+    for (ba, bb), t in pairs:
+        t = np.asarray(t, dtype=np.complex128).reshape(2, 2)
+        va = (ci >> (ba - n_axes)) & 1 if ba >= n_axes else None
+        vb = (ci >> (bb - n_axes)) & 1 if bb >= n_axes else None
+        if va is not None and vb is not None:
+            scalar *= complex(t[va, vb])
+        elif va is not None:
+            parts.append(((n_axes - 1 - bb,), t[va]))
+        elif vb is not None:
+            parts.append(((n_axes - 1 - ba,), t[:, vb]))
+        else:
+            ax_a, ax_b = n_axes - 1 - ba, n_axes - 1 - bb
+            if ax_a > ax_b:
+                parts.append(((ax_b, ax_a), t.T))
+            else:
+                parts.append(((ax_a, ax_b), t))
+    # Pre-scan for non-identity parts: tables collapsed by shard bits
+    # are often pure identity (a control bit fixed to 0), and the tensor
+    # only needs size 2 on axes a *live* part touches. Scalar entries
+    # are compared as Python complex — numpy scalar compares in a loop
+    # this hot are measurably slow.
+    live = []
+    for axes, t in parts:
+        vals = t.reshape(-1).tolist()
+        nz = [i for i, v in enumerate(vals) if v != 1.0]
+        if nz:
+            live.append((axes, vals, nz))
+    if not live:
+        # 0-d result: broadcasts as a scalar against any chunk view.
+        return np.full((), scalar, dtype=np.complex128)
+    # The tensor is built *compressed* — a flat array over just the live
+    # axes — so every table entry updates through a 3-d/5-d strided
+    # view. (Indexing the (1|2,)*n_axes broadcast form directly would
+    # make numpy iterate over up to n_axes size-2 dimensions per
+    # update, which dominates the runtime for wide batches.)
+    live_axes = sorted({ax for axes, _, _ in live for ax in axes})
+    pos = {ax: len(live_axes) - 1 - i for i, ax in enumerate(live_axes)}
+    size = 1 << len(live_axes)
+    # Wide batches accumulate float64 *angles* instead of multiplying
+    # complex factors: diagonal gate tables are unit-modulus, so each
+    # entry is a pure phase, angle adds move half the memory traffic of
+    # complex multiplies, and one cos/sin pass at the end rebuilds the
+    # vector. Non-unit entries (a non-unitary explicit diagonal) fall
+    # back to complex multiplies on the result. The threshold is where
+    # the halved per-part traffic amortizes the two transcendental
+    # passes of the final cos/sin.
+    deferred = live
+    out = None
+    if len(live) >= 24:
+        acc = np.zeros(size, dtype=np.float64)
+        deferred = []
+        for axes, vals, nz in live:
+            if any(abs(abs(vals[i]) - 1.0) > 1e-12 for i in nz):
+                deferred.append((axes, vals, nz))
+                continue
+            if len(axes) == 1:
+                v = acc.reshape(-1, 2, 1 << pos[axes[0]])
+                for i in nz:
+                    v[:, i, :] += cmath.phase(vals[i])
+            else:
+                pa, pb = pos[axes[0]], pos[axes[1]]  # ascending => pa > pb
+                v = acc.reshape(-1, 2, 1 << (pa - pb - 1), 2, 1 << pb)
+                for i in nz:
+                    v[:, i >> 1, :, i & 1, :] += cmath.phase(vals[i])
+        out = np.empty(size, dtype=np.complex128)
+        out.real = np.cos(acc)
+        out.imag = np.sin(acc)
+        if scalar != 1.0:
+            out *= scalar
+    if out is None:
+        out = np.full(size, scalar, dtype=np.complex128)
+    for axes, vals, nz in deferred:
+        if len(axes) == 1:
+            v = out.reshape(-1, 2, 1 << pos[axes[0]])
+            for i in nz:
+                v[:, i, :] *= vals[i]
+        else:
+            pa, pb = pos[axes[0]], pos[axes[1]]  # axes ascending => pa > pb
+            v = out.reshape(-1, 2, 1 << (pa - pb - 1), 2, 1 << pb)
+            for i in nz:
+                v[:, i >> 1, :, i & 1, :] *= vals[i]
+    shape = [1] * n_axes
+    for ax in live_axes:
+        shape[ax] = 2
+    return out.reshape(tuple(shape))

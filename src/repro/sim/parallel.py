@@ -1,0 +1,231 @@
+"""Process-parallel chunk executor for the sharded engine.
+
+The sharded engine's hot path — communication-free op runs and diagonal
+phase-vector multiplies — touches each chunk independently, so chunks
+can be updated concurrently.  :class:`ChunkPool` keeps ``N`` persistent
+worker *processes* (spawned once, reused for every dispatch) that
+operate on the chunks **in place** through
+:mod:`multiprocessing.shared_memory` buffers: the engine allocates every
+chunk in shared memory when ``workers > 0``, so dispatching a task ships
+only a few hundred bytes (the shared-memory segment name plus tiny 2x2
+matrices or a phase-vector reference), never the amplitudes.
+
+Two task kinds mirror the two bulk operations:
+
+* ``("run", chunk, n_local, ci, run)`` — apply a run of
+  communication-free single-qubit kernels (:func:`apply_run`, the same
+  arithmetic the serial path uses);
+* ``("mul", chunk, n_local, vec)`` — multiply the chunk's ``(2,)*n``
+  view by a broadcastable phase tensor (a :class:`DiagBatch`
+  materialized by :func:`repro.sim.diag.chunk_phase`), which the engine
+  computed once per shard-bit signature and staged in scratch shared
+  memory.
+
+Workers are started with the ``spawn`` method: the engine lives inside
+multi-threaded SPMD programs (:mod:`repro.mpi.runtime`), where forking
+is unsafe.  They are daemons, so an abandoned pool dies with the
+parent; call :meth:`ChunkPool.close` for an orderly shutdown.
+
+Speedup obviously requires real CPUs: with ``C`` cores, ``workers <= C``
+is the useful range, and on a single-core host the executor only adds
+IPC overhead (the benchmark records ``cpu_count`` next to its numbers
+for exactly this reason).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as _queue
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .statevector import SimulationError
+
+__all__ = ["ChunkPool", "apply_run"]
+
+
+def apply_run(chunk: np.ndarray, run, n_local: int, ci: int) -> None:
+    """Apply a run of communication-free single-qubit kernels to one chunk.
+
+    ``run`` is a sequence of ``(u, bit, diagonal)`` entries — 2x2
+    matrix, bit position, diagonality flag — each of which is either a
+    local-axis strided kernel or, for a diagonal on a shard axis, a
+    whole-chunk scale by the factor selected by chunk index ``ci``.
+    Shared between the serial engine loop and the pool workers so both
+    paths execute identical arithmetic.
+    """
+    for u, b, diag in run:
+        if b >= n_local:
+            # Diagonal on a shard axis: the whole chunk scales.
+            f = u[1, 1] if (ci >> (b - n_local)) & 1 else u[0, 0]
+            if f != 1.0:
+                chunk *= f
+        elif diag:
+            v = chunk.reshape(-1, 2, 1 << b)
+            if u[0, 0] != 1.0:
+                v[:, 0, :] *= u[0, 0]
+            if u[1, 1] != 1.0:
+                v[:, 1, :] *= u[1, 1]
+        else:
+            v = chunk.reshape(-1, 2, 1 << b)
+            a0 = v[:, 0, :].copy()
+            a1 = v[:, 1, :]
+            v[:, 0, :] = u[0, 0] * a0 + u[0, 1] * a1
+            v[:, 1, :] = u[1, 0] * a0 + u[1, 1] * a1
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing shared-memory block without adopting it.
+
+    On Python 3.13+ ``track=False`` skips resource-tracker registration
+    outright. On older versions the attach registers with the tracker
+    the worker shares with the spawning engine — registration is
+    idempotent there (set semantics), and the engine's own ``unlink``
+    balances it, so no extra bookkeeping is needed.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python <= 3.12
+        return shared_memory.SharedMemory(name=name)
+
+
+def _as_array(shm: shared_memory.SharedMemory, count: int) -> np.ndarray:
+    return np.ndarray((count,), dtype=np.complex128, buffer=shm.buf)
+
+
+def _worker_main(tasks, results) -> None:
+    """Worker loop: pop a task, mutate the referenced chunk, acknowledge."""
+    while True:
+        task = tasks.get()
+        if task is None:
+            return
+        try:
+            kind = task[0]
+            if kind == "run":
+                _, name, count, nl, ci, run = task
+                shm = _attach(name)
+                try:
+                    apply_run(_as_array(shm, count), run, nl, ci)
+                finally:
+                    shm.close()
+            elif kind == "mul":
+                _, name, count, nl, vec_name, vec_shape = task
+                shm = _attach(name)
+                vshm = _attach(vec_name)
+                try:
+                    vec = np.ndarray(
+                        vec_shape, dtype=np.complex128, buffer=vshm.buf
+                    )
+                    view = _as_array(shm, count).reshape((2,) * nl)
+                    view *= vec
+                    del vec, view
+                finally:
+                    vshm.close()
+                    shm.close()
+            else:  # pragma: no cover - protocol error
+                raise ValueError(f"unknown task kind {kind!r}")
+            results.put(None)
+        except Exception as exc:  # surface, don't kill the worker
+            results.put(f"{type(exc).__name__}: {exc}")
+
+
+class ChunkPool:
+    """A persistent pool of chunk-worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (must be >= 1).  Workers are spawned
+        immediately and stay resident until :meth:`close`.
+    """
+
+    #: Seconds to wait for any single task acknowledgement before
+    #: declaring the pool wedged (a worker died mid-task).
+    TIMEOUT = 120.0
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise SimulationError(f"workers must be >= 1, got {workers}")
+        ctx = mp.get_context("spawn")
+        self._tasks = ctx.Queue()
+        self._results = ctx.Queue()
+        self._procs = [
+            ctx.Process(target=_worker_main, args=(self._tasks, self._results),
+                        daemon=True)
+            for _ in range(workers)
+        ]
+        for p in self._procs:
+            p.start()
+
+    @property
+    def workers(self) -> int:
+        """Number of worker processes in the pool."""
+        return len(self._procs)
+
+    def run_tasks(self, tasks) -> None:
+        """Dispatch tasks to the pool and block until all acknowledge.
+
+        Raises :class:`~repro.sim.statevector.SimulationError` if any
+        worker reports an error or fails to acknowledge within
+        :attr:`TIMEOUT` — in either case the chunks may be partially
+        updated and the simulation state must be considered lost.
+        """
+        tasks = list(tasks)
+        for t in tasks:
+            self._tasks.put(t)
+        errors = []
+        for _ in tasks:
+            # The deadline is per acknowledgement: it resets on every
+            # completed task, so a large batch of slow-but-progressing
+            # tasks is never mistaken for a wedged pool.
+            deadline = time.monotonic() + self.TIMEOUT
+            while True:
+                try:
+                    ack = self._results.get(timeout=1.0)
+                    break
+                except _queue.Empty:
+                    if not any(p.is_alive() for p in self._procs):
+                        self.close()
+                        raise SimulationError(
+                            "all chunk workers died (spawn failure? the main "
+                            "module must be importable for mp 'spawn')"
+                        ) from None
+                    if time.monotonic() > deadline:
+                        self.close()
+                        raise SimulationError(
+                            "chunk worker did not acknowledge within "
+                            f"{self.TIMEOUT}s (worker died mid-task?)"
+                        ) from None
+            if ack is not None:
+                errors.append(ack)
+        if errors:
+            raise SimulationError(
+                "chunk worker failed: " + "; ".join(errors)
+            )
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        procs, self._procs = self._procs, []
+        if not procs:
+            return
+        for _ in procs:
+            try:
+                self._tasks.put(None)
+            except Exception:  # pragma: no cover - queue already closed
+                break
+        for p in procs:
+            p.join(timeout=5.0)
+            if p.is_alive():  # pragma: no cover - wedged worker
+                p.terminate()
+                p.join(timeout=5.0)
+        for q in (self._tasks, self._results):
+            q.close()
+            q.join_thread()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

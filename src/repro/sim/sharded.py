@@ -33,6 +33,16 @@ While fewer than ``log2(R)`` qubits exist the engine runs with
 ``min(R, 2^n)`` active chunks and grows to the full shard count as qubits
 are allocated; releasing a high-axis qubit compacts the chunk list again.
 
+Batched execution exploits the chunk layout two ways (see
+:meth:`ShardedStateVector.apply_ops`): communication-free single-qubit
+runs execute chunk-by-chunk in one pass, and coalesced
+:class:`~repro.sim.diag.DiagBatch` records materialize as one phase
+vector per shard-bit signature — computed once and reused by every chunk
+that shares the signature — applied in a single vectorized multiply.
+With ``workers=N`` both bulk paths additionally fan out across a
+persistent process pool (:class:`~repro.sim.parallel.ChunkPool`) that
+mutates the chunks in place through shared-memory buffers.
+
 The class mirrors :class:`repro.sim.statevector.StateVector`'s public API
 exactly (same methods, same error messages, same RNG draw discipline), so
 the two engines are drop-in interchangeable behind
@@ -42,12 +52,15 @@ the two engines are drop-in interchangeable behind
 from __future__ import annotations
 
 import itertools
+from multiprocessing import shared_memory
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from ..mpi.fabric import Fabric
 from . import gates as G
+from .diag import DiagBatch, chunk_phase
+from .parallel import ChunkPool, apply_run
 from .statevector import SimulationError
 
 __all__ = ["ShardedStateVector"]
@@ -65,6 +78,17 @@ class ShardedStateVector:
     n_shards:
         Number of chunks the amplitudes are distributed over; must be a
         power of two. ``n_shards=1`` degenerates to a single flat array.
+    workers:
+        Number of persistent chunk-worker processes for the opt-in
+        parallel executor (default 0 = serial). When positive, chunks
+        live in shared-memory buffers and communication-free op runs and
+        diagonal phase-vector multiplies are mapped across the chunks by
+        a :class:`~repro.sim.parallel.ChunkPool`. Call :meth:`close`
+        when done (GC also closes as a safety net).
+    parallel_min_chunk:
+        Smallest chunk size (amplitudes) worth dispatching to the pool;
+        below it the per-task IPC overhead exceeds the kernel time and
+        execution stays serial. Tests force the pool with ``1``.
 
     Examples
     --------
@@ -74,14 +98,29 @@ class ShardedStateVector:
     0.4999...
     """
 
-    def __init__(self, n_qubits: int = 0, seed=None, n_shards: int = 4):
+    def __init__(
+        self,
+        n_qubits: int = 0,
+        seed=None,
+        n_shards: int = 4,
+        workers: int = 0,
+        parallel_min_chunk: int = 1 << 14,
+    ):
         if n_shards < 1 or (n_shards & (n_shards - 1)):
             raise SimulationError(f"n_shards must be a power of two, got {n_shards}")
+        if workers < 0:
+            raise SimulationError(f"workers must be >= 0, got {workers}")
         self.n_shards = n_shards
         self._fabric = Fabric(n_shards)
         self._tags = itertools.count()
+        self._workers = int(workers)
+        self._parallel_min_chunk = int(parallel_min_chunk)
+        self._pool: ChunkPool | None = None
+        self._shm: list[shared_memory.SharedMemory] | None = [] if workers else None
+        self._retired: list[shared_memory.SharedMemory] = []
         # Zero qubits == one chunk holding the single amplitude 1.
-        self._chunks: list[np.ndarray] = [np.ones(1, dtype=np.complex128)]
+        self._chunks: list[np.ndarray] = []
+        self._store_chunks([np.ones(1, dtype=np.complex128)])
         self._bit_of: dict[int, int] = {}
         self._next_id = 0
         if isinstance(seed, np.random.Generator):
@@ -125,6 +164,116 @@ class ShardedStateVector:
         """Allocated qubit ids in allocation order (descending bit position)."""
         return tuple(sorted(self._bit_of, key=self._bit_of.__getitem__, reverse=True))
 
+    @property
+    def workers(self) -> int:
+        """Worker-process count of the parallel chunk executor (0 = serial)."""
+        return self._workers
+
+    # ------------------------------------------------------------------
+    # chunk storage (shared-memory backed when workers are enabled)
+    # ------------------------------------------------------------------
+    def _store_chunks(self, arrs: Sequence[np.ndarray]) -> None:
+        """Install a new chunk list, preserving shared-memory backing.
+
+        With ``workers=0`` this is a plain rebind. With workers enabled,
+        a same-layout update copies into the existing shared-memory
+        buffers (chunk identity stays stable — no segment churn on
+        high-axis gates), while a layout change (alloc/release/
+        rebalance) reallocates the segments.
+        """
+        arrs = list(arrs)
+        if self._shm is None:
+            self._chunks = arrs
+            return
+        if len(arrs) == len(self._chunks) and all(
+            a.size == c.size for a, c in zip(arrs, self._chunks)
+        ):
+            for a, c in zip(arrs, self._chunks):
+                if a is not c:
+                    c[:] = a
+            return
+        self._drain_retired()
+        old = self._shm
+        self._shm = []
+        chunks = []
+        for a in arrs:
+            shm = shared_memory.SharedMemory(create=True, size=max(16, 16 * a.size))
+            self._shm.append(shm)
+            view = np.ndarray((a.size,), dtype=np.complex128, buffer=shm.buf)
+            view[:] = a
+            chunks.append(view)
+        self._chunks = chunks
+        del arrs
+        for s in old:
+            self._release_shm(s)
+
+    def _set_chunk(self, i: int, arr: np.ndarray) -> None:
+        """Replace one same-size chunk (in place when shared-memory backed)."""
+        if self._shm is None:
+            self._chunks[i] = arr
+        else:
+            self._chunks[i][:] = arr
+
+    def _release_shm(self, shm: shared_memory.SharedMemory) -> None:
+        # Unlink first (always possible); if a stale external view still
+        # pins the mapping, park the segment and retry the close later.
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        try:
+            shm.close()
+        except BufferError:
+            self._retired.append(shm)
+
+    def _drain_retired(self) -> None:
+        still = []
+        for shm in self._retired:
+            try:
+                shm.close()
+            except BufferError:
+                still.append(shm)
+        self._retired = still
+
+    def _get_pool(self) -> ChunkPool:
+        if self._pool is None:
+            self._pool = ChunkPool(self._workers)
+        return self._pool
+
+    def _parallel_ready(self) -> bool:
+        """True when a bulk op should be dispatched to the worker pool."""
+        return (
+            self._workers > 0
+            and len(self._chunks) > 1
+            and self.chunk_size >= self._parallel_min_chunk
+        )
+
+    def close(self) -> None:
+        """Shut down the worker pool and release shared-memory buffers.
+
+        The engine stays usable afterwards: amplitudes migrate back to
+        ordinary process-private arrays and execution continues
+        serially. Idempotent; garbage collection calls it as a safety
+        net, but deterministic cleanup (tests, long-lived services)
+        should call it explicitly.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._shm is not None:
+            self._chunks = [c.copy() for c in self._chunks]
+            shms, self._shm = self._shm, None
+            for s in shms:
+                self._release_shm(s)
+            self._workers = 0
+        self._drain_retired()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
     # ------------------------------------------------------------------
     # allocation
     # ------------------------------------------------------------------
@@ -150,7 +299,7 @@ class ShardedStateVector:
                 # active chunk count tracks min(n_shards, 2^n).
                 half = grown[0].size // 2
                 grown = [part for c in grown for part in (c[:half].copy(), c[half:].copy())]
-            self._chunks = grown
+            self._store_chunks(grown)
             ids.append(qid)
         return ids
 
@@ -167,13 +316,17 @@ class ShardedStateVector:
             views = [c.reshape(-1, 2, stride) for c in self._chunks]
             if any(not np.allclose(v[:, 1, :], 0.0, atol=1e-9) for v in views):
                 self._raise_not_zero(qubit)
-            self._chunks = [np.ascontiguousarray(v[:, 0, :]).reshape(-1) for v in views]
+            self._store_chunks(
+                [np.ascontiguousarray(v[:, 0, :]).reshape(-1) for v in views]
+            )
         else:
             mask = 1 << (b - nl)
             ones = [c for i, c in enumerate(self._chunks) if i & mask]
             if any(not np.allclose(c, 0.0, atol=1e-9) for c in ones):
                 self._raise_not_zero(qubit)
-            self._chunks = [c for i, c in enumerate(self._chunks) if not i & mask]
+            self._store_chunks(
+                [c for i, c in enumerate(self._chunks) if not i & mask]
+            )
         del self._bit_of[qubit]
         for q, bb in self._bit_of.items():
             if bb > b:
@@ -261,12 +414,22 @@ class ShardedStateVector:
         Communication-free single-qubit ops (local axis, or diagonal on
         any axis) are collected into runs and executed chunk-by-chunk in
         a single pass — one traversal of each flat chunk for the whole
-        run instead of one per gate. Ops that need chunk exchange (or
-        multi-qubit contraction) are barriers: they drain the pending
-        run, dispatch individually, and the next run resumes after them.
+        run instead of one per gate. Coalesced
+        :class:`~repro.sim.diag.DiagBatch` records apply as one phase
+        vector per shard-bit signature (see :meth:`_apply_diag_batch`).
+        Ops that need chunk exchange (or multi-qubit contraction) are
+        barriers: they drain the pending run, dispatch individually, and
+        the next run resumes after them. With ``workers=N`` the run and
+        phase-vector paths fan out across the chunk worker pool.
         """
         run: list[tuple[np.ndarray, int, bool]] = []  # (u, bit, diagonal)
         for op in ops:
+            if isinstance(op, DiagBatch):
+                if run:
+                    self._apply_single_run(run)
+                    run = []
+                self._apply_diag_batch(op)
+                continue
             if not op.controls and len(op.qubits) == 1:
                 u = np.asarray(op.target_matrix(), dtype=np.complex128)
                 b = self._bit(op.qubits[0])
@@ -286,27 +449,101 @@ class ShardedStateVector:
 
     def _apply_single_run(self, run) -> None:
         """One pass over each chunk applying a run of communication-free
-        single-qubit kernels (same arithmetic as :meth:`_apply_single`)."""
+        single-qubit kernels (the shared :func:`repro.sim.parallel.apply_run`
+        kernel — same arithmetic as :meth:`_apply_single`), dispatched to
+        the worker pool when the chunks are large enough to pay for it."""
         nl = self.n_local
+        if self._parallel_ready():
+            self._get_pool().run_tasks(
+                ("run", self._shm[ci].name, c.size, nl, ci, run)
+                for ci, c in enumerate(self._chunks)
+            )
+            return
         for ci, c in enumerate(self._chunks):
-            for u, b, diag in run:
-                if b >= nl:
-                    # Diagonal on a shard axis: the whole chunk scales.
-                    f = u[1, 1] if (ci >> (b - nl)) & 1 else u[0, 0]
-                    if f != 1.0:
-                        c *= f
-                elif diag:
-                    v = c.reshape(-1, 2, 1 << b)
-                    if u[0, 0] != 1.0:
-                        v[:, 0, :] *= u[0, 0]
-                    if u[1, 1] != 1.0:
-                        v[:, 1, :] *= u[1, 1]
+            apply_run(c, run, nl, ci)
+
+    def _apply_diag_batch(self, batch: DiagBatch) -> None:
+        """Apply a coalesced diagonal batch as per-chunk phase vectors.
+
+        The per-qubit/per-pair phase tables are materialized into one
+        broadcastable tensor per *shard-bit signature* — the tuple of
+        high-axis bit values the batch touches — so the tensor is
+        computed once per shape and shared by every chunk with that
+        signature (the signature-independent local part is computed
+        exactly once). Each chunk then updates with a single vectorized
+        in-place multiply; no chunk ever exchanges amplitudes,
+        regardless of which axes the batch touches.
+        """
+        nl = self.n_local
+        singles = [(self._bit(q), t) for q, t in batch.phases1.items()]
+        pairs = [
+            ((self._bit(a), self._bit(b)), t)
+            for (a, b), t in batch.phases2.items()
+        ]
+        lo_s = [(b, t) for b, t in singles if b < nl]
+        hi_s = [(b, t) for b, t in singles if b >= nl]
+        lo_p = [(bb, t) for bb, t in pairs if bb[0] < nl and bb[1] < nl]
+        hi_p = [(bb, t) for bb, t in pairs if bb[0] >= nl or bb[1] >= nl]
+        base = chunk_phase(lo_s, lo_p, nl)
+        high_bits = sorted(
+            {b - nl for b, _ in hi_s}
+            | {b - nl for bb, _ in hi_p for b in bb if b >= nl}
+        )
+        vecs: dict[tuple[int, ...], np.ndarray] = {}
+        sig_of: list[tuple[int, ...]] = []
+        for ci in range(len(self._chunks)):
+            sig = tuple((ci >> hb) & 1 for hb in high_bits)
+            sig_of.append(sig)
+            if sig not in vecs:
+                if not high_bits:
+                    vecs[sig] = base
                 else:
-                    v = c.reshape(-1, 2, 1 << b)
-                    a0 = v[:, 0, :].copy()
-                    a1 = v[:, 1, :]
-                    v[:, 0, :] = u[0, 0] * a0 + u[0, 1] * a1
-                    v[:, 1, :] = u[1, 0] * a0 + u[1, 1] * a1
+                    extra = chunk_phase(hi_s, hi_p, nl, ci)
+                    # All-identity extras (e.g. a control bit fixed to 0)
+                    # come back 0-d: those chunks just reuse the base.
+                    if extra.ndim == 0 and extra.item() == 1.0:
+                        vecs[sig] = base
+                    else:
+                        vecs[sig] = base * extra
+        if self._parallel_ready():
+            self._mul_chunks_parallel(vecs, sig_of, nl)
+            return
+        for ci, c in enumerate(self._chunks):
+            v = c.reshape((2,) * nl)
+            v *= vecs[sig_of[ci]]
+
+    def _mul_chunks_parallel(self, vecs, sig_of, nl: int) -> None:
+        """Fan a per-signature phase-vector multiply out across the pool.
+
+        Each signature's tensor is staged once in scratch shared memory
+        (the in-process analogue of "compute on rank 0, broadcast");
+        workers multiply their chunks in place and the scratch segments
+        are released when every chunk has acknowledged.
+        """
+        scratch: dict[tuple[int, ...], tuple[shared_memory.SharedMemory, tuple]] = {}
+        try:
+            for sig, vec in vecs.items():
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(16, vec.nbytes)
+                )
+                staged = np.ndarray(vec.shape, dtype=np.complex128, buffer=shm.buf)
+                staged[...] = vec
+                del staged
+                scratch[sig] = (shm, vec.shape)
+            self._get_pool().run_tasks(
+                (
+                    "mul",
+                    self._shm[ci].name,
+                    c.size,
+                    nl,
+                    scratch[sig_of[ci]][0].name,
+                    scratch[sig_of[ci]][1],
+                )
+                for ci, c in enumerate(self._chunks)
+            )
+        finally:
+            for shm, _ in scratch.values():
+                self._release_shm(shm)
 
     def apply(self, u: np.ndarray, *qubits: int) -> None:
         """Apply a ``2^k x 2^k`` unitary to ``k`` qubits.
@@ -360,12 +597,14 @@ class ShardedStateVector:
         # High axis: pair-chunk exchange, then a local linear combination.
         mask = 1 << (b - nl)
         partners = self._pair_exchange(b - nl)
-        self._chunks = [
-            u[1, 0] * partners[i] + u[1, 1] * c
-            if i & mask
-            else u[0, 0] * c + u[0, 1] * partners[i]
-            for i, c in enumerate(self._chunks)
-        ]
+        self._store_chunks(
+            [
+                u[1, 0] * partners[i] + u[1, 1] * c
+                if i & mask
+                else u[0, 0] * c + u[0, 1] * partners[i]
+                for i, c in enumerate(self._chunks)
+            ]
+        )
 
     def _apply_local(self, u: np.ndarray, bits: Sequence[int]) -> None:
         # All axes intra-chunk: tensor contraction per chunk, no traffic.
@@ -375,9 +614,9 @@ class ShardedStateVector:
         ut = u.reshape((2,) * (2 * k))
         for i, c in enumerate(self._chunks):
             t = np.tensordot(ut, c.reshape((2,) * nl), axes=(range(k, 2 * k), axes))
-            self._chunks[i] = np.ascontiguousarray(
-                np.moveaxis(t, range(k), axes)
-            ).reshape(-1)
+            self._set_chunk(
+                i, np.ascontiguousarray(np.moveaxis(t, range(k), axes)).reshape(-1)
+            )
 
     def _apply_mixed(self, u: np.ndarray, bits: Sequence[int]) -> None:
         # At least one high axis: gather the 2^h group chunks, contract the
@@ -405,7 +644,7 @@ class ShardedStateVector:
                 t = np.moveaxis(t, range(k), axes)
                 own = tuple((dst >> shard_bits[h - 1 - i]) & 1 for i in range(h))
                 new_chunks[dst] = np.ascontiguousarray(t[own]).reshape(-1)
-        self._chunks = new_chunks
+        self._store_chunks(new_chunks)
 
     def apply_controlled(
         self, u: np.ndarray, controls: Sequence[int], targets: Sequence[int]
@@ -707,15 +946,24 @@ class ShardedStateVector:
                 self.apply(G.PAULIS[p.upper()], q)
             val = sum(np.vdot(s, c) for s, c in zip(saved, self._chunks))
         finally:
-            self._chunks = saved
+            self._store_chunks(saved)
         return float(np.real(val))
 
     def copy(self) -> "ShardedStateVector":
-        """Deep copy (shares no state, including a cloned RNG)."""
+        """Deep copy (shares no state, including a cloned RNG).
+
+        The copy always runs serially: it does not inherit the worker
+        pool or the shared-memory chunk backing.
+        """
         out = ShardedStateVector.__new__(ShardedStateVector)
         out.n_shards = self.n_shards
         out._fabric = Fabric(self.n_shards)
         out._tags = itertools.count()
+        out._workers = 0
+        out._parallel_min_chunk = self._parallel_min_chunk
+        out._pool = None
+        out._shm = None
+        out._retired = []
         out._chunks = [c.copy() for c in self._chunks]
         out._bit_of = dict(self._bit_of)
         out._next_id = self._next_id

@@ -24,6 +24,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from . import gates as G
+from .diag import DiagBatch, chunk_phase
 
 __all__ = ["StateVector", "SimulationError"]
 
@@ -191,15 +192,38 @@ class StateVector:
 
         Ops are duck-typed: anything with ``controls``/``targets`` and a
         ``target_matrix()`` works. The monolithic engine has no
-        communication to batch away, so this is a straight in-order loop;
-        the sharded engine overlays real per-chunk batching.
+        communication to batch away, so this is a straight in-order loop
+        — except :class:`~repro.sim.diag.DiagBatch` records, which apply
+        as one broadcasted phase-vector multiply; the sharded engine
+        overlays real per-chunk batching on top.
         """
         for op in ops:
+            if isinstance(op, DiagBatch):
+                self._apply_diag_batch(op)
+                continue
             controls = op.controls
             if controls:
                 self.apply_controlled(op.target_matrix(), list(controls), list(op.targets))
             else:
                 self.apply(op.target_matrix(), *op.targets)
+
+    def _apply_diag_batch(self, batch: DiagBatch) -> None:
+        """One vectorized multiply for a whole coalesced diagonal run.
+
+        The batch's phase tables are materialized as a single tensor of
+        shape ``(1|2,) * n`` (size 2 only on the involved axes) and
+        broadcast-multiplied into the state — one pass instead of one
+        strided kernel per gate.
+        """
+        n = self._psi.ndim
+        singles = [
+            (n - 1 - self._axis(q), t) for q, t in batch.phases1.items()
+        ]
+        pairs = [
+            ((n - 1 - self._axis(a), n - 1 - self._axis(b)), t)
+            for (a, b), t in batch.phases2.items()
+        ]
+        self._psi *= chunk_phase(singles, pairs, n)
 
     # -- conveniences ---------------------------------------------------
     def h(self, q: int) -> None:

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 __all__ = ["GateCounts", "TrackedStateVector"]
 
+from .diag import DiagBatch
 from .statevector import StateVector
 
 
@@ -79,9 +80,19 @@ class TrackedStateVector(StateVector):
     def apply_ops(self, ops) -> None:
         # Re-tag registry-named ops so batched execution counts like the
         # named conveniences; fused/unitary ops keep the generic tag.
+        # A coalesced DiagBatch bypasses apply()/apply_controlled(), so
+        # tally its phase tables directly — one u1 per single-qubit
+        # table, one u2 per pair table — matching the engine work the
+        # batch actually performs (merged repeats count once, exactly
+        # like peephole-fused products).
         for op in ops:
             super().apply_ops((op,))
-            if op.spec is not None:
+            if isinstance(op, DiagBatch):
+                if op.phases1:
+                    self.counts.gates["u1"] += len(op.phases1)
+                if op.phases2:
+                    self.counts.gates["u2"] += len(op.phases2)
+            elif op.spec is not None:
                 nc = op.n_controls
                 generic = f"c{nc}u{len(op.targets)}" if nc else f"u{len(op.targets)}"
                 self._named(op.gate, generic)

@@ -1,0 +1,48 @@
+"""The docs layer stays linked: README/docs internal links must resolve.
+
+Runs the same checker the CI docs job uses (tools/check_doc_links.py),
+so a broken relative link or stale anchor fails tier-1 locally too.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_doc_links", ROOT / "tools" / "check_doc_links.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_docs_exist_and_are_covered():
+    checker = _load_checker()
+    covered = {p.name for p in checker.doc_files(ROOT)}
+    assert "README.md" in covered
+    assert "architecture.md" in covered
+    assert "benchmarks.md" in covered
+
+
+def test_internal_links_resolve():
+    checker = _load_checker()
+    problems = checker.check_links(ROOT)
+    assert not problems, "\n".join(problems)
+
+
+def test_checker_catches_breakage(tmp_path):
+    checker = _load_checker()
+    (tmp_path / "README.md").write_text("see [docs](docs/missing.md)\n")
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "a.md").write_text(
+        "# Title\n[ok](../README.md)\n[bad](a.md#no-such-heading)\n"
+    )
+    problems = checker.check_links(tmp_path)
+    assert len(problems) == 2
+    assert any("missing.md" in p for p in problems)
+    assert any("no-such-heading" in p for p in problems)

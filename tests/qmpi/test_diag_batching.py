@@ -1,0 +1,315 @@
+"""Diagonal phase-vector batching: DiagBatch records and their dispatch.
+
+Four layers:
+
+1. unit tests of ``DiagBatch.from_ops`` (table merging, reversed pair
+   keys, ``terms()`` round-trip) and ``coalesce_diagonals`` (run
+   splitting, singleton passthrough);
+2. stream-level tests proving flushes emit ``DiagBatch`` records in
+   ``fusion="auto"`` and never in ``"nodiag"``/``"off"``, with
+   non-diagonal ops splitting batches;
+3. flush-boundary tests (measurement / p2p mid-batch);
+4. amplitude-exact equivalence of diagonal-heavy programs across
+   shared/sharded x auto/nodiag/off x 1/2/4 ranks, including the QFT.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.qft import qft
+from repro.qmpi import (
+    DiagBatch,
+    Op,
+    OpStream,
+    SharedBackend,
+    qmpi_run,
+)
+from repro.sim import StateVector, coalesce_diagonals
+from repro.sim import gates as G
+
+
+# ----------------------------------------------------------------------
+# DiagBatch unit tests
+# ----------------------------------------------------------------------
+def test_from_ops_merges_repeated_operands():
+    ops = [
+        Op("rz", (3,), (0.2,)),
+        Op("rz", (3,), (0.5,)),
+        Op("crz", (1, 2), (0.3,)),
+        Op("crz", (1, 2), (0.4,)),
+    ]
+    batch = DiagBatch.from_ops(ops)
+    assert set(batch.phases1) == {3}
+    assert set(batch.phases2) == {(1, 2)}
+    assert batch.n_ops == 2
+    np.testing.assert_allclose(
+        batch.phases1[3], np.diagonal(G.rz(0.7)), atol=1e-12
+    )
+    np.testing.assert_allclose(
+        batch.phases2[(1, 2)],
+        np.diagonal(G.controlled(G.rz(0.7))),
+        atol=1e-12,
+    )
+
+
+def test_from_ops_permutes_reversed_pair_key():
+    # cphase(2, 5) then cphase(5, 2): one table, in (2, 5) orientation.
+    batch = DiagBatch.from_ops(
+        [Op("cphase", (2, 5), (0.3,)), Op("cphase", (5, 2), (0.8,))]
+    )
+    assert set(batch.phases2) == {(2, 5)}
+    # cphase is symmetric in control/target, so the tables just multiply.
+    expected = np.diagonal(G.controlled(G.phase(0.3)) @ G.controlled(G.phase(0.8)))
+    np.testing.assert_allclose(batch.phases2[(2, 5)], expected, atol=1e-12)
+
+
+def test_from_ops_permutes_asymmetric_pair():
+    # crz is NOT symmetric: crz(a, b) has the phase on b, conditioned on a.
+    batch = DiagBatch.from_ops(
+        [Op("crz", (0, 1), (0.4,)), Op("crz", (1, 0), (1.1,))]
+    )
+    assert set(batch.phases2) == {(0, 1)}
+    fwd = np.diag(np.diagonal(G.controlled(G.rz(0.4))))
+    # reversed op, expressed on (qubit0, qubit1) axes via the swap matrix
+    rev = G.SWAP @ G.controlled(G.rz(1.1)) @ G.SWAP
+    np.testing.assert_allclose(
+        batch.phases2[(0, 1)], np.diagonal(fwd @ rev), atol=1e-12
+    )
+
+
+def test_from_ops_rejects_non_diagonal():
+    with pytest.raises(ValueError):
+        DiagBatch.from_ops([Op("h", (0,))])
+
+
+def test_terms_roundtrip_matches_sequential_application():
+    ops = [
+        Op("t", (0,)),
+        Op("cz", (0, 1)),
+        Op("rz", (2,), (0.9,)),
+        Op("cphase", (1, 2), (0.5,)),
+    ]
+    batch = DiagBatch.from_ops(ops)
+    assert sorted(batch.qubits) == [0, 1, 2]
+
+    ref = StateVector(3, seed=0)
+    for q in range(3):
+        ref.h(q)  # spread amplitude so phases are observable
+    got = ref.copy()
+    for op in ops:
+        if op.controls:
+            ref.apply_controlled(op.target_matrix(), list(op.controls), list(op.targets))
+        else:
+            ref.apply(op.target_matrix(), *op.targets)
+    for qs, table in batch.terms():
+        got.apply(np.diag(table), *qs)
+    np.testing.assert_allclose(ref.statevector(), got.statevector(), atol=1e-12)
+
+
+def test_coalesce_splits_on_non_diagonal_and_keeps_singletons():
+    ops = [
+        Op("z", (0,)),
+        Op("cz", (0, 1)),
+        Op("h", (0,)),  # splits
+        Op("t", (1,)),  # lone diagonal: stays a plain op
+        Op("cnot", (0, 1)),  # splits
+        Op("rz", (0,), (0.1,)),
+        Op("rz", (1,), (0.2,)),
+    ]
+    out = coalesce_diagonals(ops)
+    kinds = [type(o).__name__ for o in out]
+    assert kinds == ["DiagBatch", "Op", "Op", "Op", "DiagBatch"]
+    assert out[1].gate == "h" and out[2].gate == "t" and out[3].gate == "cnot"
+
+
+def test_coalesce_leaves_wide_diagonal_unitaries_alone():
+    wide = Op("unitary", (0, 1, 2), u=np.diag(np.exp(1j * np.arange(8))))
+    assert wide.is_diagonal
+    out = coalesce_diagonals([Op("z", (0,)), Op("t", (1,)), wide])
+    assert [type(o).__name__ for o in out] == ["DiagBatch", "Op"]
+    assert out[1] is wide
+
+
+def test_tracked_engine_tallies_diag_batches():
+    from repro.sim import TrackedStateVector
+
+    sv = TrackedStateVector(3, seed=0)
+    batch = DiagBatch.from_ops(
+        [Op("rz", (0,), (0.2,)), Op("rz", (0,), (0.3,)), Op("cz", (1, 2))]
+    )
+    sv.apply_ops([Op("h", (0,)), batch])
+    # merged rz pair = one u1 table, cz = one u2 table, plus the named h
+    assert sv.counts.gates["u1"] == 1
+    assert sv.counts.gates["u2"] == 1
+    assert sv.counts.gates["h"] == 1
+    assert sv.counts.total_gates() == 3
+
+
+# ----------------------------------------------------------------------
+# stream dispatch: what the backend actually receives
+# ----------------------------------------------------------------------
+class _SpyBackend(SharedBackend):
+    """Records every op dispatched through apply_ops."""
+
+    def __init__(self):
+        super().__init__(seed=0)
+        self.seen = []
+
+    def apply_ops(self, rank, ops):
+        ops = tuple(ops)
+        self.seen.extend(ops)
+        super().apply_ops(rank, ops)
+
+
+def _diag_heavy(stream, q):
+    stream.append(Op("rz", (q[0],), (0.3,)))
+    stream.append(Op("cphase", (q[0], q[1]), (0.7,)))
+    stream.append(Op("t", (q[1],)))
+    stream.append(Op("h", (q[2],)))  # splits the run
+    stream.append(Op("cz", (q[1], q[2])))
+    stream.append(Op("crz", (q[2], q[0]), (0.4,)))
+    stream.flush()
+
+
+def test_stream_flush_emits_diag_batches():
+    be = _SpyBackend()
+    q = list(be.alloc(0, 3))
+    st = OpStream(be, 0, fusion="auto")
+    _diag_heavy(st, q)
+    kinds = [type(o).__name__ for o in be.seen]
+    assert kinds == ["DiagBatch", "Op", "DiagBatch"]
+    assert st.diag_batching
+
+
+@pytest.mark.parametrize("fusion", ["nodiag", "off"])
+def test_nodiag_and_off_bypass_diag_batching(fusion):
+    be = _SpyBackend()
+    q = list(be.alloc(0, 3))
+    st = OpStream(be, 0, fusion=fusion)
+    _diag_heavy(st, q)
+    assert not any(isinstance(o, DiagBatch) for o in be.seen)
+    assert not st.diag_batching
+    # same physics as the batched path
+    ref = _SpyBackend()
+    qr = list(ref.alloc(0, 3))
+    _diag_heavy(OpStream(ref, 0, fusion="auto"), qr)
+    np.testing.assert_allclose(
+        be.statevector(q), ref.statevector(qr), atol=1e-12
+    )
+
+
+# ----------------------------------------------------------------------
+# flush boundaries mid-batch
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["shared", "sharded"])
+def test_measurement_mid_diag_run_flushes(backend):
+    def prog(qc):
+        q = qc.alloc_qmem(2)
+        qc.x(q[0])
+        qc.z(q[0])  # buffered diagonal run on a |1> qubit
+        qc.cz(q[0], q[1])
+        bit = qc.measure(q[0])  # boundary: the batch must have applied
+        assert qc.stream.pending == 0
+        return bit
+
+    w = qmpi_run(1, prog, seed=0, backend=backend)
+    assert w.results == [1]
+
+
+@pytest.mark.parametrize("backend", ["shared", "sharded"])
+def test_p2p_mid_diag_run_flushes(backend):
+    # Rank 0 buffers diagonal phases, then sends: the receiver must see
+    # the phased state, not the pre-batch one.
+    def prog(qc):
+        q = qc.alloc_qmem(1)
+        if qc.rank == 0:
+            qc.h(q[0])
+            qc.rz(q[0], math.pi / 2)  # buffered diagonal
+            qc.send_move(q, 1)  # move: the state teleports intact
+            return None
+        t = qc.alloc_qmem(1)
+        qc.recv_move(t, 0)
+        # undo the phases and interfere back: H Rz(-pi/2) Rz(pi/2) H = I
+        qc.rz(t[0], -math.pi / 2)
+        qc.h(t[0])
+        return qc.measure(t[0])
+
+    w = qmpi_run(2, prog, seed=0, backend=backend)
+    assert w.results[1] == 0
+
+
+# ----------------------------------------------------------------------
+# equivalence: diagonal-heavy programs across backends, modes and ranks
+# ----------------------------------------------------------------------
+def _ordered_alloc(qc, n=1):
+    out = None
+    for r in range(qc.size):
+        if qc.rank == r:
+            out = qc.alloc_qmem(n)
+        qc.barrier()
+    return out
+
+
+def _diag_heavy_program(qc, seed):
+    q = _ordered_alloc(qc, 3)
+    rng = np.random.default_rng(seed + qc.rank)
+    for q_i in q:
+        qc.h(q_i)
+    for _ in range(25):
+        roll = rng.random()
+        a, b = rng.choice(3, size=2, replace=False)
+        if roll < 0.5:
+            qc.cphase(q[a], q[b], float(rng.random()))
+        elif roll < 0.7:
+            qc.crz(q[a], q[b], float(rng.random()))
+        elif roll < 0.8:
+            qc.rz(q[a], float(rng.random()))
+        elif roll < 0.9:
+            qc.t(q[a])
+        else:
+            qc.h(q[a])  # occasional splitter
+    qc.barrier()
+    return list(q)
+
+
+def _assert_same_up_to_phase(vec_a, vec_b, atol=1e-10):
+    pivot = int(np.argmax(np.abs(vec_a)))
+    phase = vec_b[pivot] / vec_a[pivot]
+    assert abs(abs(phase) - 1.0) < atol
+    np.testing.assert_allclose(vec_a * phase, vec_b, atol=atol)
+
+
+@pytest.mark.parametrize("n_ranks", [1, 2, 4])
+def test_diag_heavy_equivalence_across_modes(n_ranks):
+    worlds = {
+        (bk, fu): qmpi_run(n_ranks, _diag_heavy_program, args=(7,), seed=1,
+                           backend=bk, fusion=fu)
+        for bk in ("shared", "sharded")
+        for fu in ("auto", "nodiag", "off")
+    }
+    ref_world = worlds[("shared", "off")]
+    order = [q for block in ref_world.results for q in block]
+    ref = ref_world.backend.statevector(order)
+    for key, w in worlds.items():
+        _assert_same_up_to_phase(ref, w.backend.statevector(order))
+
+
+@pytest.mark.parametrize("backend", ["shared", "sharded"])
+def test_qft_batched_matches_unbatched(backend):
+    def prog(qc):
+        q = qc.alloc_qmem(5)
+        qc.x(q[1])
+        qc.x(q[4])
+        qft(qc, q)
+        return list(q)
+
+    batched = qmpi_run(1, prog, seed=0, backend=backend, fusion="auto")
+    plain = qmpi_run(1, prog, seed=0, backend=backend, fusion="off")
+    order = plain.results[0]
+    np.testing.assert_allclose(
+        batched.backend.statevector(order),
+        plain.backend.statevector(order),
+        atol=1e-10,
+    )

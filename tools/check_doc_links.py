@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Check that internal links in README.md and docs/ resolve.
+
+Scans markdown files for inline links, keeps the internal ones
+(relative paths and ``#anchors``), and verifies that the target file
+exists and — for markdown targets with an anchor — that a heading with
+the matching GitHub-style slug exists. External (``http(s)://``,
+``mailto:``) links are ignored: CI must not depend on the network.
+
+Usage::
+
+    python tools/check_doc_links.py [root]
+
+Exits 1 listing every broken link, 0 when all resolve.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links: [text](target). Images share the syntax.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _slug(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(md_path: Path) -> set[str]:
+    return {_slug(h) for h in _HEADING.findall(md_path.read_text())}
+
+
+def doc_files(root: Path) -> list[Path]:
+    """The markdown set the checker covers: README.md plus docs/."""
+    files = [root / "README.md"]
+    files += sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def check_links(root: Path) -> list[str]:
+    """Return a list of human-readable problems (empty = all good)."""
+    problems = []
+    for md in doc_files(root):
+        for target in _LINK.findall(md.read_text()):
+            if target.startswith(_EXTERNAL):
+                continue
+            path_part, _, anchor = target.partition("#")
+            base = md.parent / path_part if path_part else md
+            base = base.resolve()
+            if not base.exists():
+                problems.append(f"{md.relative_to(root)}: broken link -> {target}")
+                continue
+            if anchor and base.suffix == ".md":
+                if anchor not in _anchors(base):
+                    problems.append(
+                        f"{md.relative_to(root)}: missing anchor -> {target}"
+                    )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]).resolve() if argv else Path(__file__).resolve().parent.parent
+    problems = check_links(root)
+    for p in problems:
+        print(p, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} broken doc link(s)", file=sys.stderr)
+        return 1
+    checked = ", ".join(str(f.relative_to(root)) for f in doc_files(root))
+    print(f"doc links OK ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
