@@ -208,10 +208,20 @@ def main(argv=None) -> int:
         "--skip-workers", action="store_true",
         help="skip the worker-pool phase (e.g. sandboxes without shm)",
     )
+    ap.add_argument(
+        "--only-workers", action="store_true",
+        help="run only the worker-pool phase (the CI multi-core remeasure "
+        "job writes it to BENCH_workers_ci.json)",
+    )
     args = ap.parse_args(argv)
+    if args.skip_workers and args.only_workers:
+        ap.error("--skip-workers and --only-workers are mutually exclusive")
 
     min_time, min_reps = (0.05, 3) if args.quick else (0.5, 5)
-    coalescing = run_coalescing(args.quick, args.n_shards, min_time, min_reps)
+    coalescing = (
+        [] if args.only_workers
+        else run_coalescing(args.quick, args.n_shards, min_time, min_reps)
+    )
     workers = (
         [] if args.skip_workers
         else run_workers(args.quick, args.n_shards, min_time, min_reps)

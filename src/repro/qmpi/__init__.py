@@ -31,7 +31,7 @@ from .backend import (
 from .cat import CatHandle, cat_state_chain, cat_state_tree, uncat
 from .datatypes import QMPI_QUBIT, QubitType, type_contiguous, type_indexed, type_vector
 from .epr import EprBufferFull, EprService
-from .ops import GATESET, UNITARY, DiagBatch, GateDef, Op, register_gate
+from .ops import GATESET, UNITARY, ContractionPlan, DiagBatch, GateDef, Op, register_gate
 from .persistent import PersistentChannel
 from .qubit import Qureg
 from .reductions import PARITY, SUM, QuantumOp
@@ -52,6 +52,7 @@ __all__ = [
     "Op",
     "GateDef",
     "DiagBatch",
+    "ContractionPlan",
     "GATESET",
     "UNITARY",
     "register_gate",

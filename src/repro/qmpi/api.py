@@ -423,12 +423,15 @@ def qmpi_run(
         backend).
     fusion:
         Per-rank gate-stream fusion: ``"auto"`` (default) buffers,
-        fuses, and coalesces diagonal runs into
-        :class:`~repro.qmpi.ops.DiagBatch` phase vectors;
-        ``"nodiag"`` fuses but skips diagonal batching (the benchmark
-        baseline); ``"off"`` forwards every gate eagerly as a one-op
-        batch (the escape hatch — identical semantics, no batching).
-        See :class:`~repro.qmpi.stream.OpStream`.
+        fuses, coalesces diagonal runs into
+        :class:`~repro.qmpi.ops.DiagBatch` phase vectors, and fuses
+        small-op runs into :class:`~repro.qmpi.ops.ContractionPlan`
+        window unitaries; ``"noplan"`` skips only the contraction
+        planning; ``"nodiag"`` fuses but skips diagonal batching and
+        planning (the benchmark baseline); ``"off"`` forwards every
+        gate eagerly as a one-op batch (the escape hatch — identical
+        semantics, no batching). See
+        :class:`~repro.qmpi.stream.OpStream`.
     """
     backend = make_backend(
         backend, seed=seed, n_ranks=n_ranks, **(backend_opts or {})

@@ -139,11 +139,14 @@ class QuantumBackend:
 
         Batches may contain :class:`~repro.qmpi.ops.DiagBatch` records —
         coalesced runs of diagonal ops (see
-        :func:`repro.sim.diag.coalesce_diagonals`). Engines with their
-        own ``apply_ops`` are expected to handle them (the shipped
-        engines apply one precomputed phase vector); the generic unroll
-        for engines without ``apply_ops`` expands each batch through
-        ``DiagBatch.terms()``.
+        :func:`repro.sim.diag.coalesce_diagonals`) — and
+        :class:`~repro.qmpi.ops.ContractionPlan` records — fused
+        small-op windows (see :func:`repro.sim.plan.plan_contractions`).
+        Engines with their own ``apply_ops`` are expected to handle them
+        (the shipped engines apply one precomputed phase vector per
+        batch and one matmul per plan); the generic unroll for engines
+        without ``apply_ops`` expands batches through
+        ``DiagBatch.terms()`` and applies plans as plain unitaries.
         """
         ops = tuple(ops)
         if not ops:

@@ -30,12 +30,14 @@ import numpy as np
 
 from ..sim import gates as G
 from ..sim.diag import DiagBatch
+from ..sim.plan import ContractionPlan
 from ..sim.statevector import SimulationError
 
 __all__ = [
     "Op",
     "GateDef",
     "DiagBatch",
+    "ContractionPlan",
     "GATESET",
     "UNITARY",
     "register_gate",

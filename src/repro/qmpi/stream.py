@@ -25,19 +25,27 @@ Fusion rules
   (per-qubit / per-pair phase tables, see
   :func:`repro.sim.diag.coalesce_diagonals`), which the engines apply
   as a single precomputed phase-vector multiply.
+* **Contraction planning** — after diagonal batching, contiguous runs
+  of one-/two-qubit ops whose operands fit in a bounded window (at
+  most three distinct qubits) fuse into one
+  :class:`~repro.qmpi.ops.ContractionPlan` each — a precontracted
+  4x4/8x8 unitary the engines apply as a single matmul per chunk (see
+  :func:`repro.sim.plan.plan_contractions`).
 
 Fusion changes *nothing* semantically: the fused matrix product equals
-the sequential application, diagonal ops commute so batching them is
-exact, and every measurement-like operation flushes first. The escape
-hatch ``fusion="off"`` forwards each op eagerly as a one-op batch,
-which is exactly the legacy per-gate path; ``fusion="nodiag"`` keeps
-peephole fusion but skips diagonal batching (the PR 2 dispatch, kept as
-a benchmark baseline).
+the sequential application (plans never reorder ops), diagonal ops
+commute so batching them is exact, and every measurement-like operation
+flushes first. The escape hatch ``fusion="off"`` forwards each op
+eagerly as a one-op batch, which is exactly the legacy per-gate path;
+``fusion="noplan"`` keeps diagonal batching but skips contraction
+planning (the PR 3 dispatch); ``fusion="nodiag"`` keeps only peephole
+fusion (the PR 2 dispatch) — both retained as benchmark baselines.
 """
 
 from __future__ import annotations
 
 from ..sim.diag import coalesce_diagonals
+from ..sim.plan import plan_contractions
 from .ops import UNITARY, Op
 
 __all__ = ["OpStream"]
@@ -54,24 +62,27 @@ class OpStream:
     rank:
         The owning rank (ownership is checked at flush time).
     fusion:
-        ``"auto"``/``"on"``/``True`` — buffer, fuse and batch diagonals
-        (default); ``"nodiag"`` — buffer and fuse but skip diagonal
-        batching; ``"off"``/``False`` — forward each op immediately,
-        unfused and unbatched.
+        ``"auto"``/``"on"``/``True`` — buffer, fuse, batch diagonals
+        and plan contractions (default); ``"noplan"`` — everything but
+        contraction planning; ``"nodiag"`` — buffer and fuse but skip
+        diagonal batching and planning; ``"off"``/``False`` — forward
+        each op immediately, unfused and unbatched.
     max_pending:
         Auto-flush threshold bounding buffer growth for long straight-
         line circuits.
     """
 
     def __init__(self, backend, rank: int, fusion="auto", max_pending: int = 256):
-        if fusion not in ("auto", "on", "off", "nodiag", True, False):
+        if fusion not in ("auto", "on", "off", "nodiag", "noplan", True, False):
             raise ValueError(
-                f"fusion must be 'auto', 'on', 'nodiag' or 'off', got {fusion!r}"
+                f"fusion must be 'auto', 'on', 'noplan', 'nodiag' or 'off', "
+                f"got {fusion!r}"
             )
         self._backend = backend
         self._rank = rank
         self._eager = fusion in ("off", False)
         self._diag_batching = not self._eager and fusion != "nodiag"
+        self._planning = self._diag_batching and fusion != "noplan"
         self._buf: list[Op] = []
         self._max_pending = max_pending
 
@@ -84,6 +95,11 @@ class OpStream:
     def diag_batching(self) -> bool:
         """Whether flushes coalesce diagonal runs into ``DiagBatch`` records."""
         return self._diag_batching
+
+    @property
+    def planning(self) -> bool:
+        """Whether flushes fuse small-op runs into ``ContractionPlan`` records."""
+        return self._planning
 
     @property
     def pending(self) -> int:
@@ -107,7 +123,9 @@ class OpStream:
 
         Maximal runs of diagonal ops are coalesced into
         :class:`~repro.qmpi.ops.DiagBatch` records on the way out
-        (unless ``fusion="nodiag"``). On error (e.g. a locality
+        (unless ``fusion="nodiag"``), then contiguous small-op runs
+        fuse into :class:`~repro.qmpi.ops.ContractionPlan` records
+        (unless ``fusion="noplan"``). On error (e.g. a locality
         violation) the buffered batch is discarded — partial replay
         would double-apply its prefix.
         """
@@ -115,6 +133,8 @@ class OpStream:
             buf, self._buf = self._buf, []
             if self._diag_batching:
                 buf = coalesce_diagonals(buf)
+            if self._planning:
+                buf = plan_contractions(buf)
             self._backend.apply_ops(self._rank, tuple(buf))
 
     # ------------------------------------------------------------------

@@ -6,15 +6,17 @@ Public surface:
 * :class:`~repro.sim.sharded.ShardedStateVector` — chunk-distributed engine
 * :class:`~repro.sim.tracker.TrackedStateVector` — engine + gate tallies
 * :mod:`~repro.sim.diag` — diagonal phase-vector batching (``DiagBatch``)
+* :mod:`~repro.sim.plan` — per-chunk contraction plans (``ContractionPlan``)
 * :mod:`~repro.sim.parallel` — process-parallel chunk executor
 * :mod:`~repro.sim.gates` — gate matrices
 * :mod:`~repro.sim.pauli` — Pauli-string application / rotation
 * :mod:`~repro.sim.arith` — reversible adders for QMPI_SUM reductions
 """
 
-from . import arith, diag, gates, parallel, pauli
+from . import arith, diag, gates, parallel, pauli, plan
 from .diag import DiagBatch, coalesce_diagonals
 from .parallel import ChunkPool
+from .plan import ContractionPlan, plan_contractions
 from .sharded import ShardedStateVector
 from .statevector import SimulationError, StateVector
 from .tracker import GateCounts, TrackedStateVector
@@ -25,10 +27,13 @@ __all__ = [
     "TrackedStateVector",
     "GateCounts",
     "DiagBatch",
+    "ContractionPlan",
     "ChunkPool",
     "coalesce_diagonals",
+    "plan_contractions",
     "SimulationError",
     "diag",
+    "plan",
     "parallel",
     "gates",
     "pauli",

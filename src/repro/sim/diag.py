@@ -17,10 +17,15 @@ apply it in a single vectorized multiply instead of one strided pass
 per gate: :func:`chunk_phase` builds a broadcastable tensor over the
 ``(2,)*n`` amplitude view, resolving any *shard-axis* bits against the
 chunk index so distributed chunks only ever scale themselves — no
-pair-chunk traffic, on any axis.  Chunks sharing the same shard-bit
-signature share the same vector, so it is computed once per shape and
-reused (or recomputed per worker in the parallel executor, which is the
-same trade the QMPI paper's rank-0 broadcast makes).
+pair-chunk traffic, on any axis.  The tensor itself is built by a
+**doubling/DP scheme**: the flat table grows one live bit at a time and
+each phase table folds in while the array is still small (as soon as
+its highest bit exists), so all-distinct pair sets like the QFT ladder
+cost ``sum_parts 2^(maxbit+1)`` updates instead of ``parts * 2^L``.
+Chunks sharing the same shard-bit signature share the same vector, so
+it is computed once per shape and reused (or recomputed per worker in
+the parallel executor, which is the same trade the QMPI paper's rank-0
+broadcast makes).
 
 This module lives in :mod:`repro.sim` (below the op IR) so both engines
 and the :mod:`repro.sim.parallel` workers can import it without cycles;
@@ -261,13 +266,18 @@ def chunk_phase(singles, pairs, n_axes, ci=0):
         # 0-d result: broadcasts as a scalar against any chunk view.
         return np.full((), scalar, dtype=np.complex128)
     # The tensor is built *compressed* — a flat array over just the live
-    # axes — so every table entry updates through a 3-d/5-d strided
-    # view. (Indexing the (1|2,)*n_axes broadcast form directly would
-    # make numpy iterate over up to n_axes size-2 dimensions per
-    # update, which dominates the runtime for wide batches.)
+    # axes — and materialized by **doubling**: the flat table grows one
+    # live bit at a time (concatenating the array with itself), and each
+    # part is folded in as soon as its highest flat bit exists, through
+    # a 3-d/5-d strided view of the still-small array. A part whose
+    # highest live bit is P therefore costs 2^(P+1) updates instead of
+    # 2^L over the full table, which is what makes all-distinct pair
+    # sets (the QFT ladder) affordable: sum_parts 2^(maxbit+1) instead
+    # of parts * 2^L. Replication is exact because a part's contribution
+    # never depends on bits above its own.
     live_axes = sorted({ax for axes, _, _ in live for ax in axes})
     pos = {ax: len(live_axes) - 1 - i for i, ax in enumerate(live_axes)}
-    size = 1 << len(live_axes)
+    n_live = len(live_axes)
     # Wide batches accumulate float64 *angles* instead of multiplying
     # complex factors: diagonal gate tables are unit-modulus, so each
     # entry is a pure phase, angle adds move half the memory traffic of
@@ -276,31 +286,50 @@ def chunk_phase(singles, pairs, n_axes, ci=0):
     # back to complex multiplies on the result. The threshold is where
     # the halved per-part traffic amortizes the two transcendental
     # passes of the final cos/sin.
-    deferred = live
-    out = None
-    if len(live) >= 24:
-        acc = np.zeros(size, dtype=np.float64)
-        deferred = []
-        for axes, vals, nz in live:
-            if any(abs(abs(vals[i]) - 1.0) > 1e-12 for i in nz):
-                deferred.append((axes, vals, nz))
-                continue
-            if len(axes) == 1:
-                v = acc.reshape(-1, 2, 1 << pos[axes[0]])
-                for i in nz:
-                    v[:, i, :] += cmath.phase(vals[i])
-            else:
-                pa, pb = pos[axes[0]], pos[axes[1]]  # ascending => pa > pb
-                v = acc.reshape(-1, 2, 1 << (pa - pb - 1), 2, 1 << pb)
-                for i in nz:
-                    v[:, i >> 1, :, i & 1, :] += cmath.phase(vals[i])
-        out = np.empty(size, dtype=np.complex128)
+    use_angles = len(live) >= 24
+    deferred = []
+    parts_at: list[list] = [[] for _ in range(n_live)]
+    for part in live:
+        axes, vals, nz = part
+        if use_angles and any(abs(abs(vals[i]) - 1.0) > 1e-12 for i in nz):
+            deferred.append(part)
+        else:
+            parts_at[max(pos[ax] for ax in axes)].append(part)
+    if use_angles:
+        acc = np.zeros(1, dtype=np.float64)
+        for p in range(n_live):
+            acc = np.concatenate([acc, acc])
+            for axes, vals, nz in parts_at[p]:
+                if len(axes) == 1:
+                    v = acc.reshape(-1, 2, 1 << pos[axes[0]])
+                    for i in nz:
+                        v[:, i, :] += cmath.phase(vals[i])
+                else:
+                    pa, pb = pos[axes[0]], pos[axes[1]]  # ascending => pa > pb
+                    v = acc.reshape(-1, 2, 1 << (pa - pb - 1), 2, 1 << pb)
+                    for i in nz:
+                        v[:, i >> 1, :, i & 1, :] += cmath.phase(vals[i])
+        out = np.empty(acc.size, dtype=np.complex128)
         out.real = np.cos(acc)
         out.imag = np.sin(acc)
         if scalar != 1.0:
             out *= scalar
-    if out is None:
-        out = np.full(size, scalar, dtype=np.complex128)
+    else:
+        out = np.full(1, scalar, dtype=np.complex128)
+        for p in range(n_live):
+            out = np.concatenate([out, out])
+            for axes, vals, nz in parts_at[p]:
+                if len(axes) == 1:
+                    v = out.reshape(-1, 2, 1 << pos[axes[0]])
+                    for i in nz:
+                        v[:, i, :] *= vals[i]
+                else:
+                    pa, pb = pos[axes[0]], pos[axes[1]]  # ascending => pa > pb
+                    v = out.reshape(-1, 2, 1 << (pa - pb - 1), 2, 1 << pb)
+                    for i in nz:
+                        v[:, i >> 1, :, i & 1, :] *= vals[i]
+    # Non-unit-modulus leftovers of the angle path: rare, applied as
+    # full-size strided complex multiplies on the finished table.
     for axes, vals, nz in deferred:
         if len(axes) == 1:
             v = out.reshape(-1, 2, 1 << pos[axes[0]])

@@ -13,8 +13,11 @@ matrices or a phase-vector reference), never the amplitudes.
 Two task kinds mirror the two bulk operations:
 
 * ``("run", chunk, n_local, ci, run)`` — apply a run of
-  communication-free single-qubit kernels (:func:`apply_run`, the same
-  arithmetic the serial path uses);
+  communication-free kernels (:func:`apply_run`, the same arithmetic
+  the serial path uses): tagged single-qubit strided passes plus
+  chunk-local :class:`~repro.sim.plan.ContractionPlan` matmuls,
+  including the per-signature sub-block form for plans that are
+  block-diagonal on their shard axes;
 * ``("mul", chunk, n_local, vec)`` — multiply the chunk's ``(2,)*n``
   view by a broadcastable phase tensor (a :class:`DiagBatch`
   materialized by :func:`repro.sim.diag.chunk_phase`), which the engine
@@ -43,37 +46,84 @@ import numpy as np
 
 from .statevector import SimulationError
 
-__all__ = ["ChunkPool", "apply_run"]
+__all__ = ["ChunkPool", "apply_run", "contract_local"]
+
+
+def contract_local(chunk: np.ndarray, u: np.ndarray, bits, n_local: int) -> None:
+    """Contract a ``2^k x 2^k`` unitary into one chunk, in place.
+
+    ``bits`` are chunk-local bit positions, first entry = the matrix's
+    most significant index bit (the :class:`~repro.sim.plan.ContractionPlan`
+    convention). The result is written back through the chunk view so
+    shared-memory-backed chunks mutate in place.
+    """
+    k = len(bits)
+    axes = [n_local - 1 - b for b in bits]
+    v = chunk.reshape((2,) * n_local)
+    t = np.tensordot(
+        u.reshape((2,) * (2 * k)), v, axes=(range(k, 2 * k), axes)
+    )
+    v[...] = np.moveaxis(t, range(k), axes)
 
 
 def apply_run(chunk: np.ndarray, run, n_local: int, ci: int) -> None:
-    """Apply a run of communication-free single-qubit kernels to one chunk.
+    """Apply a run of communication-free kernels to one chunk.
 
-    ``run`` is a sequence of ``(u, bit, diagonal)`` entries — 2x2
-    matrix, bit position, diagonality flag — each of which is either a
-    local-axis strided kernel or, for a diagonal on a shard axis, a
-    whole-chunk scale by the factor selected by chunk index ``ci``.
-    Shared between the serial engine loop and the pool workers so both
-    paths execute identical arithmetic.
+    ``run`` is a sequence of tagged entries, shared between the serial
+    engine loop and the pool workers so both paths execute identical
+    arithmetic:
+
+    * ``("sq", u, bit, diagonal)`` — a single-qubit 2x2 kernel: a
+      local-axis strided pass or, for a diagonal on a shard axis, a
+      whole-chunk scale by the factor selected by chunk index ``ci``;
+    * ``("ct", u, bits)`` — a :class:`~repro.sim.plan.ContractionPlan`
+      whose window is entirely chunk-local: one matmul over the window
+      axes (:func:`contract_local`);
+    * ``("csel", table, hi_bits, lo_bits)`` — a plan whose fused
+      unitary is block-diagonal on its shard axes: ``hi_bits`` (shard
+      bit positions, window order) select the chunk's signature index
+      into ``table``, whose entry is the local sub-block to contract
+      over ``lo_bits`` — ``None`` for an identity sub-block (skip), a
+      complex scalar when the window has no local qubits.
     """
-    for u, b, diag in run:
-        if b >= n_local:
-            # Diagonal on a shard axis: the whole chunk scales.
-            f = u[1, 1] if (ci >> (b - n_local)) & 1 else u[0, 0]
-            if f != 1.0:
-                chunk *= f
-        elif diag:
-            v = chunk.reshape(-1, 2, 1 << b)
-            if u[0, 0] != 1.0:
-                v[:, 0, :] *= u[0, 0]
-            if u[1, 1] != 1.0:
-                v[:, 1, :] *= u[1, 1]
-        else:
-            v = chunk.reshape(-1, 2, 1 << b)
-            a0 = v[:, 0, :].copy()
-            a1 = v[:, 1, :]
-            v[:, 0, :] = u[0, 0] * a0 + u[0, 1] * a1
-            v[:, 1, :] = u[1, 0] * a0 + u[1, 1] * a1
+    for entry in run:
+        kind = entry[0]
+        if kind == "sq":
+            _, u, b, diag = entry
+            if b >= n_local:
+                # Diagonal on a shard axis: the whole chunk scales.
+                f = u[1, 1] if (ci >> (b - n_local)) & 1 else u[0, 0]
+                if f != 1.0:
+                    chunk *= f
+            elif diag:
+                v = chunk.reshape(-1, 2, 1 << b)
+                if u[0, 0] != 1.0:
+                    v[:, 0, :] *= u[0, 0]
+                if u[1, 1] != 1.0:
+                    v[:, 1, :] *= u[1, 1]
+            else:
+                v = chunk.reshape(-1, 2, 1 << b)
+                a0 = v[:, 0, :].copy()
+                a1 = v[:, 1, :]
+                v[:, 0, :] = u[0, 0] * a0 + u[0, 1] * a1
+                v[:, 1, :] = u[1, 0] * a0 + u[1, 1] * a1
+        elif kind == "ct":
+            _, u, bits = entry
+            contract_local(chunk, u, bits, n_local)
+        elif kind == "csel":
+            _, table, hi_bits, lo_bits = entry
+            sig = 0
+            for sb in hi_bits:
+                sig = (sig << 1) | ((ci >> sb) & 1)
+            u = table[sig]
+            if u is None:
+                continue
+            if not lo_bits:
+                chunk *= u  # all-shard window: a per-chunk scalar
+            else:
+                contract_local(chunk, u, lo_bits, n_local)
+        else:  # pragma: no cover - protocol error
+            raise ValueError(f"unknown run entry kind {kind!r}")
 
 
 def _attach(name: str) -> shared_memory.SharedMemory:

@@ -1,0 +1,249 @@
+"""Per-chunk contraction plans: cross-op fusion of bounded qubit windows.
+
+Peephole fusion (:class:`~repro.qmpi.stream.OpStream`) merges adjacent
+*single*-qubit ops into one 2x2 product, and diagonal coalescing
+(:func:`repro.sim.diag.coalesce_diagonals`) collapses diagonal runs
+into phase tables — but a dense two-qubit-heavy circuit (a CNOT ladder,
+a swap network, a random entangler) still dispatches one strided engine
+pass per gate.  This module closes that gap at flush time:
+
+:func:`plan_contractions` scans the (already diagonal-coalesced) op
+sequence and fuses runs of one- and two-qubit ops into bounded qubit
+**windows** (at most :data:`MAX_WINDOW` = 3 distinct qubits each),
+emitting one :class:`ContractionPlan` per window — a precontracted
+``4x4``/``8x8`` unitary plus the window's qubit tuple.  Several
+windows stay open at once: because ops on *disjoint* qubit sets
+commute, an op interleaved between two independent interaction
+clusters (a brickwork entangler layer, gates on far-apart pairs) still
+lands in the window of the cluster it touches, and only an op that
+would push its window past the bound — or one that bridges two open
+windows that cannot merge — forces an emission.  Windows are pairwise
+qubit-disjoint by construction, which is exactly what makes the
+reordering exact.  Each engine then applies **one matmul per plan**
+instead of one pass per op; on the sharded engine a plan is
+additionally *classified once* against the chunk layout (see
+:meth:`repro.sim.sharded.ShardedStateVector.apply_ops`):
+
+* every window qubit on a local axis — communication-free, the plan
+  joins the per-chunk kernel run;
+* shard-axis qubits on which the fused unitary is **block-diagonal**
+  (control-like axes: a fused CNOT ladder controlled from a high axis)
+  — still communication-free: each chunk applies the sub-block its
+  shard-bit signature selects, one small matrix per signature;
+* a shard axis the unitary genuinely mixes — one restricted pair/group
+  chunk exchange for the *whole plan* instead of one per op.
+
+Within a window the fused product is taken in program order, and ops
+are only ever commuted past ops of *other* (qubit-disjoint) windows,
+so semantics are exact; windows holding a single op pass through
+untouched, preserving the engines' specialized single-op paths (a lone
+cz stays communication-free, a lone high-target CNOT keeps its
+restricted exchange).
+
+This module lives in :mod:`repro.sim` (below the op IR) next to
+:mod:`repro.sim.diag` so both engines and the parallel workers can
+import it without cycles; :mod:`repro.qmpi.ops` re-exports
+:class:`ContractionPlan` as part of the public IR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .diag import DiagBatch
+
+__all__ = ["ContractionPlan", "plan_contractions", "MAX_WINDOW"]
+
+#: Largest number of distinct qubits a plan window may span. Three local
+#: qubits keep the fused unitary at 8x8 — still far below chunk size —
+#: while letting ladder-shaped circuits (cnot chains, swap networks)
+#: fuse pairs of overlapping two-qubit gates.
+MAX_WINDOW = 3
+
+
+class ContractionPlan:
+    """A fused run of adjacent small ops: one unitary, one qubit window.
+
+    Instances quack like :class:`~repro.qmpi.ops.Op` where the pipeline
+    cares (``qubits``/``targets``/``controls``, ``is_diagonal``,
+    ``spec``/``gate``/``params``, ``target_matrix``) so rank-ownership
+    checks and generic dispatch treat them uniformly; engines
+    special-case them for the one-matmul fast path.
+
+    Build instances with :meth:`from_ops` (or let
+    :func:`plan_contractions` do it); the constructor trusts its
+    arguments.
+    """
+
+    __slots__ = ("u", "_qubits", "n_ops", "is_diagonal")
+
+    #: Op-protocol constants: a plan is an uncontrolled multi-target
+    #: pseudo-op outside the GATESET registry.
+    spec = None
+    gate = "contraction_plan"
+    params: tuple = ()
+    controls: tuple = ()
+    n_controls = 0
+    is_single = False
+
+    def __init__(self, u: np.ndarray, qubits, n_ops: int):
+        self.u = u
+        self._qubits = tuple(qubits)
+        self.n_ops = int(n_ops)
+        self.is_diagonal = bool(
+            np.count_nonzero(u - np.diag(np.diagonal(u))) == 0
+        )
+
+    @property
+    def qubits(self) -> tuple:
+        """The window qubits, first-touch order (first = matrix MSB)."""
+        return self._qubits
+
+    @property
+    def targets(self) -> tuple:
+        """Alias of :attr:`qubits` (a plan has no control operands)."""
+        return self._qubits
+
+    def target_matrix(self) -> np.ndarray:
+        """The precontracted window unitary (same as :meth:`matrix`)."""
+        return self.u
+
+    def matrix(self) -> np.ndarray:
+        """The precontracted window unitary over :attr:`qubits`."""
+        return self.u
+
+    @classmethod
+    def from_ops(cls, ops) -> "ContractionPlan":
+        """Fuse an in-order run of one-/two-qubit ops into one plan.
+
+        The window is the union of the ops' operands in first-touch
+        order (at most :data:`MAX_WINDOW` qubits — the caller enforces
+        the bound); the plan unitary is the in-order operator product
+        ``op_k ... op_2 op_1`` with every op's full matrix (controls
+        included) embedded over the window.
+        """
+        ops = tuple(ops)
+        window: list[int] = []
+        seen: set[int] = set()
+        for op in ops:
+            for q in op.qubits:
+                if q not in seen:
+                    seen.add(q)
+                    window.append(q)
+        w = len(window)
+        wtup = tuple(window)
+        # Accumulate U as a matrix; an op spanning the whole window in
+        # window order is a plain matmul (the common case for two-qubit
+        # windows), anything else embeds through a (2,)*w + (2,)*w view
+        # of U — applying the op matrix to U's row axes is the operator
+        # product E @ U without materializing the embedded E.
+        u = np.eye(1 << w, dtype=np.complex128)
+        for op in ops:
+            m = np.asarray(op.matrix(), dtype=np.complex128)
+            if op.qubits == wtup:
+                u = m @ u
+                continue
+            k = len(op.qubits)
+            axes = [window.index(q) for q in op.qubits]
+            t = np.tensordot(
+                m.reshape((2,) * (2 * k)),
+                u.reshape((2,) * (2 * w)),
+                axes=(range(k, 2 * k), axes),
+            )
+            u = np.ascontiguousarray(
+                np.moveaxis(t, range(k), axes)
+            ).reshape(1 << w, 1 << w)
+        return cls(u, window, len(ops))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ContractionPlan qubits={self._qubits} n_ops={self.n_ops}>"
+
+
+def _plannable(op) -> bool:
+    """One- or two-qubit plain ops fuse; batches and plans are barriers."""
+    return (
+        not isinstance(op, (DiagBatch, ContractionPlan))
+        and 1 <= len(op.qubits) <= 2
+    )
+
+
+def plan_contractions(
+    ops,
+    max_window: int = MAX_WINDOW,
+    min_ops: int = 2,
+    max_open: int = 16,
+):
+    """Fuse small-op runs into :class:`ContractionPlan` records.
+
+    Scans the op sequence in order, growing a set of open *windows* —
+    pairwise qubit-disjoint clusters of at most ``max_window`` distinct
+    qubits, each accumulating the ops that touch it in program order:
+
+    * an op touching exactly one window joins it if the union still
+      fits; otherwise that window is emitted and the op opens a fresh
+      one (the classic break on a fourth distinct qubit);
+    * an op touching no window opens a new one (oldest-first emission
+      keeps at most ``max_open`` windows alive);
+    * an op bridging several windows merges them when the combined
+      qubit set fits, and emits them otherwise;
+    * anything non-plannable — :class:`~repro.sim.diag.DiagBatch`
+      records, three-qubit ops — is a barrier: every window is emitted
+      and the op passes through unchanged.
+
+    Windows holding fewer than ``min_ops`` ops — or fewer ops than
+    window qubits (the fused ``2^w`` matmul only pays once it replaces
+    about one op per qubit) — pass their ops through untouched, so
+    single gates and sparse runs keep the engines' specialized paths.
+    Because distinct windows never share a qubit, ops are only ever
+    commuted past ops they trivially commute with, and each window's
+    internal order is program order — the result is exact.
+    """
+    out: list = []
+    windows: list[tuple[list, set[int]]] = []  # (run, qubit set)
+
+    def emit(i: int) -> None:
+        run, wq = windows.pop(i)
+        # Density rule: a 2^w contraction costs ~2^w flops per amplitude
+        # while a sparse controlled gate costs ~1, so a window must hold
+        # at least as many ops as qubits before the fused matmul can
+        # amortize (two shard-axis-targeting CNOTs sharing only their
+        # target, say, are faster through the per-op restricted
+        # exchange — measured, not guessed: the chigh_cnot benchmark
+        # row loses 3x without this bound).
+        if len(run) >= max(min_ops, len(wq)):
+            out.append(ContractionPlan.from_ops(run))
+        else:
+            out.extend(run)
+
+    for op in ops:
+        if not _plannable(op):
+            while windows:
+                emit(0)
+            out.append(op)
+            continue
+        qs = set(op.qubits)
+        hits = [i for i, (_, wq) in enumerate(windows) if wq & qs]
+        if len(hits) == 1:
+            run, wq = windows[hits[0]]
+            if len(wq | qs) <= max_window:
+                run.append(op)
+                wq |= qs
+                continue
+            emit(hits[0])
+        elif hits:
+            merged = set().union(qs, *(windows[i][1] for i in hits))
+            if len(merged) <= max_window:
+                run = [o for i in hits for o in windows[i][0]]
+                run.append(op)
+                for i in reversed(hits):
+                    windows.pop(i)
+                windows.append((run, merged))
+                continue
+            for i in reversed(hits):
+                emit(i)
+        windows.append(([op], qs))
+        if len(windows) > max_open:
+            emit(0)
+    while windows:
+        emit(0)
+    return out

@@ -60,7 +60,8 @@ import numpy as np
 from ..mpi.fabric import Fabric
 from . import gates as G
 from .diag import DiagBatch, chunk_phase
-from .parallel import ChunkPool, apply_run
+from .parallel import ChunkPool, apply_run, contract_local
+from .plan import ContractionPlan
 from .statevector import SimulationError
 
 __all__ = ["ShardedStateVector"]
@@ -417,12 +418,18 @@ class ShardedStateVector:
         run instead of one per gate. Coalesced
         :class:`~repro.sim.diag.DiagBatch` records apply as one phase
         vector per shard-bit signature (see :meth:`_apply_diag_batch`).
-        Ops that need chunk exchange (or multi-qubit contraction) are
-        barriers: they drain the pending run, dispatch individually, and
-        the next run resumes after them. With ``workers=N`` the run and
-        phase-vector paths fan out across the chunk worker pool.
+        :class:`~repro.sim.plan.ContractionPlan` records are classified
+        once against the chunk layout (see :meth:`_classify_plan`):
+        communication-free forms join the pending run as one matmul per
+        chunk; only a plan whose unitary genuinely mixes a shard axis
+        drains the run and performs one group exchange for the whole
+        plan. Other ops that need chunk exchange (or multi-qubit
+        contraction) are likewise barriers: they drain the pending run,
+        dispatch individually, and the next run resumes after them.
+        With ``workers=N`` the run and phase-vector paths fan out across
+        the chunk worker pool.
         """
-        run: list[tuple[np.ndarray, int, bool]] = []  # (u, bit, diagonal)
+        run: list[tuple] = []  # tagged entries, see parallel.apply_run
         for op in ops:
             if isinstance(op, DiagBatch):
                 if run:
@@ -430,12 +437,24 @@ class ShardedStateVector:
                     run = []
                 self._apply_diag_batch(op)
                 continue
+            if isinstance(op, ContractionPlan):
+                entry = self._classify_plan(op)
+                if entry is not None:
+                    run.append(entry)
+                    continue
+                if run:
+                    self._apply_single_run(run)
+                    run = []
+                # Shard-axis-mixing plan: one exchange for the whole
+                # fused run instead of one per constituent op.
+                self.apply(op.u, *op.qubits)
+                continue
             if not op.controls and len(op.qubits) == 1:
                 u = np.asarray(op.target_matrix(), dtype=np.complex128)
                 b = self._bit(op.qubits[0])
                 diag = u[0, 1] == 0 and u[1, 0] == 0
                 if diag or b < self.n_local:
-                    run.append((u, b, diag))
+                    run.append(("sq", u, b, diag))
                     continue
             if run:
                 self._apply_single_run(run)
@@ -447,11 +466,67 @@ class ShardedStateVector:
         if run:
             self._apply_single_run(run)
 
+    def _classify_plan(self, plan: ContractionPlan):
+        """Classify a contraction plan against the chunk layout, once.
+
+        Returns a run entry for the communication-free forms, or
+        ``None`` when the plan needs chunk exchange:
+
+        * every window qubit on a local axis — ``("ct", u, bits)``: one
+          in-chunk matmul per chunk;
+        * the fused unitary **block-diagonal** on every shard axis it
+          touches (control-like high qubits: a fused CNOT ladder
+          controlled from a shard axis, products of diagonals...) —
+          ``("csel", table, hi_bits, lo_bits)``: amplitudes never cross
+          a chunk boundary, so each chunk contracts the sub-block its
+          shard-bit signature selects (identity sub-blocks are skipped
+          outright; the table is built once per plan and shared by all
+          chunks with the same signature);
+        * anything else mixes amplitudes across a shard axis — the
+          caller falls back to one group exchange for the whole plan.
+        """
+        bits = [self._bit(q) for q in plan.qubits]
+        nl = self.n_local
+        if all(b < nl for b in bits):
+            return ("ct", plan.u, tuple(bits))
+        w = len(bits)
+        high_idx = [i for i, b in enumerate(bits) if b >= nl]
+        h = len(high_idx)
+        # Row/column index bit of window qubit i is (w - 1 - i); the
+        # plan is exchange-free iff no matrix entry couples two distinct
+        # shard-axis bit patterns.
+        hmask = sum(1 << (w - 1 - i) for i in high_idx)
+        g = np.arange(1 << w)
+        mixing = (g[:, None] & hmask) != (g[None, :] & hmask)
+        if np.any(np.abs(plan.u[mixing]) > 1e-12):
+            return None
+        eye = np.eye(1 << (w - h), dtype=np.complex128)
+        table = []
+        for sig in range(1 << h):
+            pattern = sum(
+                ((sig >> (h - 1 - j)) & 1) << (w - 1 - i)
+                for j, i in enumerate(high_idx)
+            )
+            rows = g[(g & hmask) == pattern]
+            sub = np.ascontiguousarray(plan.u[np.ix_(rows, rows)])
+            if np.allclose(sub, eye, rtol=0.0, atol=1e-12):
+                table.append(None)
+            elif sub.shape == (1, 1):
+                table.append(complex(sub[0, 0]))
+            else:
+                table.append(sub)
+        hi_bits = tuple(bits[i] - nl for i in high_idx)
+        lo_bits = tuple(b for b in bits if b < nl)
+        return ("csel", tuple(table), hi_bits, lo_bits)
+
     def _apply_single_run(self, run) -> None:
         """One pass over each chunk applying a run of communication-free
-        single-qubit kernels (the shared :func:`repro.sim.parallel.apply_run`
-        kernel — same arithmetic as :meth:`_apply_single`), dispatched to
-        the worker pool when the chunks are large enough to pay for it."""
+        kernels — tagged single-qubit entries plus local/sub-block
+        contraction-plan matmuls (the shared
+        :func:`repro.sim.parallel.apply_run` kernel — same arithmetic as
+        :meth:`_apply_single` / :func:`repro.sim.parallel.contract_local`),
+        dispatched to the worker pool when the chunks are large enough
+        to pay for it."""
         nl = self.n_local
         if self._parallel_ready():
             self._get_pool().run_tasks(
@@ -607,16 +682,11 @@ class ShardedStateVector:
         )
 
     def _apply_local(self, u: np.ndarray, bits: Sequence[int]) -> None:
-        # All axes intra-chunk: tensor contraction per chunk, no traffic.
-        k = len(bits)
+        # All axes intra-chunk: tensor contraction per chunk, no traffic
+        # (the same in-place kernel the plan run entries use).
         nl = self.n_local
-        axes = [nl - 1 - b for b in bits]
-        ut = u.reshape((2,) * (2 * k))
-        for i, c in enumerate(self._chunks):
-            t = np.tensordot(ut, c.reshape((2,) * nl), axes=(range(k, 2 * k), axes))
-            self._set_chunk(
-                i, np.ascontiguousarray(np.moveaxis(t, range(k), axes)).reshape(-1)
-            )
+        for c in self._chunks:
+            contract_local(c, u, bits, nl)
 
     def _apply_mixed(self, u: np.ndarray, bits: Sequence[int]) -> None:
         # At least one high axis: gather the 2^h group chunks, contract the

@@ -194,8 +194,11 @@ class StateVector:
         ``target_matrix()`` works. The monolithic engine has no
         communication to batch away, so this is a straight in-order loop
         — except :class:`~repro.sim.diag.DiagBatch` records, which apply
-        as one broadcasted phase-vector multiply; the sharded engine
-        overlays real per-chunk batching on top.
+        as one broadcasted phase-vector multiply, and
+        :class:`~repro.sim.plan.ContractionPlan` records, which apply
+        their precontracted window unitary as one tensor contraction
+        (one pass over the amplitudes for the whole fused run); the
+        sharded engine overlays real per-chunk batching on top.
         """
         for op in ops:
             if isinstance(op, DiagBatch):

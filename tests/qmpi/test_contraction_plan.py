@@ -1,0 +1,390 @@
+"""Contraction plans: planner windows, engine routing, equivalence.
+
+Four layers:
+
+1. unit tests of ``plan_contractions`` window maintenance (break on a
+   fourth distinct qubit, disjoint-window interleaving, bridging
+   merges, barriers) and ``ContractionPlan.from_ops`` (the fused
+   unitary equals the in-order product);
+2. stream-level tests proving flushes emit ``ContractionPlan`` records
+   in ``fusion="auto"`` and never in ``"noplan"``/``"nodiag"``/``"off"``;
+3. sharded white-box tests of the per-plan shard-bit classification
+   (all-local, block-diagonal high axes = communication-free,
+   genuinely mixing high axes = one exchange for the whole plan);
+4. flush-boundary programs (measure / EPR / p2p mid-plan) and
+   amplitude-exact equivalence of two-qubit-dense programs across
+   shared/sharded x auto/noplan/off x 1/2/4 ranks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.qmpi import (
+    ContractionPlan,
+    DiagBatch,
+    LocalityError,
+    Op,
+    OpStream,
+    SharedBackend,
+    ShardedBackend,
+    qmpi_run,
+)
+from repro.sim import ShardedStateVector, StateVector, plan_contractions
+
+
+# ----------------------------------------------------------------------
+# planner unit tests
+# ----------------------------------------------------------------------
+def test_window_breaks_on_fourth_distinct_qubit():
+    ops = [
+        Op("cnot", (0, 1)),
+        Op("cnot", (1, 2)),
+        Op("swap", (0, 2)),
+        Op("cnot", (2, 3)),  # fourth distinct qubit: closes the window
+    ]
+    out = plan_contractions(ops)
+    assert len(out) == 2
+    assert isinstance(out[0], ContractionPlan)
+    assert out[0].qubits == (0, 1, 2)
+    assert out[0].n_ops == 3
+    # The overflowing op opened a fresh window; alone it passes through.
+    assert isinstance(out[1], Op)
+    assert out[1].gate == "cnot"
+
+
+def test_sparse_windows_pass_through_per_op():
+    # Two ops over three qubits: the dense 8x8 contraction cannot
+    # amortize, so the run keeps its per-op specialized paths.
+    ops = [Op("cnot", (1, 0)), Op("cnot", (2, 0))]
+    assert plan_contractions(ops) == ops
+
+
+def test_singletons_pass_through_untouched():
+    ops = [Op("h", (0,)), Op("toffoli", (0, 1, 2)), Op("cnot", (3, 4))]
+    out = plan_contractions(ops)
+    assert out == ops
+
+
+def test_disjoint_windows_fuse_interleaved_clusters():
+    # A brickwork-style interleave: ops on (0,1) and (2,3) alternate but
+    # each cluster fuses into its own plan.
+    ops = [
+        Op("cnot", (0, 1)),
+        Op("cnot", (2, 3)),
+        Op("crz", (0, 1), (0.3,)),
+        Op("crz", (2, 3), (0.4,)),
+    ]
+    out = plan_contractions(ops)
+    assert [type(o) for o in out] == [ContractionPlan, ContractionPlan]
+    assert {o.qubits for o in out} == {(0, 1), (2, 3)}
+    assert all(o.n_ops == 2 for o in out)
+
+
+def test_bridging_op_merges_windows_that_fit():
+    ops = [Op("ry", (0,), (0.4,)), Op("ry", (1,), (0.7,)), Op("cnot", (0, 1))]
+    out = plan_contractions(ops)
+    assert len(out) == 1
+    assert isinstance(out[0], ContractionPlan)
+    assert out[0].n_ops == 3
+    assert set(out[0].qubits) == {0, 1}
+
+
+def test_bridging_op_emits_windows_that_cannot_merge():
+    ops = [
+        Op("cnot", (0, 1)),
+        Op("swap", (0, 1)),
+        Op("cnot", (2, 3)),
+        Op("swap", (2, 3)),
+        Op("cnot", (1, 2)),  # bridges {0,1} and {2,3}: 4 qubits, no merge
+    ]
+    out = plan_contractions(ops)
+    assert [type(o) for o in out] == [ContractionPlan, ContractionPlan, Op]
+    assert out[2].gate == "cnot"
+
+
+def test_diag_batch_and_wide_ops_are_barriers():
+    batch = DiagBatch.from_ops([Op("cz", (0, 1)), Op("t", (0,))])
+    ops = [Op("cnot", (0, 1)), batch, Op("cnot", (0, 1))]
+    out = plan_contractions(ops)
+    # The barrier splits what would otherwise fuse into one plan.
+    assert out == ops
+    ops = [Op("cnot", (0, 1)), Op("toffoli", (0, 1, 2)), Op("cnot", (0, 1))]
+    assert plan_contractions(ops) == ops
+
+
+def test_plan_matrix_equals_in_order_product():
+    ops = [
+        Op("h", (2,)),
+        Op("cnot", (2, 0)),
+        Op("crz", (0, 2), (0.37,)),
+        Op("swap", (0, 2)),
+        Op("ry", (0,), (1.1,)),
+    ]
+    plan = ContractionPlan.from_ops(ops)
+    assert plan.qubits == (2, 0)
+    assert plan.n_ops == 5
+    ref = StateVector(3, seed=0)
+    ref.h(0), ref.h(1), ref.h(2)
+    got = ref.copy()
+    got.apply(plan.u, *plan.qubits)
+    ref.apply_ops(ops)
+    np.testing.assert_allclose(ref.statevector(), got.statevector(), atol=1e-12)
+
+
+def test_plan_quacks_like_an_op():
+    plan = ContractionPlan.from_ops([Op("cnot", (4, 7)), Op("h", (7,))])
+    assert plan.controls == ()
+    assert plan.targets == plan.qubits == (4, 7)
+    assert not plan.is_diagonal and not plan.is_single
+    assert plan.spec is None
+    np.testing.assert_allclose(plan.target_matrix(), plan.matrix())
+
+
+# ----------------------------------------------------------------------
+# stream-level: which modes emit plans
+# ----------------------------------------------------------------------
+def _spy_backend(backend_cls=SharedBackend):
+    be = backend_cls(seed=0)
+    seen = []
+    orig = be.apply_ops
+
+    def spy(rank, ops):
+        seen.extend(ops)
+        return orig(rank, ops)
+
+    be.apply_ops = spy
+    return be, seen
+
+
+@pytest.mark.parametrize("fusion,expect_plan", [
+    ("auto", True),
+    ("noplan", False),
+    ("nodiag", False),
+    ("off", False),
+])
+def test_stream_emits_plans_only_in_auto(fusion, expect_plan):
+    be, seen = _spy_backend()
+    qs = tuple(be.alloc(0, 3))
+    stream = OpStream(be, 0, fusion=fusion)
+    stream.append(Op("cnot", (qs[0], qs[1])))
+    stream.append(Op("ry", (qs[1],), (0.3,)))
+    stream.append(Op("cnot", (qs[1], qs[2])))
+    stream.flush()
+    assert any(isinstance(o, ContractionPlan) for o in seen) == expect_plan
+
+
+def test_stream_rejects_unknown_fusion_mode():
+    with pytest.raises(ValueError):
+        OpStream(SharedBackend(seed=0), 0, fusion="bogus")
+
+
+# ----------------------------------------------------------------------
+# sharded white-box: per-plan shard-bit classification
+# ----------------------------------------------------------------------
+def _count_fabric_sends(sv):
+    sends = []
+    orig = sv._fabric.send
+
+    def spy(ctx, src, dst, tag, payload):
+        sends.append((src, dst))
+        return orig(ctx, src, dst, tag, payload)
+
+    sv._fabric.send = spy
+    return sends
+
+
+def _spread(sv):
+    for q in sv.qubit_ids:
+        sv.h(q)
+
+
+def test_all_local_plan_is_one_in_chunk_matmul():
+    sv = ShardedStateVector(4, seed=0, n_shards=4)  # qubits 2,3 are local
+    ref = sv.copy()
+    _spread(sv), _spread(ref)
+    sends = _count_fabric_sends(sv)
+    ops = [Op("cnot", (2, 3)), Op("ry", (3,), (0.8,)), Op("swap", (2, 3))]
+    sv.apply_ops(plan_contractions(ops))
+    ref.apply_ops(ops)
+    assert sends == []
+    np.testing.assert_allclose(sv.statevector(), ref.statevector(), atol=1e-12)
+
+
+def test_block_diagonal_high_axis_plan_is_communication_free():
+    # Qubit 0 sits on a shard axis; a CNOT controlled from it (plus a
+    # local rotation) fuses to a unitary block-diagonal on that axis, so
+    # each chunk contracts its signature's sub-block without exchange.
+    sv = ShardedStateVector(4, seed=0, n_shards=4)
+    ref = sv.copy()
+    _spread(sv), _spread(ref)
+    sends = _count_fabric_sends(sv)
+    ops = [Op("cnot", (0, 2)), Op("ry", (2,), (0.5,)), Op("cnot", (0, 2))]
+    planned = plan_contractions(ops)
+    assert [type(o) for o in planned] == [ContractionPlan]
+    sv.apply_ops(planned)
+    ref.apply_ops(ops)
+    assert sends == []
+    np.testing.assert_allclose(sv.statevector(), ref.statevector(), atol=1e-12)
+
+
+def test_identity_plan_sub_blocks_are_skipped_exactly():
+    sv = ShardedStateVector(4, seed=0, n_shards=4)
+    _spread(sv)
+    before = sv.statevector()
+    sends = _count_fabric_sends(sv)
+    planned = plan_contractions([Op("cnot", (0, 2)), Op("cnot", (0, 2))])
+    assert [type(o) for o in planned] == [ContractionPlan]
+    sv.apply_ops(planned)
+    assert sends == []
+    np.testing.assert_allclose(sv.statevector(), before, atol=1e-12)
+
+
+def test_mixing_high_axis_plan_exchanges_once_for_the_whole_plan():
+    # Qubit 0's shard axis is the *target* of a CNOT: the fused unitary
+    # genuinely mixes the axis, so the plan needs chunk exchange — but
+    # only one group exchange for the whole fused run.
+    sv = ShardedStateVector(4, seed=0, n_shards=4)
+    ref = sv.copy()
+    _spread(sv), _spread(ref)
+    sends = _count_fabric_sends(sv)
+    ops = [Op("cnot", (2, 0)), Op("h", (0,)), Op("cnot", (2, 0))]
+    planned = plan_contractions(ops)
+    assert [type(o) for o in planned] == [ContractionPlan]
+    sv.apply_ops(planned)
+    ref.apply_ops(ops)
+    n_plan_sends = len(sends)
+    assert 0 < n_plan_sends
+    np.testing.assert_allclose(sv.statevector(), ref.statevector(), atol=1e-12)
+    # The per-op path pays at least one exchange per high-axis op; the
+    # plan paid for the whole run at most what one such op pays.
+    per_op = ShardedStateVector(4, seed=0, n_shards=4)
+    _spread(per_op)
+    op_sends = _count_fabric_sends(per_op)
+    per_op.apply_ops(ops)
+    assert n_plan_sends < len(op_sends)
+
+
+def test_all_shard_window_reduces_to_per_chunk_scalars():
+    # Two qubits on four shards: every window qubit is a shard axis and
+    # a diagonal product collapses to one scalar per chunk signature.
+    sv = ShardedStateVector(2, seed=0, n_shards=4)
+    ref = StateVector(2, seed=0)
+    _spread(sv)
+    ref.h(0), ref.h(1)
+    sends = _count_fabric_sends(sv)
+    ops = [Op("cz", (0, 1)), Op("t", (0,)), Op("s", (1,))]
+    plan = ContractionPlan.from_ops(ops)
+    assert plan.is_diagonal
+    sv.apply_ops([plan])
+    ref.apply_ops(ops)
+    assert sends == []
+    np.testing.assert_allclose(sv.statevector(), ref.statevector(), atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# flush boundaries mid-plan
+# ----------------------------------------------------------------------
+def _ordered_alloc(qc, n=1):
+    out = None
+    for r in range(qc.size):
+        if qc.rank == r:
+            out = qc.alloc_qmem(n)
+        qc.barrier()
+    return out
+
+
+@pytest.mark.parametrize("backend", ["shared", "sharded"])
+def test_measure_mid_plan_flushes_first(backend):
+    def prog(qc):
+        q = qc.alloc_qmem(2)
+        qc.h(q[0])
+        qc.cnot(q[0], q[1])  # Bell pair pending in the stream
+        bit = qc.measure(q[0])  # boundary: the pending plan must apply
+        qc.cnot(q[0], q[1])  # disentangle: q[1] back to |0>
+        return bit, qc.measure(q[0]), qc.measure(q[1])
+
+    for fusion in ("auto", "off"):
+        w = qmpi_run(1, prog, seed=3, backend=backend, fusion=fusion)
+        bit, again, partner = w.results[0]
+        assert again == bit  # the Bell correlation survived the flush
+        assert partner == 0
+
+
+@pytest.mark.parametrize("fusion", ["auto", "noplan", "off"])
+def test_epr_and_p2p_mid_plan(fusion):
+    # A two-qubit run is interrupted by a qubit send (EPR + p2p fixups):
+    # the stream must flush before the channel touches the qubits.
+    def prog(qc):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(2)
+            qc.h(q[0])
+            qc.cnot(q[0], q[1])
+            qc.ry(q[1], 0.6)
+            qc.send_move(q[1], 1)  # boundary mid-run
+            qc.h(q[0])
+            return qc.prob_one(q[0])
+        t = qc.alloc_qmem(1)
+        qc.recv_move(t, 0)
+        qc.ry(t[0], -0.6)
+        return qc.prob_one(t[0])
+
+    got = qmpi_run(2, prog, seed=0, backend="sharded", fusion=fusion)
+    ref = qmpi_run(2, prog, seed=0, backend="shared", fusion="off")
+    np.testing.assert_allclose(got.results, ref.results, atol=1e-10)
+
+
+# ----------------------------------------------------------------------
+# equivalence: two-qubit-dense programs across backends, modes, ranks
+# ----------------------------------------------------------------------
+def _dense_program(qc, seed):
+    q = _ordered_alloc(qc, 3)
+    rng = np.random.default_rng(seed + qc.rank)
+    for q_i in q:
+        qc.h(q_i)
+    for _ in range(30):
+        roll = rng.random()
+        a, b = (int(x) for x in rng.choice(3, size=2, replace=False))
+        if roll < 0.35:
+            qc.cnot(q[a], q[b])
+        elif roll < 0.55:
+            qc.swap(q[a], q[b])
+        elif roll < 0.75:
+            qc.crz(q[a], q[b], float(rng.random()))
+        elif roll < 0.9:
+            qc.ry(q[a], float(rng.random()))
+        else:
+            qc.toffoli(q[a], q[b], q[3 - a - b])  # planner barrier
+    qc.barrier()
+    return list(q)
+
+
+def _assert_same_up_to_phase(vec_a, vec_b, atol=1e-10):
+    pivot = int(np.argmax(np.abs(vec_a)))
+    phase = vec_b[pivot] / vec_a[pivot]
+    assert abs(abs(phase) - 1.0) < atol
+    np.testing.assert_allclose(vec_a * phase, vec_b, atol=atol)
+
+
+@pytest.mark.parametrize("n_ranks", [1, 2, 4])
+def test_dense_two_qubit_equivalence_across_modes(n_ranks):
+    worlds = {
+        (bk, fu): qmpi_run(n_ranks, _dense_program, args=(13,), seed=2,
+                           backend=bk, fusion=fu)
+        for bk in ("shared", "sharded")
+        for fu in ("auto", "noplan", "off")
+    }
+    ref_world = worlds[("shared", "off")]
+    order = [q for block in ref_world.results for q in block]
+    ref = ref_world.backend.statevector(order)
+    for w in worlds.values():
+        _assert_same_up_to_phase(ref, w.backend.statevector(order))
+
+
+def test_plans_respect_rank_ownership():
+    # A plan's window qubits are ownership-checked like any other op's.
+    be = ShardedBackend(seed=0, n_shards=2)
+    be.alloc(0, 2)
+    other = be.alloc(1, 1)
+    plan = ContractionPlan.from_ops([Op("cnot", (0, other[0])), Op("h", (0,))])
+    with pytest.raises(LocalityError):
+        be.apply_ops(0, (plan,))

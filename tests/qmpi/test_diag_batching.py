@@ -313,3 +313,83 @@ def test_qft_batched_matches_unbatched(backend):
         plain.backend.statevector(order),
         atol=1e-10,
     )
+
+
+# ----------------------------------------------------------------------
+# the doubling/DP materializer vs a naive pair-table reference
+# ----------------------------------------------------------------------
+def _naive_phase(singles, pairs, n_axes, ci=0):
+    """Reference materializer: one full-size pass per table, no doubling."""
+    out = np.ones((2,) * n_axes, dtype=np.complex128) if n_axes else np.ones(())
+    idx = np.indices((2,) * n_axes) if n_axes else None
+
+    def bitval(b):
+        if b >= n_axes:
+            return (ci >> (b - n_axes)) & 1
+        return idx[n_axes - 1 - b]
+
+    for b, t in singles:
+        out = out * np.asarray(t)[bitval(b)]
+    for (ba, bb), t in pairs:
+        out = out * np.asarray(t).reshape(2, 2)[bitval(ba), bitval(bb)]
+    return out
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("n_axes", [1, 3, 6])
+def test_dp_materializer_matches_naive_reference(seed, n_axes):
+    from repro.sim.diag import chunk_phase
+
+    rng = np.random.default_rng(seed)
+    n_bits = n_axes + 2  # two shard-axis bits on top
+    singles = [
+        (int(b), np.exp(1j * rng.normal(size=2)))
+        for b in rng.choice(n_bits, size=min(3, n_bits), replace=False)
+    ]
+    pairs = []
+    for _ in range(4):
+        a, b = (int(x) for x in rng.choice(n_bits, size=2, replace=False))
+        pairs.append(((a, b), np.exp(1j * rng.normal(size=4))))
+    for ci in range(4):
+        got = chunk_phase(singles, pairs, n_axes, ci)
+        want = _naive_phase(singles, pairs, n_axes, ci)
+        np.testing.assert_allclose(
+            np.broadcast_to(got, (2,) * n_axes), want, atol=1e-12
+        )
+
+
+def test_dp_materializer_all_distinct_pair_ladder():
+    # The qft_ladder shape: every pair distinct, forced through the
+    # wide-batch angle-accumulation path (>= 24 live parts).
+    from repro.sim.diag import chunk_phase
+
+    n_axes = 8
+    rng = np.random.default_rng(7)
+    pairs = [
+        ((a, b), np.exp(1j * rng.normal(size=4)))
+        for a in range(n_axes)
+        for b in range(a + 1, n_axes)
+    ]
+    assert len(pairs) >= 24
+    got = chunk_phase([], pairs, n_axes)
+    want = _naive_phase([], pairs, n_axes)
+    np.testing.assert_allclose(np.broadcast_to(got, (2,) * n_axes), want, atol=1e-11)
+
+
+def test_dp_materializer_non_unit_tables_fall_back_exactly():
+    # Non-unit-modulus entries (a non-unitary explicit diagonal) must
+    # not ride the angle accumulator.
+    from repro.sim.diag import chunk_phase
+
+    rng = np.random.default_rng(3)
+    n_axes = 8  # 28 unit pairs: the angle path runs, with one deferral
+    singles = [(0, np.array([1.0, 0.5]))]  # non-unit
+    pairs = [
+        ((a, b), np.exp(1j * rng.normal(size=4)))
+        for a in range(n_axes)
+        for b in range(a + 1, n_axes)
+    ]
+    assert len(pairs) + len(singles) >= 24
+    got = chunk_phase(singles, pairs, n_axes)
+    want = _naive_phase(singles, pairs, n_axes)
+    np.testing.assert_allclose(np.broadcast_to(got, (2,) * n_axes), want, atol=1e-11)

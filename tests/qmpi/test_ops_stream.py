@@ -386,7 +386,9 @@ def test_all_gates_execute_through_apply_ops(backend):
         if not batches:  # wrap once; the backend is shared by all ranks
             def spy(rank, ops):
                 ops = tuple(ops)
-                batches.append(len(ops))
+                # A DiagBatch / ContractionPlan record represents a
+                # whole fused run (n_ops); count what the batch carries.
+                batches.append(sum(getattr(op, "n_ops", 1) for op in ops))
                 return orig(rank, ops)
 
             qc.backend.apply_ops = spy

@@ -124,3 +124,25 @@ def test_qmpi_run_with_workers_matches_serial(n_ranks):
         )
     finally:
         pooled.backend.close()
+
+
+def test_workers_apply_contraction_plans_in_place(pooled):
+    # Plans ride the same run dispatch as single-qubit kernels: an
+    # all-local window (a "ct" entry) and a block-diagonal shard-axis
+    # window (a "csel" entry) both mutate the shared-memory chunks in
+    # place and match the serial engine exactly.
+    from repro.sim import ContractionPlan, plan_contractions
+
+    serial = ShardedStateVector(4, seed=0, n_shards=4)
+    spread = [Op("h", (0,)), Op("h", (2,)), Op("rx", (1,), (0.25,))]
+    local_run = [Op("cnot", (2, 3)), Op("ry", (3,), (0.8,)), Op("swap", (2, 3))]
+    high_run = [Op("cnot", (0, 2)), Op("ry", (2,), (0.5,)), Op("cnot", (0, 2))]
+    serial.apply_ops(spread + local_run + high_run)
+    pooled.apply_ops(spread)
+    for run in (local_run, high_run):
+        planned = plan_contractions(run)
+        assert [type(o) for o in planned] == [ContractionPlan]
+        pooled.apply_ops(planned)
+    np.testing.assert_allclose(
+        serial.statevector(), pooled.statevector(), atol=1e-12
+    )

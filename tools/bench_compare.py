@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Compare fresh benchmark runs against the committed BENCH_*.json baselines.
+
+The committed files record *speedup ratios* (fused/unfused,
+coalesced/pr2, sharded/shared...) from full runs; CI re-runs the same
+benchmarks in ``--quick`` mode and this tool fails (exit 1) if any
+ratio **regresses** by more than the tolerance (default 30%) against
+the committed baseline for the same ``(kernel, n_qubits, backend, ...)``
+row.  Ratios are what make quick-vs-full comparison meaningful: both
+dispatch paths run on the same host in the same process, so the ratio
+is far more stable than absolute gates/second.
+
+Rules:
+
+* rows are matched on their identity keys; rows present on only one
+  side (quick mode measures fewer sizes than full) are reported as
+  ``skip`` and never gate;
+* *improvements* never fail, only regressions beyond tolerance do;
+* machine-dependent phases are excluded: the ``workers`` rows of
+  BENCH_diag.json compare real processes against real cores, so their
+  ratio is a property of the host's ``cpu_count``, not of the code
+  (see docs/benchmarks.md).
+
+Usage::
+
+    python tools/bench_compare.py \\
+        --baseline BENCH_plan.json --fresh fresh/BENCH_plan.json \\
+        [--tolerance 0.30]
+
+Repeat ``--baseline``/``--fresh`` pairs to gate several files at once;
+a table of every compared row is always printed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+#: Fields that identify a row (whichever subset is present is the key).
+KEY_FIELDS = ("kernel", "n_qubits", "backend")
+
+#: Ratio columns gated per benchmark row, by column name.
+RATIO_FIELDS = ("speedup", "fused_speedup", "sharded_fused_vs_shared")
+
+#: list-of-rows sections to compare, per file; anything else (scalars,
+#: machine-dependent phases like BENCH_diag's "workers") is ignored.
+SECTIONS = ("plan", "diag", "coalescing", "results")
+
+
+def _rows(payload: dict):
+    for section in SECTIONS:
+        for row in payload.get(section, ()):
+            yield section, row
+
+
+def _key(section: str, row: dict) -> tuple:
+    return (section,) + tuple(
+        (f, row[f]) for f in KEY_FIELDS if f in row
+    )
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float):
+    """Yield ``(key, field, base, new, verdict)`` for every gated ratio."""
+    base_rows = {_key(s, r): r for s, r in _rows(baseline)}
+    fresh_rows = {_key(s, r): r for s, r in _rows(fresh)}
+    for key in sorted(set(base_rows) | set(fresh_rows), key=repr):
+        b, f = base_rows.get(key), fresh_rows.get(key)
+        if b is None or f is None:
+            yield key, "-", None, None, "skip"
+            continue
+        for field in RATIO_FIELDS:
+            if field not in b or field not in f:
+                continue
+            base_v, new_v = float(b[field]), float(f[field])
+            if base_v <= 0:
+                verdict = "skip"
+            elif new_v < base_v * (1.0 - tolerance):
+                verdict = "FAIL"
+            else:
+                verdict = "ok"
+            yield key, field, base_v, new_v, verdict
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", action="append", required=True,
+                    help="committed baseline JSON (repeatable)")
+    ap.add_argument("--fresh", action="append", required=True,
+                    help="freshly measured JSON, paired with --baseline")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed fractional regression (default 0.30)")
+    args = ap.parse_args(argv)
+    if len(args.baseline) != len(args.fresh):
+        ap.error("--baseline and --fresh must be paired")
+
+    failures = 0
+    width = 64
+    print(f"{'row':<{width}} {'field':<12} {'base':>8} {'fresh':>8}  verdict")
+    print("-" * (width + 40))
+    for base_path, fresh_path in zip(args.baseline, args.fresh):
+        baseline = json.loads(Path(base_path).read_text())
+        fresh = json.loads(Path(fresh_path).read_text())
+        print(f"# {base_path} vs {fresh_path}")
+        for key, field, base_v, new_v, verdict in compare(
+            baseline, fresh, args.tolerance
+        ):
+            label = "/".join(str(v) for _, v in key[1:]) or key[0]
+            label = f"{key[0]}:{label}"
+            if verdict == "skip" and field == "-":
+                print(f"{label:<{width}} {'-':<12} {'-':>8} {'-':>8}  skip (no counterpart)")
+                continue
+            failures += verdict == "FAIL"
+            print(
+                f"{label:<{width}} {field:<12} {base_v:>8.3f} {new_v:>8.3f}  {verdict}"
+            )
+    if failures:
+        print(
+            f"\n{failures} ratio(s) regressed more than "
+            f"{args.tolerance:.0%} vs the committed baselines"
+        )
+        return 1
+    print("\nall compared ratios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
