@@ -1,0 +1,185 @@
+"""Execution-schedule overhead + wide-window sweeps -> BENCH_schedule.json.
+
+Two phases, both through the full op-stream path (``OpStream`` ->
+``apply_ops``), guarding the two size-aware planning decisions of
+:class:`repro.sim.schedule.CostModel`:
+
+Small phase — planner-overhead sweep at <= 12 qubits, where the cost
+model *bypasses* contraction planning outright.  ``fusion="auto"``
+(scheduled) vs ``fusion="noplan"`` (no planner at all): the speedup
+column must stay ~1.0 — the whole point of the bypass is that small
+registers pay no planning overhead (the PR 4 planner cost 7-12% here).
+
+Wide phase — the 16-20 qubit sweep of the BENCH_plan.json kernels,
+``fusion="nodiag"`` (per-op) vs ``fusion="auto"``; at >= 18 qubits the
+cost model widens plan windows to 4 qubits (one 16x16 contraction per
+window), so these rows must match or beat the committed 3-qubit-window
+BENCH_plan.json ratios.
+
+Run standalone (CI quick mode)::
+
+    PYTHONPATH=src python benchmarks/bench_schedule.py --quick
+
+or full (committed baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_schedule.py
+
+See docs/benchmarks.md for the BENCH_schedule.json schema.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # script run without PYTHONPATH/install
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.qmpi import Op, OpStream, SharedBackend, ShardedBackend  # noqa: E402
+
+SMALL_QUBITS = [8, 10, 12]
+WIDE_QUICK_QUBITS = [16]
+WIDE_FULL_QUBITS = [16, 20]
+RAND_DEPTH_PER_QUBIT = 12
+BRICK_LAYERS = 4
+
+
+def _rand2q_ops(qubits, seed=5):
+    """Random two-qubit-dense circuit on nearby pairs (deterministic)."""
+    rng = np.random.default_rng(seed)
+    n = len(qubits)
+    ops = []
+    for _ in range(RAND_DEPTH_PER_QUBIT * n):
+        i = int(rng.integers(0, n - 1))
+        a, b = qubits[i], qubits[i + 1]
+        roll = rng.random()
+        if roll < 0.35:
+            ops.append(Op("cnot", (a, b)))
+        elif roll < 0.55:
+            ops.append(Op("swap", (a, b)))
+        elif roll < 0.8:
+            ops.append(Op("crz", (a, b), (float(rng.random()),)))
+        else:
+            ops.append(Op("ry", (b,), (float(rng.random()),)))
+    return ops
+
+
+def _brickwork_ops(qubits, seed=9):
+    """Brickwork entangler: ry+cnot+crz+cnot blocks on even/odd pairs."""
+    rng = np.random.default_rng(seed)
+    n = len(qubits)
+    ops = []
+    for layer in range(BRICK_LAYERS):
+        for i in range(layer % 2, n - 1, 2):
+            a, b = qubits[i], qubits[i + 1]
+            ops.append(Op("ry", (a,), (float(rng.random()),)))
+            ops.append(Op("cnot", (a, b)))
+            ops.append(Op("crz", (a, b), (0.21,)))
+            ops.append(Op("cnot", (a, b)))
+    return ops
+
+
+KERNELS = {"rand2q": _rand2q_ops, "brickwork": _brickwork_ops}
+
+
+def _time_ops(make_backend, ops_builder, n_qubits, fusion, min_time, min_reps):
+    """Gates/second replaying a fixed op list through the stream path."""
+    be = make_backend()
+    qubits = tuple(be.alloc(0, n_qubits))
+    ops = ops_builder(qubits)
+    stream = OpStream(be, 0, fusion=fusion, max_pending=1 << 20)
+
+    def one_pass():
+        for op in ops:
+            stream.append(op)
+        stream.flush()
+
+    one_pass()  # warm-up
+    best = float("inf")
+    elapsed = 0.0
+    reps = 0
+    while elapsed < min_time or reps < min_reps:
+        t0 = time.perf_counter()
+        one_pass()
+        dt = time.perf_counter() - t0
+        best = min(best, dt / len(ops))
+        elapsed += dt
+        reps += 1
+    return 1.0 / best
+
+
+def run_phase(qubit_counts, baseline_fusion, n_shards, min_time, min_reps,
+              base_key, fused_key):
+    rows = []
+    for n_qubits in qubit_counts:
+        for name, builder in KERNELS.items():
+            for label, factory in (
+                ("shared", lambda: SharedBackend(seed=0)),
+                ("sharded", lambda: ShardedBackend(seed=0, n_shards=n_shards)),
+            ):
+                base = _time_ops(
+                    factory, builder, n_qubits, baseline_fusion, min_time, min_reps
+                )
+                fused = _time_ops(
+                    factory, builder, n_qubits, "auto", min_time, min_reps
+                )
+                row = {
+                    "kernel": name,
+                    "n_qubits": n_qubits,
+                    "backend": label,
+                    base_key: round(base, 1),
+                    fused_key: round(fused, 1),
+                    "speedup": round(fused / base, 3),
+                }
+                rows.append(row)
+                print(
+                    f"{name:<10} n={n_qubits:>2} {label:<8} "
+                    f"{baseline_fusion:<7} {base:>10.0f}  auto {fused:>10.0f} "
+                    f"gates/s  x{row['speedup']}"
+                )
+    return rows
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="small sizes, short passes (CI)")
+    ap.add_argument("--n-shards", type=int, default=4, help="sharded engine chunk count")
+    ap.add_argument("--out", default="BENCH_schedule.json", help="output JSON path")
+    args = ap.parse_args(argv)
+
+    min_time, min_reps = (0.05, 3) if args.quick else (0.4, 4)
+    print("# small phase: scheduled (auto, planning bypassed) vs noplan")
+    small = run_phase(
+        SMALL_QUBITS, "noplan", args.n_shards, min_time, min_reps,
+        "noplan_gates_per_s", "scheduled_gates_per_s",
+    )
+    print("# wide phase: per-op (nodiag) vs scheduled (auto, wide windows)")
+    wide = run_phase(
+        WIDE_QUICK_QUBITS if args.quick else WIDE_FULL_QUBITS,
+        "nodiag", args.n_shards, min_time, min_reps,
+        "unfused_gates_per_s", "fused_gates_per_s",
+    )
+    payload = {
+        "quick": args.quick,
+        "n_shards": args.n_shards,
+        "cpu_count": os.cpu_count() or 1,
+        "rand_depth_per_qubit": RAND_DEPTH_PER_QUBIT,
+        "brick_layers": BRICK_LAYERS,
+        "small": small,
+        "wide": wide,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

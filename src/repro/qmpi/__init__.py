@@ -36,7 +36,8 @@ from .persistent import PersistentChannel
 from .qubit import Qureg
 from .reductions import PARITY, SUM, QuantumOp
 from .resource import Ledger, LedgerSnapshot
-from .stream import OpStream
+from .stream import FUSION_MODES, OpStream
+from ..sim.schedule import DEFAULT_COST_MODEL, CostModel
 
 __all__ = [
     "QmpiComm",
@@ -57,6 +58,9 @@ __all__ = [
     "UNITARY",
     "register_gate",
     "OpStream",
+    "FUSION_MODES",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
     "EprService",
     "EprBufferFull",
     "Qureg",

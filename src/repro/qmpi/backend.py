@@ -29,6 +29,7 @@ from typing import Sequence
 import numpy as np
 
 from ..sim.diag import DiagBatch
+from ..sim.parallel import PARALLEL_MIN_CHUNK
 from ..sim.sharded import ShardedStateVector
 from ..sim.statevector import SimulationError, StateVector
 from . import ops as _ops
@@ -276,7 +277,7 @@ class ShardedBackend(QuantumBackend):
         enforce_locality: bool = True,
         n_shards: int = 4,
         workers: int = 0,
-        parallel_min_chunk: int = 1 << 14,
+        parallel_min_chunk: int = PARALLEL_MIN_CHUNK,
     ):
         super().__init__(
             ShardedStateVector(

@@ -26,11 +26,14 @@ Fusion rules
   :func:`repro.sim.diag.coalesce_diagonals`), which the engines apply
   as a single precomputed phase-vector multiply.
 * **Contraction planning** — after diagonal batching, contiguous runs
-  of one-/two-qubit ops whose operands fit in a bounded window (at
-  most three distinct qubits) fuse into one
-  :class:`~repro.qmpi.ops.ContractionPlan` each — a precontracted
-  4x4/8x8 unitary the engines apply as a single matmul per chunk (see
-  :func:`repro.sim.plan.plan_contractions`).
+  of one-/two-qubit ops whose operands fit in a bounded window fuse
+  into one :class:`~repro.qmpi.ops.ContractionPlan` each — a
+  precontracted window unitary the engines apply as a single matmul
+  per chunk (see :func:`repro.sim.plan.plan_contractions`). Planning
+  is **size-aware** (:func:`repro.sim.schedule.lower_flush`): the cost
+  model bypasses it below ``plan_min_qubits`` (the matmul cannot
+  amortize on small registers) and widens windows from three to four
+  qubits on large ones.
 
 Fusion changes *nothing* semantically: the fused matrix product equals
 the sequential application (plans never reorder ops), diagonal ops
@@ -44,11 +47,16 @@ fusion (the PR 2 dispatch) — both retained as benchmark baselines.
 
 from __future__ import annotations
 
-from ..sim.diag import coalesce_diagonals
-from ..sim.plan import plan_contractions
+from ..sim.schedule import DEFAULT_COST_MODEL, CostModel, lower_flush
 from .ops import UNITARY, Op
 
-__all__ = ["OpStream"]
+__all__ = ["OpStream", "FUSION_MODES"]
+
+#: Every accepted ``fusion=`` mode string, strongest first.  ``True`` /
+#: ``False`` are normalized to ``"on"`` / ``"off"``; anything else
+#: raises ``ValueError`` at construction (a typo like ``"no_plan"``
+#: must not silently degrade to the default pipeline).
+FUSION_MODES = ("auto", "on", "noplan", "nodiag", "off")
 
 
 class OpStream:
@@ -66,21 +74,40 @@ class OpStream:
         and plan contractions (default); ``"noplan"`` — everything but
         contraction planning; ``"nodiag"`` — buffer and fuse but skip
         diagonal batching and planning; ``"off"``/``False`` — forward
-        each op immediately, unfused and unbatched.
+        each op immediately, unfused and unbatched.  Mode strings are
+        validated against :data:`FUSION_MODES`; unknown values raise
+        ``ValueError``.
     max_pending:
         Auto-flush threshold bounding buffer growth for long straight-
         line circuits.
+    cost_model:
+        The :class:`~repro.sim.schedule.CostModel` driving size-aware
+        planning at flush time (``None`` — the default — uses
+        :data:`~repro.sim.schedule.DEFAULT_COST_MODEL`): contraction
+        planning is bypassed below ``plan_min_qubits`` and windows
+        widen on large registers.
     """
 
-    def __init__(self, backend, rank: int, fusion="auto", max_pending: int = 256):
-        if fusion not in ("auto", "on", "off", "nodiag", "noplan", True, False):
+    def __init__(
+        self,
+        backend,
+        rank: int,
+        fusion="auto",
+        max_pending: int = 256,
+        cost_model: CostModel | None = None,
+    ):
+        if fusion is True:
+            fusion = "on"
+        elif fusion is False:
+            fusion = "off"
+        if fusion not in FUSION_MODES:
             raise ValueError(
-                f"fusion must be 'auto', 'on', 'noplan', 'nodiag' or 'off', "
-                f"got {fusion!r}"
+                f"fusion must be one of {FUSION_MODES}, got {fusion!r}"
             )
         self._backend = backend
         self._rank = rank
-        self._eager = fusion in ("off", False)
+        self._cost_model = DEFAULT_COST_MODEL if cost_model is None else cost_model
+        self._eager = fusion == "off"
         self._diag_batching = not self._eager and fusion != "nodiag"
         self._planning = self._diag_batching and fusion != "noplan"
         self._buf: list[Op] = []
@@ -121,20 +148,26 @@ class OpStream:
     def flush(self) -> None:
         """Dispatch everything buffered as one ``apply_ops`` batch.
 
-        Maximal runs of diagonal ops are coalesced into
-        :class:`~repro.qmpi.ops.DiagBatch` records on the way out
-        (unless ``fusion="nodiag"``), then contiguous small-op runs
-        fuse into :class:`~repro.qmpi.ops.ContractionPlan` records
-        (unless ``fusion="noplan"``). On error (e.g. a locality
-        violation) the buffered batch is discarded — partial replay
-        would double-apply its prefix.
+        The buffer is lowered by the schedule compiler's stream-side
+        pass (:func:`repro.sim.schedule.lower_flush`): maximal runs of
+        diagonal ops coalesce into :class:`~repro.qmpi.ops.DiagBatch`
+        records (unless ``fusion="nodiag"``), then contiguous small-op
+        runs fuse into :class:`~repro.qmpi.ops.ContractionPlan` records
+        (unless ``fusion="noplan"``) — **size-aware**: the cost model
+        bypasses planning outright on small registers and widens
+        windows on large ones. On error (e.g. a locality violation) the
+        buffered batch is discarded — partial replay would double-apply
+        its prefix.
         """
         if self._buf:
             buf, self._buf = self._buf, []
-            if self._diag_batching:
-                buf = coalesce_diagonals(buf)
-            if self._planning:
-                buf = plan_contractions(buf)
+            buf = lower_flush(
+                buf,
+                self._backend.num_qubits,
+                diag_batching=self._diag_batching,
+                planning=self._planning,
+                cost_model=self._cost_model,
+            )
             self._backend.apply_ops(self._rank, tuple(buf))
 
     # ------------------------------------------------------------------

@@ -13,10 +13,21 @@ Public surface:
 * :mod:`~repro.sim.arith` — reversible adders for QMPI_SUM reductions
 """
 
-from . import arith, diag, gates, parallel, pauli, plan
+from . import arith, diag, gates, parallel, pauli, plan, schedule
 from .diag import DiagBatch, coalesce_diagonals
 from .parallel import ChunkPool
 from .plan import ContractionPlan, plan_contractions
+from .schedule import (
+    DEFAULT_COST_MODEL,
+    CostModel,
+    DiagSegment,
+    ExchangeSegment,
+    KernelRun,
+    PlanSegment,
+    Segment,
+    compile_segments,
+    lower_flush,
+)
 from .sharded import ShardedStateVector
 from .statevector import SimulationError, StateVector
 from .tracker import GateCounts, TrackedStateVector
@@ -31,10 +42,20 @@ __all__ = [
     "ChunkPool",
     "coalesce_diagonals",
     "plan_contractions",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "Segment",
+    "KernelRun",
+    "DiagSegment",
+    "PlanSegment",
+    "ExchangeSegment",
+    "compile_segments",
+    "lower_flush",
     "SimulationError",
     "diag",
     "plan",
     "parallel",
+    "schedule",
     "gates",
     "pauli",
     "arith",

@@ -39,7 +39,7 @@ import cmath
 
 import numpy as np
 
-__all__ = ["DiagBatch", "coalesce_diagonals", "chunk_phase"]
+__all__ = ["DiagBatch", "coalesce_diagonals", "chunk_phase", "signature_vectors"]
 
 #: Table re-index that swaps the two bits of a pair phase table
 #: (``(a, b) -> (b, a)``: entries 01 and 10 trade places).
@@ -203,6 +203,49 @@ def coalesce_diagonals(ops):
             out.append(op)
     drain()
     return out
+
+
+def signature_vectors(singles, pairs, n_local, num_chunks):
+    """Materialize phase tables once per shard-bit signature.
+
+    ``singles``/``pairs`` are bit-position phase tables (the
+    :func:`chunk_phase` convention, with bits ``>= n_local`` on shard
+    axes).  Chunks sharing the same values of the touched shard bits
+    share one phase tensor, so each distinct *signature* is built
+    exactly once (the signature-independent local part exactly once
+    overall) and reused by every chunk with that signature.
+
+    Returns ``(high_bits, vecs, sig_of)``: the sorted shard-bit
+    positions the batch touches (chunk-index-relative), a dict mapping
+    each signature tuple to its broadcastable tensor, and the per-chunk
+    signature list (``sig_of[ci]`` keys into ``vecs``).
+    """
+    lo_s = [(b, t) for b, t in singles if b < n_local]
+    hi_s = [(b, t) for b, t in singles if b >= n_local]
+    lo_p = [(bb, t) for bb, t in pairs if bb[0] < n_local and bb[1] < n_local]
+    hi_p = [(bb, t) for bb, t in pairs if bb[0] >= n_local or bb[1] >= n_local]
+    base = chunk_phase(lo_s, lo_p, n_local)
+    high_bits = sorted(
+        {b - n_local for b, _ in hi_s}
+        | {b - n_local for bb, _ in hi_p for b in bb if b >= n_local}
+    )
+    vecs: dict[tuple[int, ...], np.ndarray] = {}
+    sig_of: list[tuple[int, ...]] = []
+    for ci in range(num_chunks):
+        sig = tuple((ci >> hb) & 1 for hb in high_bits)
+        sig_of.append(sig)
+        if sig not in vecs:
+            if not high_bits:
+                vecs[sig] = base
+            else:
+                extra = chunk_phase(hi_s, hi_p, n_local, ci)
+                # All-identity extras (e.g. a control bit fixed to 0)
+                # come back 0-d: those chunks just reuse the base.
+                if extra.ndim == 0 and extra.item() == 1.0:
+                    vecs[sig] = base
+                else:
+                    vecs[sig] = base * extra
+    return high_bits, vecs, sig_of
 
 
 def chunk_phase(singles, pairs, n_axes, ci=0):

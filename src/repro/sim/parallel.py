@@ -10,19 +10,26 @@ chunk in shared memory when ``workers > 0``, so dispatching a task ships
 only a few hundred bytes (the shared-memory segment name plus tiny 2x2
 matrices or a phase-vector reference), never the amplitudes.
 
-Two task kinds mirror the two bulk operations:
+The primary task kind is **run-level**: one task per worker covering a
+static partition of the chunks for a whole communication-free stretch
+of the execution schedule (see :mod:`repro.sim.schedule`), so a stretch
+costs ``O(workers)`` queue round-trips instead of ``O(chunks x
+entries)``:
 
-* ``("run", chunk, n_local, ci, run)`` — apply a run of
-  communication-free kernels (:func:`apply_run`, the same arithmetic
-  the serial path uses): tagged single-qubit strided passes plus
-  chunk-local :class:`~repro.sim.plan.ContractionPlan` matmuls,
-  including the per-signature sub-block form for plans that are
-  block-diagonal on their shard axes;
-* ``("mul", chunk, n_local, vec)`` — multiply the chunk's ``(2,)*n``
-  view by a broadcastable phase tensor (a :class:`DiagBatch`
-  materialized by :func:`repro.sim.diag.chunk_phase`), which the engine
-  computed once per shard-bit signature and staged in scratch shared
-  memory.
+* ``("segments", chunk_refs, n_local, payloads)`` — ``chunk_refs`` is
+  a tuple of ``(shm_name, size, chunk_index)`` for the worker's chunk
+  slice; ``payloads`` is the stretch as ``("run", entries)`` kernel
+  runs (:func:`apply_run`) and ``("mul", high_bits, vec_map)``
+  phase-vector multiplies, where ``vec_map`` maps each shard-bit
+  signature to its staged scratch tensor ``(name, shape)`` and every
+  chunk picks the tensor its own signature selects.
+
+Two single-chunk kinds are kept for targeted dispatch and tests:
+
+* ``("run", chunk, size, n_local, ci, run)`` — one kernel run on one
+  chunk;
+* ``("mul", chunk, size, n_local, vec_name, vec_shape)`` — one staged
+  phase tensor multiplied into one chunk.
 
 Workers are started with the ``spawn`` method: the engine lives inside
 multi-threaded SPMD programs (:mod:`repro.mpi.runtime`), where forking
@@ -46,7 +53,17 @@ import numpy as np
 
 from .statevector import SimulationError
 
-__all__ = ["ChunkPool", "apply_run", "contract_local"]
+__all__ = ["ChunkPool", "apply_run", "contract_local", "PARALLEL_MIN_CHUNK"]
+
+#: Default smallest chunk size (amplitudes) worth dispatching to the
+#: pool.  Retuned from 2^14 to 2^12 for the run-level dispatch: one
+#: ``("segments", ...)`` task per worker amortizes the queue round-trip
+#: over a whole communication-free stretch, so the per-chunk IPC
+#: overhead that set the old threshold shrank by roughly the
+#: entries-per-stretch factor (measured by ``bench_diag_batching.py
+#: --only-workers`` and the CI multi-core remeasure job; see
+#: docs/benchmarks.md).
+PARALLEL_MIN_CHUNK = 1 << 12
 
 
 def contract_local(chunk: np.ndarray, u: np.ndarray, bits, n_local: int) -> None:
@@ -76,6 +93,11 @@ def apply_run(chunk: np.ndarray, run, n_local: int, ci: int) -> None:
     * ``("sq", u, bit, diagonal)`` — a single-qubit 2x2 kernel: a
       local-axis strided pass or, for a diagonal on a shard axis, a
       whole-chunk scale by the factor selected by chunk index ``ci``;
+    * ``("cc", u, cmask, local_controls, t_bit, diagonal)`` — a
+      single-target controlled gate whose target is chunk-local (or
+      diagonal on any axis): the chunk participates iff its shard-axis
+      control bits ``cmask`` are all set in ``ci``, and the 2x2 kernel
+      applies on the all-ones slice of the ``local_controls`` axes;
     * ``("ct", u, bits)`` — a :class:`~repro.sim.plan.ContractionPlan`
       whose window is entirely chunk-local: one matmul over the window
       axes (:func:`contract_local`);
@@ -107,6 +129,41 @@ def apply_run(chunk: np.ndarray, run, n_local: int, ci: int) -> None:
                 a1 = v[:, 1, :]
                 v[:, 0, :] = u[0, 0] * a0 + u[0, 1] * a1
                 v[:, 1, :] = u[1, 0] * a0 + u[1, 1] * a1
+        elif kind == "cc":
+            _, u, cmask, local_controls, t_bit, diag = entry
+            if (ci & cmask) != cmask:
+                continue
+            view = chunk.reshape((2,) * n_local)
+            idx: list = [slice(None)] * n_local
+            for b in local_controls:
+                idx[n_local - 1 - b] = 1
+            if t_bit >= n_local:
+                # Diagonal on a shard axis: the target bit is fixed per
+                # chunk, so the control slice just scales.
+                f = u[1, 1] if (ci >> (t_bit - n_local)) & 1 else u[0, 0]
+                if f != 1.0:
+                    view[tuple(idx)] *= f
+                continue
+            ax = n_local - 1 - t_bit
+            idx0 = list(idx)
+            idx0[ax] = 0
+            idx0 = tuple(idx0)
+            idx1 = list(idx)
+            idx1[ax] = 1
+            idx1 = tuple(idx1)
+            if diag:
+                # Indexed in-place ops: a plain `view[idx0] * u` would
+                # copy once every axis is integer-indexed (chunk size 2).
+                if u[0, 0] != 1.0:
+                    view[idx0] *= u[0, 0]
+                if u[1, 1] != 1.0:
+                    view[idx1] *= u[1, 1]
+            else:
+                a0 = view[idx0]
+                a1 = view[idx1]
+                new0 = u[0, 0] * a0 + u[0, 1] * a1
+                view[idx1] = u[1, 0] * a0 + u[1, 1] * a1
+                view[idx0] = new0
         elif kind == "ct":
             _, u, bits = entry
             contract_local(chunk, u, bits, n_local)
@@ -153,7 +210,43 @@ def _worker_main(tasks, results) -> None:
             return
         try:
             kind = task[0]
-            if kind == "run":
+            if kind == "segments":
+                _, chunk_refs, nl, payloads = task
+                vec_shms: dict[str, shared_memory.SharedMemory] = {}
+                vec_arrs: dict[str, np.ndarray] = {}
+                try:
+                    for name, count, ci in chunk_refs:
+                        shm = _attach(name)
+                        try:
+                            arr = _as_array(shm, count)
+                            for p in payloads:
+                                if p[0] == "run":
+                                    apply_run(arr, p[1], nl, ci)
+                                else:  # ("mul", high_bits, vec_map)
+                                    _, high_bits, vec_map = p
+                                    sig = tuple(
+                                        (ci >> hb) & 1 for hb in high_bits
+                                    )
+                                    vname, vshape = vec_map[sig]
+                                    if vname not in vec_arrs:
+                                        vshm = _attach(vname)
+                                        vec_shms[vname] = vshm
+                                        vec_arrs[vname] = np.ndarray(
+                                            vshape,
+                                            dtype=np.complex128,
+                                            buffer=vshm.buf,
+                                        )
+                                    view = arr.reshape((2,) * nl)
+                                    view *= vec_arrs[vname]
+                                    del view
+                            del arr
+                        finally:
+                            shm.close()
+                finally:
+                    vec_arrs.clear()
+                    for vshm in vec_shms.values():
+                        vshm.close()
+            elif kind == "run":
                 _, name, count, nl, ci, run = task
                 shm = _attach(name)
                 try:
@@ -198,6 +291,10 @@ class ChunkPool:
     def __init__(self, workers: int):
         if workers < 1:
             raise SimulationError(f"workers must be >= 1, got {workers}")
+        #: Total tasks ever dispatched (white-box dispatch accounting:
+        #: run-level dispatch issues O(workers) tasks per
+        #: communication-free stretch, not O(chunks x entries)).
+        self.tasks_dispatched = 0
         ctx = mp.get_context("spawn")
         self._tasks = ctx.Queue()
         self._results = ctx.Queue()
@@ -223,6 +320,7 @@ class ChunkPool:
         updated and the simulation state must be considered lost.
         """
         tasks = list(tasks)
+        self.tasks_dispatched += len(tasks)
         for t in tasks:
             self._tasks.put(t)
         errors = []

@@ -54,10 +54,14 @@ from .diag import DiagBatch
 
 __all__ = ["ContractionPlan", "plan_contractions", "MAX_WINDOW"]
 
-#: Largest number of distinct qubits a plan window may span. Three local
-#: qubits keep the fused unitary at 8x8 — still far below chunk size —
-#: while letting ladder-shaped circuits (cnot chains, swap networks)
-#: fuse pairs of overlapping two-qubit gates.
+#: Default largest number of distinct qubits a plan window may span.
+#: Three local qubits keep the fused unitary at 8x8 — still far below
+#: chunk size — while letting ladder-shaped circuits (cnot chains, swap
+#: networks) fuse pairs of overlapping two-qubit gates.  The schedule
+#: cost model (:class:`repro.sim.schedule.CostModel`) makes the bound
+#: size-aware at flush time: planning is bypassed outright on small
+#: registers and the window widens to four qubits (one 16x16
+#: contraction) on large ones, where memory traffic dominates.
 MAX_WINDOW = 3
 
 
@@ -172,6 +176,7 @@ def plan_contractions(
     max_window: int = MAX_WINDOW,
     min_ops: int = 2,
     max_open: int = 16,
+    merge_window: int | None = None,
 ):
     """Fuse small-op runs into :class:`ContractionPlan` records.
 
@@ -197,7 +202,23 @@ def plan_contractions(
     Because distinct windows never share a qubit, ops are only ever
     commuted past ops they trivially commute with, and each window's
     internal order is program order — the result is exact.
+
+    With ``max_window`` above :data:`MAX_WINDOW` (size-aware widening,
+    see :meth:`repro.sim.schedule.CostModel.plan_window`), only
+    single-window *growth* may exceed ``merge_window`` (default
+    ``max_window``; the size-aware caller pins it to
+    :data:`MAX_WINDOW`): an op extending one live window to a fourth
+    qubit would otherwise force an emit-and-reopen — one more pass over
+    the amplitudes — so the 16x16 contraction that swallows it wins.
+    A *bridge merge*, by contrast, combines windows that would each be
+    emitted as a dense small plan anyway; fusing them saves no pass and
+    only inflates the per-amplitude flops, so merges stay bounded by
+    ``merge_window`` — measured, not guessed: unrestricted widening
+    costs the ``brickwork`` 20q shared row ~10% while growth-only
+    widening keeps ``rand2q``'s 11-16% win.
     """
+    if merge_window is None:
+        merge_window = max_window
     out: list = []
     windows: list[tuple[list, set[int]]] = []  # (run, qubit set)
 
@@ -210,10 +231,10 @@ def plan_contractions(
         # target, say, are faster through the per-op restricted
         # exchange — measured, not guessed: the chigh_cnot benchmark
         # row loses 3x without this bound).
-        if len(run) >= max(min_ops, len(wq)):
-            out.append(ContractionPlan.from_ops(run))
-        else:
+        if len(run) < max(min_ops, len(wq)):
             out.extend(run)
+            return
+        out.append(ContractionPlan.from_ops(run))
 
     for op in ops:
         if not _plannable(op):
@@ -232,7 +253,7 @@ def plan_contractions(
             emit(hits[0])
         elif hits:
             merged = set().union(qs, *(windows[i][1] for i in hits))
-            if len(merged) <= max_window:
+            if len(merged) <= merge_window:
                 run = [o for i in hits for o in windows[i][0]]
                 run.append(op)
                 for i in reversed(hits):

@@ -1,0 +1,502 @@
+"""Unified execution-schedule IR: cost-classified segments for both engines.
+
+The QMPI paper's performance model works because every operation is
+classified *once* — local vs. EPR-mediated, with a known cost — before
+execution.  Until this module existed, the flush pipeline had grown the
+opposite way: ``OpStream.flush`` handed each backend a heterogeneous
+``Op | DiagBatch | ContractionPlan`` list that ``StateVector``,
+``ShardedStateVector`` and the ``ChunkPool`` each re-interpreted and
+re-classified ad hoc.  This module is now the **single place where
+execution strategy is decided**, in two passes:
+
+:func:`lower_flush` — the stream-side pass (called by
+:meth:`repro.qmpi.stream.OpStream.flush`): diagonal coalescing followed
+by **size-aware** contraction planning.  The :class:`CostModel` decides
+whether planning pays at all (the fused matmul only amortizes its
+planning + window-product overhead from about 16 qubits — below
+``plan_min_qubits`` the pass is bypassed outright) and how wide windows
+may grow (beyond ``wide_window_min_qubits`` the per-pass memory traffic
+dominates, so 4-qubit windows — one 16x16 contraction replacing >= 4
+strided passes — win and :data:`~repro.sim.plan.MAX_WINDOW` is widened
+to ``wide_window``).
+
+:func:`compile_segments` — the engine-side pass (called by both
+``apply_ops`` implementations): turns the lowered op list into an
+ordered list of typed **segments**, each tagged exactly once with its
+communication class and a cost estimate:
+
+* :class:`KernelRun`    — a maximal run of communication-free kernels
+  (single-qubit strided passes, controlled gates with chunk-local
+  targets, chunk-local contractions);
+* :class:`DiagSegment`  — one coalesced :class:`~repro.sim.diag.DiagBatch`,
+  always communication-free (phase-vector multiply per shard-bit
+  signature);
+* :class:`PlanSegment`  — one :class:`~repro.sim.plan.ContractionPlan`,
+  classified against the chunk layout exactly once (the logic that
+  used to live in ``ShardedStateVector._classify_plan``);
+* :class:`ExchangeSegment` — an op whose unitary genuinely mixes
+  amplitudes across a shard axis (or a rare generic shape outside the
+  kernel vocabulary): the engines fall back to their exchange paths.
+
+Communication classes (:data:`LOCAL` / :data:`BLOCKDIAG` /
+:data:`MIXING`) mirror the sharded layout: ``local`` never reads the
+chunk index, ``blockdiag`` selects per-chunk factors or sub-blocks from
+the shard-bit signature but never moves amplitude between chunks, and
+``mixing`` requires chunk exchange.  A maximal run of non-``mixing``
+segments is a **communication-free stretch** — the unit
+:meth:`repro.sim.sharded.ShardedStateVector.apply_ops` ships to the
+worker pool as one task per worker (run-level dispatch) instead of one
+task per chunk per entry.
+
+Engines are pure *interpreters* of this IR: they decide nothing, they
+only execute segments.  The shared engine compiles with no layout
+(everything is ``local``); the sharded engine passes its bit mapping
+and chunk-boundary position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .diag import DiagBatch, coalesce_diagonals
+from .plan import MAX_WINDOW, ContractionPlan, plan_contractions
+
+__all__ = [
+    "LOCAL",
+    "BLOCKDIAG",
+    "MIXING",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "Segment",
+    "KernelRun",
+    "DiagSegment",
+    "PlanSegment",
+    "ExchangeSegment",
+    "classify_matrix",
+    "lower_flush",
+    "compile_segments",
+    "iter_stretches",
+]
+
+#: Communication class: the segment never reads the chunk index.
+LOCAL = "local"
+#: Communication class: per-chunk factors/sub-blocks selected by the
+#: shard-bit signature; amplitudes never cross a chunk boundary.
+BLOCKDIAG = "blockdiag"
+#: Communication class: amplitudes move between chunks (fabric exchange).
+MIXING = "mixing"
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Small calibratable model of per-amplitude execution cost.
+
+    Costs are in *per-amplitude work units* (roughly flops per amplitude
+    touched, with exchange bandwidth folded into the same scale);
+    multiply by ``2^n_qubits`` for an absolute estimate.  The planning
+    thresholds are the calibrated knobs: they come from the committed
+    ``BENCH_plan.json`` sweeps (fused matmuls lose below ~16 qubits,
+    where per-op dispatch overhead is cheaper than planning; the 16x16
+    four-qubit contraction wins from ~18 qubits, where one pass over the
+    amplitudes beats four).
+    """
+
+    #: Register size below which contraction planning is bypassed
+    #: entirely (the matmul cannot amortize the planning pass).
+    plan_min_qubits: int = 16
+    #: Register size from which plan windows widen to ``wide_window``
+    #: qubits (memory traffic dominates: one 2^w x 2^w pass wins).
+    wide_window_min_qubits: int = 18
+    #: Widened window bound used at or above ``wide_window_min_qubits``.
+    #: Widening is growth-only: bridge merges stay at ``base_window``
+    #: (merging two viable small windows saves no pass — see
+    #: :func:`repro.sim.plan.plan_contractions`).
+    wide_window: int = 4
+    #: Default window bound (:data:`repro.sim.plan.MAX_WINDOW`).
+    base_window: int = MAX_WINDOW
+    #: Per-amplitude cost of a single-qubit strided kernel pass.
+    sq_flops: float = 2.0
+    #: Per-amplitude cost of a phase-vector multiply.
+    diag_flops: float = 1.0
+    #: Per-amplitude cost surcharge of shipping a chunk through the
+    #: fabric and recombining (bandwidth + latency, folded to one knob).
+    exchange_flops: float = 8.0
+
+    def plan_window(self, n_qubits: int) -> int:
+        """Window bound for contraction planning at this register size.
+
+        Returns 0 when planning should be bypassed outright (below
+        ``plan_min_qubits``), ``wide_window`` on large registers, and
+        ``base_window`` in between.
+        """
+        if n_qubits < self.plan_min_qubits:
+            return 0
+        if n_qubits >= self.wide_window_min_qubits:
+            return self.wide_window
+        return self.base_window
+
+    def contract_flops(self, window: int) -> float:
+        """Per-amplitude cost of a ``2^w x 2^w`` window contraction."""
+        return float(1 << window)
+
+
+    def entry_cost(self, entry) -> float:
+        """Per-amplitude cost of one kernel-run entry."""
+        kind = entry[0]
+        if kind == "sq" or kind == "cc":
+            return self.sq_flops
+        if kind == "ct":
+            return self.contract_flops(len(entry[2]))
+        # "csel": contraction over the local window qubits only.
+        return self.contract_flops(len(entry[3]))
+
+    def op_cost(self, op) -> float:
+        """Per-amplitude cost of one op executed without layout info."""
+        if isinstance(op, DiagBatch):
+            return self.diag_flops
+        k = len(op.qubits)
+        return self.sq_flops if k == 1 else self.contract_flops(k)
+
+
+#: The model used when none is supplied (thresholds calibrated against
+#: the committed BENCH_plan.json / BENCH_schedule.json sweeps).
+DEFAULT_COST_MODEL = CostModel()
+
+
+class Segment:
+    """Base of all schedule segments: a communication class and a cost.
+
+    ``comm`` is :data:`LOCAL`, :data:`BLOCKDIAG` or :data:`MIXING`;
+    ``cost`` is the cost model's per-amplitude work estimate for the
+    whole segment.  Segments are produced by :func:`compile_segments`
+    and consumed by the engine interpreters — they are never built by
+    user code.
+    """
+
+    __slots__ = ("comm", "cost")
+
+    def __init__(self, comm: str, cost: float):
+        self.comm = comm
+        self.cost = cost
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} comm={self.comm} cost={self.cost:.1f}>"
+
+
+class KernelRun(Segment):
+    """A maximal run of communication-free kernels.
+
+    ``ops`` are the source op records (what a layout-less interpreter
+    executes); ``entries`` are the tagged per-chunk kernel entries for
+    :func:`repro.sim.parallel.apply_run` (``None`` when compiled
+    without a layout).
+    """
+
+    __slots__ = ("ops", "entries")
+
+    def __init__(self, ops, entries, comm, cost):
+        super().__init__(comm, cost)
+        self.ops = tuple(ops)
+        self.entries = None if entries is None else tuple(entries)
+
+
+class DiagSegment(Segment):
+    """One coalesced diagonal batch (always communication-free)."""
+
+    __slots__ = ("batch",)
+
+    def __init__(self, batch: DiagBatch, comm, cost):
+        super().__init__(comm, cost)
+        self.batch = batch
+
+
+class PlanSegment(Segment):
+    """One contraction plan, classified against the layout exactly once.
+
+    ``entry`` is the plan's kernel-run entry — ``("ct", u, bits)`` for
+    an all-local window, ``("csel", table, hi_bits, lo_bits)`` for a
+    window block-diagonal on its shard axes — or ``None`` for a
+    ``mixing`` plan the engine must exchange for.
+    """
+
+    __slots__ = ("plan", "entry")
+
+    def __init__(self, plan: ContractionPlan, entry, comm, cost):
+        super().__init__(comm, cost)
+        self.plan = plan
+        self.entry = entry
+
+
+class ExchangeSegment(Segment):
+    """An op executed through the engine's generic (exchange) path."""
+
+    __slots__ = ("op",)
+
+    def __init__(self, op, comm, cost):
+        super().__init__(comm, cost)
+        self.op = op
+
+
+# ----------------------------------------------------------------------
+# stream-side pass: size-aware lowering
+# ----------------------------------------------------------------------
+def lower_flush(
+    ops,
+    n_qubits: int,
+    *,
+    diag_batching: bool = True,
+    planning: bool = True,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+):
+    """Lower a flushed op buffer: coalesce diagonals, then plan windows.
+
+    This is the stream-side half of the flush-time compiler —
+    :meth:`repro.qmpi.stream.OpStream.flush` calls it with the current
+    register size so the planning decision is **size-aware**: below
+    ``cost_model.plan_min_qubits`` the contraction pass is bypassed
+    outright (no :class:`~repro.sim.plan.ContractionPlan` is ever
+    built), and on large registers windows widen to
+    ``cost_model.wide_window`` qubits.  ``diag_batching=False`` /
+    ``planning=False`` reproduce the ``fusion="nodiag"`` /
+    ``fusion="noplan"`` ablation modes.
+    """
+    ops = list(ops)
+    if diag_batching:
+        ops = coalesce_diagonals(ops)
+        if planning:
+            w = cost_model.plan_window(n_qubits)
+            if w:
+                # Widening is growth-only: merges stay at the base
+                # bound (see plan_contractions).
+                ops = plan_contractions(
+                    ops,
+                    max_window=w,
+                    merge_window=min(w, cost_model.base_window),
+                )
+    return ops
+
+
+# ----------------------------------------------------------------------
+# layout classification
+# ----------------------------------------------------------------------
+def classify_matrix(u: np.ndarray, bits, n_local: int):
+    """Classify a unitary over bit positions against the chunk layout.
+
+    Returns a kernel-run entry for the communication-free forms, or
+    ``None`` when the matrix needs chunk exchange:
+
+    * every bit below ``n_local`` — ``("ct", u, bits)``: one in-chunk
+      contraction per chunk;
+    * the matrix **block-diagonal** on every shard axis it touches
+      (control-like high bits, products of diagonals) — ``("csel",
+      table, hi_bits, lo_bits)``: each chunk contracts the sub-block
+      its shard-bit signature selects (identity sub-blocks ``None`` are
+      skipped; a window with no local qubits reduces to per-chunk
+      scalars);
+    * anything else mixes amplitudes across a shard axis — ``None``.
+
+    This is the classification that used to live in
+    ``ShardedStateVector._classify_plan``, hoisted here so it runs in
+    exactly one place, once per plan.
+    """
+    bits = list(bits)
+    if all(b < n_local for b in bits):
+        return ("ct", u, tuple(bits))
+    w = len(bits)
+    high_idx = [i for i, b in enumerate(bits) if b >= n_local]
+    h = len(high_idx)
+    # Row/column index bit of window qubit i is (w - 1 - i); the matrix
+    # is exchange-free iff no entry couples two distinct shard-axis bit
+    # patterns.
+    hmask = sum(1 << (w - 1 - i) for i in high_idx)
+    g = np.arange(1 << w)
+    mixing = (g[:, None] & hmask) != (g[None, :] & hmask)
+    if np.any(np.abs(u[mixing]) > 1e-12):
+        return None
+    eye = np.eye(1 << (w - h), dtype=np.complex128)
+    table = []
+    for sig in range(1 << h):
+        pattern = sum(
+            ((sig >> (h - 1 - j)) & 1) << (w - 1 - i)
+            for j, i in enumerate(high_idx)
+        )
+        rows = g[(g & hmask) == pattern]
+        sub = np.ascontiguousarray(u[np.ix_(rows, rows)])
+        if np.allclose(sub, eye, rtol=0.0, atol=1e-12):
+            table.append(None)
+        elif sub.shape == (1, 1):
+            table.append(complex(sub[0, 0]))
+        else:
+            table.append(sub)
+    hi_bits = tuple(bits[i] - n_local for i in high_idx)
+    lo_bits = tuple(b for b in bits if b < n_local)
+    return ("csel", tuple(table), hi_bits, lo_bits)
+
+
+# ----------------------------------------------------------------------
+# engine-side pass: op list -> segments
+# ----------------------------------------------------------------------
+def compile_segments(
+    ops,
+    bit=None,
+    n_local: int = 0,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+):
+    """Compile a lowered op list into an ordered list of segments.
+
+    ``bit`` is a callable mapping a qubit id to its global bit position
+    (the sharded engine passes its ``_bit``); ``n_local`` is the chunk
+    boundary (bits below it are chunk-local).  With ``bit=None`` the
+    compilation is layout-less: every record is communication-free by
+    construction (one flat array), :class:`KernelRun` segments carry
+    only source ops, and no :class:`ExchangeSegment` is ever emitted.
+
+    Segment order preserves program order op-for-op — each input record
+    lands in exactly one segment, and segments are emitted in
+    first-touch order — so interpreting the segments in sequence is
+    exactly the sequential application.
+    """
+    segs: list[Segment] = []
+    run_ops: list = []
+    run_entries: list | None = None if bit is None else []
+    run_comm = LOCAL
+    run_cost = 0.0
+
+    def close_run() -> None:
+        nonlocal run_ops, run_entries, run_comm, run_cost
+        if run_ops:
+            segs.append(KernelRun(run_ops, run_entries, run_comm, run_cost))
+            run_ops = []
+            run_entries = None if bit is None else []
+            run_comm = LOCAL
+            run_cost = 0.0
+
+    def push_entry(op, entry, comm) -> None:
+        nonlocal run_comm, run_cost
+        run_ops.append(op)
+        if run_entries is not None:
+            run_entries.append(entry)
+        if comm == BLOCKDIAG:
+            run_comm = BLOCKDIAG
+        run_cost += cost_model.entry_cost(entry) if entry else cost_model.op_cost(op)
+
+    for op in ops:
+        if isinstance(op, DiagBatch):
+            close_run()
+            comm = LOCAL
+            if bit is not None and any(bit(q) >= n_local for q in op.qubits):
+                comm = BLOCKDIAG
+            segs.append(DiagSegment(op, comm, cost_model.diag_flops))
+            continue
+        if isinstance(op, ContractionPlan):
+            close_run()
+            if bit is None:
+                segs.append(
+                    PlanSegment(
+                        op, None, LOCAL,
+                        cost_model.contract_flops(len(op.qubits)),
+                    )
+                )
+                continue
+            bits = [bit(q) for q in op.qubits]
+            entry = classify_matrix(op.u, bits, n_local)
+            if entry is None:
+                segs.append(
+                    PlanSegment(
+                        op, None, MIXING,
+                        cost_model.contract_flops(len(op.qubits))
+                        + cost_model.exchange_flops,
+                    )
+                )
+            else:
+                comm = LOCAL if entry[0] == "ct" else BLOCKDIAG
+                segs.append(
+                    PlanSegment(op, entry, comm, cost_model.entry_cost(entry))
+                )
+            continue
+        if bit is None:
+            # Layout-less compile: every op is a local kernel.
+            push_entry(op, None, LOCAL)
+            continue
+        controls = op.controls
+        targets = op.targets
+        if not controls and len(targets) == 1:
+            u = np.asarray(op.target_matrix(), dtype=np.complex128)
+            b = bit(targets[0])
+            diag = u[0, 1] == 0 and u[1, 0] == 0
+            if b < n_local:
+                push_entry(op, ("sq", u, b, diag), LOCAL)
+                continue
+            if diag:
+                push_entry(op, ("sq", u, b, diag), BLOCKDIAG)
+                continue
+            close_run()
+            segs.append(
+                ExchangeSegment(
+                    op, MIXING, cost_model.sq_flops + cost_model.exchange_flops
+                )
+            )
+            continue
+        if controls and len(targets) == 1:
+            u = np.asarray(op.target_matrix(), dtype=np.complex128)
+            t_b = bit(targets[0])
+            diag = u[0, 1] == 0 and u[1, 0] == 0
+            if t_b >= n_local and not diag:
+                # Non-diagonal shard-axis target: restricted pair
+                # exchange (the engine's specialized path).
+                close_run()
+                segs.append(
+                    ExchangeSegment(
+                        op, MIXING,
+                        cost_model.sq_flops + cost_model.exchange_flops,
+                    )
+                )
+                continue
+            c_bits = [bit(q) for q in controls]
+            cmask = sum(1 << (b - n_local) for b in c_bits if b >= n_local)
+            local_controls = tuple(sorted(b for b in c_bits if b < n_local))
+            entry = ("cc", u, cmask, local_controls, t_b, diag)
+            comm = BLOCKDIAG if (cmask or t_b >= n_local) else LOCAL
+            push_entry(op, entry, comm)
+            continue
+        # Generic shape (uncontrolled multi-qubit, or the rare
+        # multi-target controlled gate): classify its full matrix.
+        qubits = op.qubits
+        bits = [bit(q) for q in qubits]
+        u = np.asarray(op.matrix(), dtype=np.complex128)
+        entry = classify_matrix(u, bits, n_local)
+        if entry is None:
+            close_run()
+            segs.append(
+                ExchangeSegment(
+                    op, MIXING,
+                    cost_model.contract_flops(len(bits))
+                    + cost_model.exchange_flops,
+                )
+            )
+            continue
+        comm = LOCAL if entry[0] == "ct" else BLOCKDIAG
+        push_entry(op, entry, comm)
+    close_run()
+    return segs
+
+
+def iter_stretches(segments):
+    """Split a segment list into communication-free stretches.
+
+    Yields ``(stretch, barrier)`` pairs in order: ``stretch`` is a
+    (possibly empty) list of consecutive non-``mixing`` segments and
+    ``barrier`` is the ``mixing`` segment that terminated it, or
+    ``None`` for the final stretch.  A stretch is the unit the sharded
+    engine ships to the worker pool as one task per worker.
+    """
+    stretch: list[Segment] = []
+    for seg in segments:
+        if seg.comm != MIXING:
+            stretch.append(seg)
+        else:
+            yield stretch, seg
+            stretch = []
+    yield stretch, None

@@ -33,15 +33,16 @@ While fewer than ``log2(R)`` qubits exist the engine runs with
 ``min(R, 2^n)`` active chunks and grows to the full shard count as qubits
 are allocated; releasing a high-axis qubit compacts the chunk list again.
 
-Batched execution exploits the chunk layout two ways (see
-:meth:`ShardedStateVector.apply_ops`): communication-free single-qubit
-runs execute chunk-by-chunk in one pass, and coalesced
-:class:`~repro.sim.diag.DiagBatch` records materialize as one phase
-vector per shard-bit signature — computed once and reused by every chunk
-that shares the signature — applied in a single vectorized multiply.
-With ``workers=N`` both bulk paths additionally fan out across a
-persistent process pool (:class:`~repro.sim.parallel.ChunkPool`) that
-mutates the chunks in place through shared-memory buffers.
+Batched execution interprets the compiled execution schedule
+(:mod:`repro.sim.schedule` — see :meth:`ShardedStateVector.apply_ops`):
+every record of a flushed batch is classified against the chunk layout
+exactly once, communication-free stretches execute chunk-by-chunk in
+one pass (kernel runs, plan sub-blocks, and
+:class:`~repro.sim.diag.DiagBatch` phase vectors materialized once per
+shard-bit signature), and only ``mixing`` segments exchange chunks.
+With ``workers=N`` each stretch ships to a persistent process pool
+(:class:`~repro.sim.parallel.ChunkPool`) as one task per worker over a
+static chunk partition, mutating shared-memory chunk buffers in place.
 
 The class mirrors :class:`repro.sim.statevector.StateVector`'s public API
 exactly (same methods, same error messages, same RNG draw discipline), so
@@ -59,9 +60,16 @@ import numpy as np
 
 from ..mpi.fabric import Fabric
 from . import gates as G
-from .diag import DiagBatch, chunk_phase
-from .parallel import ChunkPool, apply_run, contract_local
-from .plan import ContractionPlan
+from .diag import DiagBatch, signature_vectors
+from .parallel import PARALLEL_MIN_CHUNK, ChunkPool, apply_run, contract_local
+from .schedule import (
+    DEFAULT_COST_MODEL,
+    DiagSegment,
+    KernelRun,
+    PlanSegment,
+    compile_segments,
+    iter_stretches,
+)
 from .statevector import SimulationError
 
 __all__ = ["ShardedStateVector"]
@@ -87,9 +95,13 @@ class ShardedStateVector:
         a :class:`~repro.sim.parallel.ChunkPool`. Call :meth:`close`
         when done (GC also closes as a safety net).
     parallel_min_chunk:
-        Smallest chunk size (amplitudes) worth dispatching to the pool;
-        below it the per-task IPC overhead exceeds the kernel time and
-        execution stays serial. Tests force the pool with ``1``.
+        Break-even chunk size (amplitudes) for dispatching a
+        *single-kernel* stretch to the pool (default
+        :data:`repro.sim.parallel.PARALLEL_MIN_CHUNK`). The gate is
+        cost-aware: a stretch whose segment cost tags sum to k kernels
+        dispatches at chunks k times smaller, because the one
+        run-level round-trip amortizes over the whole stretch (see
+        :meth:`_parallel_ready`). Tests force the pool with ``1``.
 
     Examples
     --------
@@ -105,7 +117,7 @@ class ShardedStateVector:
         seed=None,
         n_shards: int = 4,
         workers: int = 0,
-        parallel_min_chunk: int = 1 << 14,
+        parallel_min_chunk: int = PARALLEL_MIN_CHUNK,
     ):
         if n_shards < 1 or (n_shards & (n_shards - 1)):
             raise SimulationError(f"n_shards must be a power of two, got {n_shards}")
@@ -241,12 +253,21 @@ class ShardedStateVector:
             self._pool = ChunkPool(self._workers)
         return self._pool
 
-    def _parallel_ready(self) -> bool:
-        """True when a bulk op should be dispatched to the worker pool."""
+    def _parallel_ready(self, stretch_cost: float = DEFAULT_COST_MODEL.sq_flops) -> bool:
+        """True when a stretch of this cost should ship to the pool.
+
+        The gate is cost-aware: ``parallel_min_chunk`` is the break-even
+        chunk size for a *single-kernel* stretch (cost ``sq_flops``),
+        and run-level dispatch amortizes its one round-trip over the
+        whole stretch, so a stretch carrying k times the work pays off
+        at chunks k times smaller — ``chunk_size * stretch_cost`` is
+        compared against the single-kernel break-even product.
+        """
         return (
             self._workers > 0
             and len(self._chunks) > 1
-            and self.chunk_size >= self._parallel_min_chunk
+            and self.chunk_size * stretch_cost
+            >= self._parallel_min_chunk * DEFAULT_COST_MODEL.sq_flops
         )
 
     def close(self) -> None:
@@ -410,214 +431,168 @@ class ShardedStateVector:
     # ------------------------------------------------------------------
     def apply_ops(self, ops) -> None:
         """Execute a batch of typed op records (see :mod:`repro.qmpi.ops`)
-        with per-chunk batching.
+        as a compiled execution schedule.
 
-        Communication-free single-qubit ops (local axis, or diagonal on
-        any axis) are collected into runs and executed chunk-by-chunk in
-        a single pass — one traversal of each flat chunk for the whole
-        run instead of one per gate. Coalesced
-        :class:`~repro.sim.diag.DiagBatch` records apply as one phase
-        vector per shard-bit signature (see :meth:`_apply_diag_batch`).
-        :class:`~repro.sim.plan.ContractionPlan` records are classified
-        once against the chunk layout (see :meth:`_classify_plan`):
-        communication-free forms join the pending run as one matmul per
-        chunk; only a plan whose unitary genuinely mixes a shard axis
-        drains the run and performs one group exchange for the whole
-        plan. Other ops that need chunk exchange (or multi-qubit
-        contraction) are likewise barriers: they drain the pending run,
-        dispatch individually, and the next run resumes after them.
-        With ``workers=N`` the run and phase-vector paths fan out across
-        the chunk worker pool.
+        The batch is compiled once into typed segments by
+        :func:`repro.sim.schedule.compile_segments` — every record is
+        classified against the chunk layout exactly once (local /
+        block-diagonal-shard-axes / mixing) — and this engine merely
+        *interprets* the segments: maximal communication-free stretches
+        execute chunk-by-chunk in one pass (kernel runs, sub-block
+        selections and phase-vector multiplies), and only a ``mixing``
+        segment exchanges chunks through the fabric.  With ``workers=N``
+        each stretch is shipped to the pool as **one task per worker**
+        covering a static partition of the chunks (run-level dispatch:
+        O(workers) queue round-trips per stretch instead of
+        O(chunks x entries)).
         """
-        run: list[tuple] = []  # tagged entries, see parallel.apply_run
-        for op in ops:
-            if isinstance(op, DiagBatch):
-                if run:
-                    self._apply_single_run(run)
-                    run = []
-                self._apply_diag_batch(op)
+        segs = compile_segments(ops, bit=self._bit, n_local=self.n_local)
+        for stretch, barrier in iter_stretches(segs):
+            if stretch:
+                self._apply_stretch(stretch)
+            if barrier is None:
                 continue
-            if isinstance(op, ContractionPlan):
-                entry = self._classify_plan(op)
-                if entry is not None:
-                    run.append(entry)
-                    continue
-                if run:
-                    self._apply_single_run(run)
-                    run = []
+            if isinstance(barrier, PlanSegment):
                 # Shard-axis-mixing plan: one exchange for the whole
                 # fused run instead of one per constituent op.
-                self.apply(op.u, *op.qubits)
-                continue
-            if not op.controls and len(op.qubits) == 1:
-                u = np.asarray(op.target_matrix(), dtype=np.complex128)
-                b = self._bit(op.qubits[0])
-                diag = u[0, 1] == 0 and u[1, 0] == 0
-                if diag or b < self.n_local:
-                    run.append(("sq", u, b, diag))
-                    continue
-            if run:
-                self._apply_single_run(run)
-                run = []
-            if op.controls:
-                self.apply_controlled(op.target_matrix(), list(op.controls), list(op.targets))
+                self.apply(barrier.plan.u, *barrier.plan.qubits)
             else:
-                self.apply(op.target_matrix(), *op.targets)
-        if run:
-            self._apply_single_run(run)
+                op = barrier.op
+                if op.controls:
+                    self.apply_controlled(
+                        op.target_matrix(), list(op.controls), list(op.targets)
+                    )
+                else:
+                    self.apply(op.target_matrix(), *op.targets)
 
-    def _classify_plan(self, plan: ContractionPlan):
-        """Classify a contraction plan against the chunk layout, once.
+    @staticmethod
+    def _fold_stretch(stretch):
+        """Fold a stretch into bulk payloads: the one shared walk.
 
-        Returns a run entry for the communication-free forms, or
-        ``None`` when the plan needs chunk exchange:
-
-        * every window qubit on a local axis — ``("ct", u, bits)``: one
-          in-chunk matmul per chunk;
-        * the fused unitary **block-diagonal** on every shard axis it
-          touches (control-like high qubits: a fused CNOT ladder
-          controlled from a shard axis, products of diagonals...) —
-          ``("csel", table, hi_bits, lo_bits)``: amplitudes never cross
-          a chunk boundary, so each chunk contracts the sub-block its
-          shard-bit signature selects (identity sub-blocks are skipped
-          outright; the table is built once per plan and shared by all
-          chunks with the same signature);
-        * anything else mixes amplitudes across a shard axis — the
-          caller falls back to one group exchange for the whole plan.
+        Yields ``("run", entries)`` for each maximal run of kernel
+        entries (:class:`~repro.sim.schedule.KernelRun` entries plus
+        communication-free :class:`~repro.sim.schedule.PlanSegment`
+        entries, merged across segment boundaries) and
+        ``("diag", batch)`` for each diagonal segment, in program
+        order.  Both the serial executor and the run-level pool
+        dispatch consume this, so the two paths cannot drift.
         """
-        bits = [self._bit(q) for q in plan.qubits]
-        nl = self.n_local
-        if all(b < nl for b in bits):
-            return ("ct", plan.u, tuple(bits))
-        w = len(bits)
-        high_idx = [i for i, b in enumerate(bits) if b >= nl]
-        h = len(high_idx)
-        # Row/column index bit of window qubit i is (w - 1 - i); the
-        # plan is exchange-free iff no matrix entry couples two distinct
-        # shard-axis bit patterns.
-        hmask = sum(1 << (w - 1 - i) for i in high_idx)
-        g = np.arange(1 << w)
-        mixing = (g[:, None] & hmask) != (g[None, :] & hmask)
-        if np.any(np.abs(plan.u[mixing]) > 1e-12):
-            return None
-        eye = np.eye(1 << (w - h), dtype=np.complex128)
-        table = []
-        for sig in range(1 << h):
-            pattern = sum(
-                ((sig >> (h - 1 - j)) & 1) << (w - 1 - i)
-                for j, i in enumerate(high_idx)
-            )
-            rows = g[(g & hmask) == pattern]
-            sub = np.ascontiguousarray(plan.u[np.ix_(rows, rows)])
-            if np.allclose(sub, eye, rtol=0.0, atol=1e-12):
-                table.append(None)
-            elif sub.shape == (1, 1):
-                table.append(complex(sub[0, 0]))
-            else:
-                table.append(sub)
-        hi_bits = tuple(bits[i] - nl for i in high_idx)
-        lo_bits = tuple(b for b in bits if b < nl)
-        return ("csel", tuple(table), hi_bits, lo_bits)
+        entries: list = []
+        for seg in stretch:
+            if isinstance(seg, DiagSegment):
+                if entries:
+                    yield ("run", tuple(entries))
+                    entries = []
+                yield ("diag", seg.batch)
+            elif isinstance(seg, KernelRun):
+                entries.extend(seg.entries)
+            else:  # communication-free PlanSegment
+                entries.append(seg.entry)
+        if entries:
+            yield ("run", tuple(entries))
 
-    def _apply_single_run(self, run) -> None:
-        """One pass over each chunk applying a run of communication-free
-        kernels — tagged single-qubit entries plus local/sub-block
-        contraction-plan matmuls (the shared
-        :func:`repro.sim.parallel.apply_run` kernel — same arithmetic as
-        :meth:`_apply_single` / :func:`repro.sim.parallel.contract_local`),
-        dispatched to the worker pool when the chunks are large enough
-        to pay for it."""
-        nl = self.n_local
-        if self._parallel_ready():
-            self._get_pool().run_tasks(
-                ("run", self._shm[ci].name, c.size, nl, ci, run)
-                for ci, c in enumerate(self._chunks)
-            )
+    def _apply_stretch(self, stretch) -> None:
+        """Execute one communication-free stretch of segments.
+
+        Serially this is one pass over each chunk per kernel run plus
+        one vectorized multiply per diagonal segment — identical
+        arithmetic to the worker path (:func:`repro.sim.parallel.apply_run`).
+        With the pool ready — a cost-aware decision: the segments' cost
+        tags weigh the stretch against the per-dispatch round-trip (see
+        :meth:`_parallel_ready`) — the whole stretch ships as one
+        ``("segments", ...)`` task per worker (see :meth:`_dispatch_stretch`).
+        """
+        if self._parallel_ready(sum(seg.cost for seg in stretch)):
+            self._dispatch_stretch(stretch)
             return
-        for ci, c in enumerate(self._chunks):
-            apply_run(c, run, nl, ci)
-
-    def _apply_diag_batch(self, batch: DiagBatch) -> None:
-        """Apply a coalesced diagonal batch as per-chunk phase vectors.
-
-        The per-qubit/per-pair phase tables are materialized into one
-        broadcastable tensor per *shard-bit signature* — the tuple of
-        high-axis bit values the batch touches — so the tensor is
-        computed once per shape and shared by every chunk with that
-        signature (the signature-independent local part is computed
-        exactly once). Each chunk then updates with a single vectorized
-        in-place multiply; no chunk ever exchanges amplitudes,
-        regardless of which axes the batch touches.
-        """
         nl = self.n_local
+        for kind, payload in self._fold_stretch(stretch):
+            if kind == "run":
+                for ci, c in enumerate(self._chunks):
+                    apply_run(c, payload, nl, ci)
+            else:
+                self._apply_diag_batch(payload)
+
+    def _batch_tables(self, batch: DiagBatch):
+        """A batch's phase tables keyed by bit position (chunk layout)."""
         singles = [(self._bit(q), t) for q, t in batch.phases1.items()]
         pairs = [
             ((self._bit(a), self._bit(b)), t)
             for (a, b), t in batch.phases2.items()
         ]
-        lo_s = [(b, t) for b, t in singles if b < nl]
-        hi_s = [(b, t) for b, t in singles if b >= nl]
-        lo_p = [(bb, t) for bb, t in pairs if bb[0] < nl and bb[1] < nl]
-        hi_p = [(bb, t) for bb, t in pairs if bb[0] >= nl or bb[1] >= nl]
-        base = chunk_phase(lo_s, lo_p, nl)
-        high_bits = sorted(
-            {b - nl for b, _ in hi_s}
-            | {b - nl for bb, _ in hi_p for b in bb if b >= nl}
-        )
-        vecs: dict[tuple[int, ...], np.ndarray] = {}
-        sig_of: list[tuple[int, ...]] = []
-        for ci in range(len(self._chunks)):
-            sig = tuple((ci >> hb) & 1 for hb in high_bits)
-            sig_of.append(sig)
-            if sig not in vecs:
-                if not high_bits:
-                    vecs[sig] = base
-                else:
-                    extra = chunk_phase(hi_s, hi_p, nl, ci)
-                    # All-identity extras (e.g. a control bit fixed to 0)
-                    # come back 0-d: those chunks just reuse the base.
-                    if extra.ndim == 0 and extra.item() == 1.0:
-                        vecs[sig] = base
-                    else:
-                        vecs[sig] = base * extra
-        if self._parallel_ready():
-            self._mul_chunks_parallel(vecs, sig_of, nl)
-            return
+        return singles, pairs
+
+    def _apply_diag_batch(self, batch: DiagBatch) -> None:
+        """Apply a coalesced diagonal batch as per-chunk phase vectors.
+
+        The per-qubit/per-pair phase tables are materialized into one
+        broadcastable tensor per *shard-bit signature*
+        (:func:`repro.sim.diag.signature_vectors`) — computed once per
+        signature and shared by every chunk with it.  Each chunk then
+        updates with a single vectorized in-place multiply; no chunk
+        ever exchanges amplitudes, regardless of which axes the batch
+        touches.
+        """
+        nl = self.n_local
+        singles, pairs = self._batch_tables(batch)
+        _, vecs, sig_of = signature_vectors(singles, pairs, nl, len(self._chunks))
         for ci, c in enumerate(self._chunks):
             v = c.reshape((2,) * nl)
             v *= vecs[sig_of[ci]]
 
-    def _mul_chunks_parallel(self, vecs, sig_of, nl: int) -> None:
-        """Fan a per-signature phase-vector multiply out across the pool.
+    def _dispatch_stretch(self, stretch) -> None:
+        """Ship a communication-free stretch to the pool, run-level.
 
-        Each signature's tensor is staged once in scratch shared memory
-        (the in-process analogue of "compute on rank 0, broadcast");
-        workers multiply their chunks in place and the scratch segments
-        are released when every chunk has acknowledged.
+        The stretch is folded into worker payloads — consecutive kernel
+        entries merge into ``("run", entries)`` records, each diagonal
+        segment stages its per-signature phase tensors once in scratch
+        shared memory and becomes ``("mul", high_bits, vec_map)`` — and
+        the chunks are partitioned statically: **one**
+        ``("segments", chunk_slice, ...)`` task per worker covers the
+        whole stretch, so queue round-trips are O(workers) per stretch
+        (the scratch staging is the in-process analogue of "compute on
+        rank 0, broadcast").
         """
-        scratch: dict[tuple[int, ...], tuple[shared_memory.SharedMemory, tuple]] = {}
+        nl = self.n_local
+        payloads: list[tuple] = []
+        scratch: list[shared_memory.SharedMemory] = []
         try:
-            for sig, vec in vecs.items():
-                shm = shared_memory.SharedMemory(
-                    create=True, size=max(16, vec.nbytes)
+            for kind, payload in self._fold_stretch(stretch):
+                if kind == "run":
+                    payloads.append(("run", payload))
+                    continue
+                singles, pairs = self._batch_tables(payload)
+                high_bits, vecs, _ = signature_vectors(
+                    singles, pairs, nl, len(self._chunks)
                 )
-                staged = np.ndarray(vec.shape, dtype=np.complex128, buffer=shm.buf)
-                staged[...] = vec
-                del staged
-                scratch[sig] = (shm, vec.shape)
-            self._get_pool().run_tasks(
-                (
-                    "mul",
-                    self._shm[ci].name,
-                    c.size,
-                    nl,
-                    scratch[sig_of[ci]][0].name,
-                    scratch[sig_of[ci]][1],
+                vec_map: dict[tuple[int, ...], tuple[str, tuple]] = {}
+                for sig, vec in vecs.items():
+                    shm = shared_memory.SharedMemory(
+                        create=True, size=max(16, vec.nbytes)
+                    )
+                    scratch.append(shm)
+                    staged = np.ndarray(
+                        vec.shape, dtype=np.complex128, buffer=shm.buf
+                    )
+                    staged[...] = vec
+                    del staged
+                    vec_map[sig] = (shm.name, vec.shape)
+                payloads.append(("mul", tuple(high_bits), vec_map))
+            pool = self._get_pool()
+            n_chunks = len(self._chunks)
+            n_tasks = min(pool.workers, n_chunks)
+            tasks = []
+            for w in range(n_tasks):
+                lo = w * n_chunks // n_tasks
+                hi = (w + 1) * n_chunks // n_tasks
+                refs = tuple(
+                    (self._shm[ci].name, self._chunks[ci].size, ci)
+                    for ci in range(lo, hi)
                 )
-                for ci, c in enumerate(self._chunks)
-            )
+                tasks.append(("segments", refs, nl, tuple(payloads)))
+            pool.run_tasks(tasks)
         finally:
-            for shm, _ in scratch.values():
+            for shm in scratch:
                 self._release_shm(shm)
 
     def apply(self, u: np.ndarray, *qubits: int) -> None:

@@ -25,6 +25,7 @@ import numpy as np
 
 from . import gates as G
 from .diag import DiagBatch, chunk_phase
+from .schedule import DiagSegment, KernelRun, compile_segments
 
 __all__ = ["StateVector", "SimulationError"]
 
@@ -190,25 +191,32 @@ class StateVector:
     def apply_ops(self, ops) -> None:
         """Execute a batch of typed op records (see :mod:`repro.qmpi.ops`).
 
-        Ops are duck-typed: anything with ``controls``/``targets`` and a
-        ``target_matrix()`` works. The monolithic engine has no
-        communication to batch away, so this is a straight in-order loop
-        — except :class:`~repro.sim.diag.DiagBatch` records, which apply
-        as one broadcasted phase-vector multiply, and
-        :class:`~repro.sim.plan.ContractionPlan` records, which apply
-        their precontracted window unitary as one tensor contraction
-        (one pass over the amplitudes for the whole fused run); the
-        sharded engine overlays real per-chunk batching on top.
+        The batch is compiled into typed segments by
+        :func:`repro.sim.schedule.compile_segments` (layout-less: one
+        flat array means everything is communication-free) and this
+        engine merely interprets them: each
+        :class:`~repro.sim.schedule.KernelRun` is an in-order loop of
+        duck-typed ops, each :class:`~repro.sim.schedule.DiagSegment`
+        one broadcasted phase-vector multiply, and each
+        :class:`~repro.sim.schedule.PlanSegment` one tensor contraction
+        of its precontracted window unitary (one pass over the
+        amplitudes for the whole fused run); the sharded engine overlays
+        real per-chunk batching and worker dispatch on the same IR.
         """
-        for op in ops:
-            if isinstance(op, DiagBatch):
-                self._apply_diag_batch(op)
-                continue
-            controls = op.controls
-            if controls:
-                self.apply_controlled(op.target_matrix(), list(controls), list(op.targets))
-            else:
-                self.apply(op.target_matrix(), *op.targets)
+        for seg in compile_segments(ops):
+            if isinstance(seg, KernelRun):
+                for op in seg.ops:
+                    controls = op.controls
+                    if controls:
+                        self.apply_controlled(
+                            op.target_matrix(), list(controls), list(op.targets)
+                        )
+                    else:
+                        self.apply(op.target_matrix(), *op.targets)
+            elif isinstance(seg, DiagSegment):
+                self._apply_diag_batch(seg.batch)
+            else:  # PlanSegment (ExchangeSegment never occurs layout-less)
+                self.apply(seg.plan.u, *seg.plan.qubits)
 
     def _apply_diag_batch(self, batch: DiagBatch) -> None:
         """One vectorized multiply for a whole coalesced diagonal run.

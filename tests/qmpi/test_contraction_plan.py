@@ -163,9 +163,13 @@ def _spy_backend(backend_cls=SharedBackend):
     ("off", False),
 ])
 def test_stream_emits_plans_only_in_auto(fusion, expect_plan):
+    from repro.qmpi import CostModel
+
     be, seen = _spy_backend()
     qs = tuple(be.alloc(0, 3))
-    stream = OpStream(be, 0, fusion=fusion)
+    # plan_min_qubits=0 forces planning on this tiny register; the
+    # default size-aware bypass is covered by tests/qmpi/test_schedule.py.
+    stream = OpStream(be, 0, fusion=fusion, cost_model=CostModel(plan_min_qubits=0))
     stream.append(Op("cnot", (qs[0], qs[1])))
     stream.append(Op("ry", (qs[1],), (0.3,)))
     stream.append(Op("cnot", (qs[1], qs[2])))

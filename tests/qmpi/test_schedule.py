@@ -1,0 +1,438 @@
+"""The execution-schedule IR: compiler, cost model, run-level dispatch.
+
+Five layers:
+
+1. ``FUSION_MODES`` validation (unknown mode strings raise, booleans
+   normalize) and the re-export from ``repro.qmpi``;
+2. white-box compiler tests: segment typing and communication classes,
+   order preservation (every input record lands in exactly one segment,
+   in program order), controlled gates joining kernel runs;
+3. size-aware planning: no ``PlanSegment`` below ``plan_min_qubits``,
+   four-qubit windows at/above ``wide_window_min_qubits``;
+4. run-level worker dispatch: one task per worker per
+   communication-free stretch (not per chunk per entry), amplitude
+   exactness vs ``workers=0``;
+5. the property suite: per-qubit program order is preserved across all
+   fusion modes x 1/2/4 ranks (amplitude-exact against the eager
+   shared reference).
+"""
+
+import numpy as np
+import pytest
+
+from repro.qmpi import (
+    FUSION_MODES,
+    ContractionPlan,
+    CostModel,
+    DiagBatch,
+    Op,
+    OpStream,
+    SharedBackend,
+    qmpi_run,
+)
+from repro.sim import (
+    DiagSegment,
+    ExchangeSegment,
+    KernelRun,
+    PlanSegment,
+    ShardedStateVector,
+    StateVector,
+    coalesce_diagonals,
+    compile_segments,
+    lower_flush,
+    plan_contractions,
+)
+from repro.sim.schedule import BLOCKDIAG, LOCAL, MIXING, classify_matrix
+
+
+# ----------------------------------------------------------------------
+# fusion-mode validation
+# ----------------------------------------------------------------------
+def test_fusion_modes_exported_and_validated():
+    assert FUSION_MODES == ("auto", "on", "noplan", "nodiag", "off")
+    be = SharedBackend(seed=0)
+    for mode in FUSION_MODES:
+        OpStream(be, 0, fusion=mode)
+    for bogus in ("no_plan", "nodiagg", "AUTO", "", None, 2):
+        with pytest.raises(ValueError):
+            OpStream(be, 0, fusion=bogus)
+
+
+def test_fusion_booleans_normalize():
+    be = SharedBackend(seed=0)
+    assert OpStream(be, 0, fusion=True).fusion
+    assert not OpStream(be, 0, fusion=False).fusion
+
+
+# ----------------------------------------------------------------------
+# compiler white-box: segment typing, comm classes, order
+# ----------------------------------------------------------------------
+def _flatten(segs):
+    out = []
+    for seg in segs:
+        if isinstance(seg, KernelRun):
+            out.extend(seg.ops)
+        elif isinstance(seg, DiagSegment):
+            out.append(seg.batch)
+        elif isinstance(seg, PlanSegment):
+            out.append(seg.plan)
+        else:
+            out.append(seg.op)
+    return out
+
+
+def test_layoutless_compile_is_all_local():
+    batch = DiagBatch.from_ops([Op("t", (0,)), Op("cz", (0, 1))])
+    plan = ContractionPlan.from_ops([Op("cnot", (0, 1)), Op("h", (1,))])
+    ops = [Op("h", (0,)), Op("cnot", (0, 1)), batch, plan, Op("x", (1,))]
+    segs = compile_segments(ops)
+    assert [type(s) for s in segs] == [
+        KernelRun, DiagSegment, PlanSegment, KernelRun,
+    ]
+    assert all(s.comm == LOCAL for s in segs)
+    assert all(s.cost > 0 for s in segs)
+    assert segs[0].entries is None  # no layout, no kernel entries
+    assert _flatten(segs) == ops
+
+
+def test_sharded_compile_classifies_once():
+    # 4 qubits on 4 shards: bits 3,2 are shard axes (qubits 0,1).
+    sv = ShardedStateVector(4, seed=0, n_shards=4)
+    batch = DiagBatch.from_ops([Op("t", (0,)), Op("cz", (0, 1))])
+    plan_local = plan_contractions(
+        [Op("cnot", (2, 3)), Op("ry", (3,), (0.8,))]
+    )[0]
+    plan_blockdiag = plan_contractions(
+        [Op("cnot", (0, 2)), Op("ry", (2,), (0.5,)), Op("cnot", (0, 2))]
+    )[0]
+    plan_mixing = plan_contractions(
+        [Op("cnot", (2, 0)), Op("h", (0,)), Op("cnot", (2, 0))]
+    )[0]
+    ops = [
+        Op("h", (2,)),          # local single-qubit kernel
+        Op("rz", (0,), (0.3,)),  # diagonal on a shard axis: blockdiag
+        Op("cnot", (0, 3)),     # shard-axis control, local target: blockdiag
+        batch,                  # touches shard axes: blockdiag
+        plan_local,
+        plan_blockdiag,
+        Op("h", (0,)),          # non-diagonal on a shard axis: mixing
+        plan_mixing,
+    ]
+    segs = compile_segments(ops, bit=sv._bit, n_local=sv.n_local)
+    assert [type(s) for s in segs] == [
+        KernelRun, DiagSegment, PlanSegment, PlanSegment,
+        ExchangeSegment, PlanSegment,
+    ]
+    run = segs[0]
+    assert run.comm == BLOCKDIAG  # upgraded by the rz/cnot entries
+    assert [e[0] for e in run.entries] == ["sq", "sq", "cc"]
+    assert segs[1].comm == BLOCKDIAG
+    assert segs[2].comm == LOCAL and segs[2].entry[0] == "ct"
+    assert segs[3].comm == BLOCKDIAG and segs[3].entry[0] == "csel"
+    assert segs[4].comm == MIXING
+    assert segs[5].comm == MIXING and segs[5].entry is None
+    assert _flatten(segs) == ops
+
+
+def test_classify_matrix_matches_plan_classes():
+    # Diagonal product over two shard axes: per-chunk scalars.
+    plan = ContractionPlan.from_ops(
+        [Op("cz", (0, 1)), Op("t", (0,)), Op("s", (1,))]
+    )
+    entry = classify_matrix(plan.u, [3, 2], 2)
+    assert entry[0] == "csel" and entry[3] == ()  # no local window qubits
+    # A swap across the chunk boundary genuinely mixes.
+    assert classify_matrix(np.asarray(Op("swap", (0, 1)).matrix()), [2, 1], 2) is None
+
+
+def test_compile_preserves_per_qubit_order():
+    rng = np.random.default_rng(7)
+    gates = ["h", "x", "t", "s", "z"]
+    ops = []
+    for _ in range(60):
+        roll = rng.random()
+        if roll < 0.5:
+            ops.append(Op(str(rng.choice(gates)), (int(rng.integers(4)),)))
+        elif roll < 0.8:
+            a, b = rng.choice(4, size=2, replace=False)
+            ops.append(Op("cnot", (int(a), int(b))))
+        else:
+            a, b = rng.choice(4, size=2, replace=False)
+            ops.append(Op("crz", (int(a), int(b)), (float(rng.random()),)))
+    sv = ShardedStateVector(4, seed=0, n_shards=4)
+    for layout in ({}, {"bit": sv._bit, "n_local": sv.n_local}):
+        flat = _flatten(compile_segments(ops, **layout))
+        # Every record lands in exactly one segment, in program order.
+        assert flat == ops
+
+
+# ----------------------------------------------------------------------
+# size-aware planning
+# ----------------------------------------------------------------------
+def test_default_cost_model_thresholds():
+    from repro.qmpi import DEFAULT_COST_MODEL
+
+    assert DEFAULT_COST_MODEL.plan_window(12) == 0
+    assert DEFAULT_COST_MODEL.plan_window(15) == 0
+    assert DEFAULT_COST_MODEL.plan_window(16) == 3
+    assert DEFAULT_COST_MODEL.plan_window(17) == 3
+    assert DEFAULT_COST_MODEL.plan_window(18) == 4
+    assert DEFAULT_COST_MODEL.plan_window(24) == 4
+
+
+def _dense_ladder(qubits):
+    ops = []
+    for i in range(len(qubits) - 1):
+        ops.append(Op("cnot", (qubits[i], qubits[i + 1])))
+        ops.append(Op("ry", (qubits[i + 1],), (0.3 + 0.1 * i,)))
+        ops.append(Op("cnot", (qubits[i], qubits[i + 1])))
+    return ops
+
+
+def test_no_plan_segment_below_threshold():
+    # Default model: a 6-qubit register never plans, so a dense ladder
+    # flushes as plain ops — no ContractionPlan anywhere in the batch.
+    be = SharedBackend(seed=0)
+    seen = []
+    orig = be.apply_ops
+    be.apply_ops = lambda rank, ops: (seen.extend(ops), orig(rank, ops))
+    qs = tuple(be.alloc(0, 6))
+    stream = OpStream(be, 0, fusion="auto")
+    for op in _dense_ladder(qs):
+        stream.append(op)
+    stream.flush()
+    assert seen and not any(isinstance(o, ContractionPlan) for o in seen)
+    # The same circuit with the threshold lowered does plan.
+    be2 = SharedBackend(seed=0)
+    seen2 = []
+    orig2 = be2.apply_ops
+    be2.apply_ops = lambda rank, ops: (seen2.extend(ops), orig2(rank, ops))
+    qs2 = tuple(be2.alloc(0, 6))
+    stream2 = OpStream(
+        be2, 0, fusion="auto", cost_model=CostModel(plan_min_qubits=0)
+    )
+    for op in _dense_ladder(qs2):
+        stream2.append(op)
+    stream2.flush()
+    assert any(isinstance(o, ContractionPlan) for o in seen2)
+
+
+def test_wide_windows_above_threshold():
+    # Above wide_window_min_qubits the planner may grow 4-qubit windows
+    # (one 16x16 contraction); below it the classic 3-qubit bound holds.
+    ops = _dense_ladder((0, 1, 2, 3))
+    wide = lower_flush(
+        ops, 6,
+        cost_model=CostModel(plan_min_qubits=0, wide_window_min_qubits=6),
+    )
+    plans = [o for o in wide if isinstance(o, ContractionPlan)]
+    assert max(len(p.qubits) for p in plans) == 4
+    narrow = lower_flush(
+        ops, 6,
+        cost_model=CostModel(plan_min_qubits=0, wide_window_min_qubits=7),
+    )
+    assert max(
+        len(p.qubits) for p in narrow if isinstance(p, ContractionPlan)
+    ) <= 3
+    # Wide windows are exact: the fused product equals sequential apply.
+    ref = StateVector(4, seed=0)
+    got = StateVector(4, seed=0)
+    for q in range(4):
+        ref.h(q), got.h(q)
+    ref.apply_ops(ops)
+    got.apply_ops(wide)
+    np.testing.assert_allclose(ref.statevector(), got.statevector(), atol=1e-12)
+
+
+def test_wide_windows_match_on_sharded_engine():
+    ops = _dense_ladder((0, 1, 2, 3)) + [Op("crz", (0, 3), (0.7,))]
+    wide = lower_flush(
+        ops, 6,
+        cost_model=CostModel(plan_min_qubits=0, wide_window_min_qubits=6),
+    )
+    ref = ShardedStateVector(4, seed=0, n_shards=4)
+    got = ShardedStateVector(4, seed=0, n_shards=4)
+    for q in range(4):
+        ref.h(q), got.h(q)
+    ref.apply_ops(ops)
+    got.apply_ops(wide)
+    np.testing.assert_allclose(ref.statevector(), got.statevector(), atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# run-level worker dispatch
+# ----------------------------------------------------------------------
+@pytest.fixture
+def pooled():
+    sv = ShardedStateVector(4, seed=0, n_shards=4, workers=2, parallel_min_chunk=1)
+    yield sv
+    sv.close()
+
+
+def _stretch_ops():
+    """One communication-free stretch: runs + a diagonal batch + runs."""
+    return (
+        [Op("rx", (2,), (0.4,)), Op("ry", (3,), (0.8,))]
+        + coalesce_diagonals(
+            [Op("t", (0,)), Op("cz", (0, 1)), Op("rz", (2,), (0.3,))]
+        )
+        + [Op("cnot", (0, 2)), Op("h", (3,))]
+    )
+
+
+def test_one_task_per_worker_per_stretch(pooled):
+    pooled.apply_ops([Op("h", (2,))])  # local-axis kernel: spawns the pool
+    pool = pooled._pool
+    assert pool is not None
+    before = pool.tasks_dispatched
+    pooled.apply_ops(_stretch_ops())
+    # One communication-free stretch => one task per worker, NOT
+    # chunks x entries (the old dispatch: 4 chunks x 3 bulk records = 12).
+    assert pool.tasks_dispatched - before == pooled.workers == 2
+
+
+def test_mixing_segment_splits_stretches(pooled):
+    pooled.apply_ops([Op("h", (2,))])
+    pool = pooled._pool
+    before = pool.tasks_dispatched
+    ops = (
+        [Op("rx", (2,), (0.4,))]
+        + [Op("h", (1,))]  # non-diagonal shard axis: mixing barrier
+        + [Op("ry", (3,), (0.2,))]
+    )
+    pooled.apply_ops(ops)
+    # Two stretches around the barrier => 2 x workers tasks.
+    assert pool.tasks_dispatched - before == 2 * pooled.workers
+
+
+def test_dispatch_gate_is_cost_aware():
+    # parallel_min_chunk is the break-even chunk size for a ONE-kernel
+    # stretch; the segments' cost tags scale it: a stretch carrying k
+    # kernels' worth of work dispatches at chunks k times smaller.
+    sv = ShardedStateVector(4, seed=0, n_shards=4, workers=2,
+                            parallel_min_chunk=4 * 8)  # 8 kernels break even
+    try:
+        sv.apply_ops([Op("rx", (2,), (0.1,))])  # 1 kernel: stays serial
+        assert sv._pool is None
+        heavy = [Op("rx", (q,), (0.1 * i,)) for i in range(8) for q in (2, 3)]
+        sv.apply_ops(heavy)  # 16 kernels on size-4 chunks: dispatches
+        assert sv._pool is not None
+        serial = ShardedStateVector(4, seed=0, n_shards=4)
+        serial.apply_ops([Op("rx", (2,), (0.1,))])
+        serial.apply_ops(heavy)
+        np.testing.assert_allclose(
+            serial.statevector(), sv.statevector(), atol=1e-12
+        )
+    finally:
+        sv.close()
+
+
+def test_run_level_dispatch_matches_serial(pooled):
+    serial = ShardedStateVector(4, seed=0, n_shards=4)
+    spread = [Op("h", (q,)) for q in range(4)]
+    serial.apply_ops(spread)
+    pooled.apply_ops(spread)
+    serial.apply_ops(_stretch_ops())
+    pooled.apply_ops(_stretch_ops())
+    np.testing.assert_allclose(
+        serial.statevector(), pooled.statevector(), atol=1e-12
+    )
+
+
+def test_controlled_gates_ride_the_pool(pooled):
+    # Shard-axis controls and local targets are "cc" kernel entries now:
+    # they join the dispatched run instead of serializing between pool
+    # round-trips.
+    serial = ShardedStateVector(4, seed=0, n_shards=4)
+    ops = [
+        Op("h", (0,)), Op("h", (2,)),
+        Op("cnot", (0, 2)),            # shard control, local target
+        Op("cnot", (2, 3)),            # both local
+        Op("toffoli", (0, 1, 3)),      # two shard controls, local target
+        Op("crz", (0, 1), (0.4,)),     # diagonal, both on shard axes
+    ]
+    serial.apply_ops(ops)
+    pooled.apply_ops(ops)
+    np.testing.assert_allclose(
+        serial.statevector(), pooled.statevector(), atol=1e-12
+    )
+
+
+def test_pooled_plans_and_wide_windows_match_serial(pooled):
+    serial = ShardedStateVector(4, seed=0, n_shards=4)
+    spread = [Op("h", (q,)) for q in range(4)]
+    lowered = lower_flush(
+        _dense_ladder((2, 3)) + _dense_ladder((0, 1)),
+        6,
+        cost_model=CostModel(plan_min_qubits=0, wide_window_min_qubits=99),
+    )
+    assert any(isinstance(o, ContractionPlan) for o in lowered)
+    serial.apply_ops(spread)
+    pooled.apply_ops(spread)
+    serial.apply_ops(lowered)
+    pooled.apply_ops(lowered)
+    np.testing.assert_allclose(
+        serial.statevector(), pooled.statevector(), atol=1e-12
+    )
+
+
+# ----------------------------------------------------------------------
+# property suite: order preservation across modes x ranks
+# ----------------------------------------------------------------------
+def _random_program(qc, seed):
+    q = None
+    for r in range(qc.size):
+        if qc.rank == r:
+            q = qc.alloc_qmem(3)
+        qc.barrier()
+    rng = np.random.default_rng(seed + qc.rank)
+    for q_i in q:
+        qc.h(q_i)
+    for _ in range(40):
+        roll = rng.random()
+        a, b = (int(x) for x in rng.choice(3, size=2, replace=False))
+        if roll < 0.2:
+            qc.cnot(q[a], q[b])
+        elif roll < 0.35:
+            qc.swap(q[a], q[b])
+        elif roll < 0.5:
+            qc.crz(q[a], q[b], float(rng.random()))
+        elif roll < 0.6:
+            qc.cphase(q[a], q[b], float(rng.random()))
+        elif roll < 0.7:
+            qc.rz(q[a], float(rng.random()))
+        elif roll < 0.8:
+            qc.ry(q[a], float(rng.random()))
+        elif roll < 0.9:
+            qc.t(q[a])
+        else:
+            qc.toffoli(q[a], q[b], q[3 - a - b])
+    qc.barrier()
+    return list(q)
+
+
+def _assert_same_up_to_phase(vec_a, vec_b, atol=1e-10):
+    pivot = int(np.argmax(np.abs(vec_a)))
+    phase = vec_b[pivot] / vec_a[pivot]
+    assert abs(abs(phase) - 1.0) < atol
+    np.testing.assert_allclose(vec_a * phase, vec_b, atol=atol)
+
+
+@pytest.mark.parametrize("n_ranks", [1, 2, 4])
+@pytest.mark.parametrize("seed", [11, 29])
+def test_schedule_preserves_program_order_all_modes(n_ranks, seed):
+    # Per-qubit program order is an amplitude-observable property: if
+    # the compiled schedule reordered any two non-commuting ops on a
+    # shared qubit, some amplitude would differ from the eager shared
+    # reference. Runs every fusion mode x shared/sharded x rank count.
+    worlds = {
+        (bk, fu): qmpi_run(n_ranks, _random_program, args=(seed,), seed=5,
+                           backend=bk, fusion=fu)
+        for bk in ("shared", "sharded")
+        for fu in FUSION_MODES
+    }
+    ref_world = worlds[("shared", "off")]
+    order = [q for block in ref_world.results for q in block]
+    ref = ref_world.backend.statevector(order)
+    for w in worlds.values():
+        _assert_same_up_to_phase(ref, w.backend.statevector(order))

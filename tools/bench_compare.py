@@ -44,8 +44,10 @@ KEY_FIELDS = ("kernel", "n_qubits", "backend")
 RATIO_FIELDS = ("speedup", "fused_speedup", "sharded_fused_vs_shared")
 
 #: list-of-rows sections to compare, per file; anything else (scalars,
-#: machine-dependent phases like BENCH_diag's "workers") is ignored.
-SECTIONS = ("plan", "diag", "coalescing", "results")
+#: machine-dependent phases like the "workers" sections of
+#: BENCH_diag/BENCH_plan — those accumulate cpu_count-keyed history via
+#: tools/fold_workers_ci.py instead) is ignored.
+SECTIONS = ("plan", "diag", "coalescing", "results", "small", "wide")
 
 
 def _rows(payload: dict):

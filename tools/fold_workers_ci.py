@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Fold CI multi-core workers measurements into the committed baselines.
+
+The ``workers`` CI job remeasures the parallel chunk executor on the
+multi-core GitHub runners and uploads ``BENCH_workers_ci.json`` /
+``BENCH_workers_plan_ci.json`` artifacts (the committed baselines were
+measured wherever the full benches last ran — possibly a single-core
+container, where the pool can only show overhead).  This tool merges
+those artifacts' ``workers`` rows back into the committed
+``BENCH_diag.json`` / ``BENCH_plan.json``:
+
+* rows are keyed on ``(kernel, n_qubits, cpu_count)`` — a multi-core
+  measurement never *overwrites* a single-core row (or vice versa), it
+  sits next to it as a new ``cpu_count``-keyed row, so the committed
+  file records the speedup *per core count*;
+* a matching key is replaced with the fresher measurement;
+* rows are kept sorted for stable diffs.
+
+Usage::
+
+    python tools/fold_workers_ci.py --baseline BENCH_diag.json \\
+        --ci BENCH_workers_ci.json [--ci another.json ...]
+
+The machine-dependent ``workers`` sections stay excluded from the
+bench-gate ratio comparison (see tools/bench_compare.py); this tool is
+how their history accumulates in-repo instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+#: Fields identifying one workers row (cpu_count included: measurements
+#: from hosts with different core counts coexist).
+KEY_FIELDS = ("kernel", "n_qubits", "cpu_count")
+
+
+def _key(row: dict) -> tuple:
+    return tuple(row.get(f) for f in KEY_FIELDS)
+
+
+def fold(baseline: dict, ci_payloads) -> tuple[dict, int, int]:
+    """Merge CI workers rows into ``baseline``; returns (payload, replaced, added)."""
+    rows = {_key(r): r for r in baseline.get("workers", ())}
+    replaced = added = 0
+    for payload in ci_payloads:
+        for row in payload.get("workers", ()):
+            k = _key(row)
+            if k in rows:
+                replaced += 1
+            else:
+                added += 1
+            rows[k] = row
+    baseline["workers"] = [rows[k] for k in sorted(rows, key=repr)]
+    return baseline, replaced, added
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_*.json to fold rows into (rewritten in place)")
+    ap.add_argument("--ci", action="append", required=True,
+                    help="CI workers artifact JSON (repeatable)")
+    args = ap.parse_args(argv)
+
+    base_path = Path(args.baseline)
+    baseline = json.loads(base_path.read_text())
+    ci_payloads = [json.loads(Path(p).read_text()) for p in args.ci]
+    baseline, replaced, added = fold(baseline, ci_payloads)
+    base_path.write_text(json.dumps(baseline, indent=2) + "\n")
+    for row in baseline["workers"]:
+        print(
+            f"{row['kernel']:<20} n={row['n_qubits']:>2} "
+            f"cpus={row.get('cpu_count', '?'):>2}  x{row['speedup']}"
+        )
+    print(f"{base_path}: {replaced} row(s) replaced, {added} added")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
