@@ -17,6 +17,7 @@ the paper's listings.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Sequence
 
 from ..mpi.comm import Communicator
@@ -373,13 +374,94 @@ _ops.bind_gateset(_install_comm_shim)
 
 
 class QmpiWorld:
-    """Result bundle of a :func:`qmpi_run`: per-rank return values plus the
-    backend and ledger for post-run inspection."""
+    """First-class result of a :func:`qmpi_run`.
 
-    def __init__(self, results: list, backend: QuantumBackend, ledger: Ledger):
+    Indexing and iteration yield the per-rank return values
+    (``world[rank]``, ``list(world)``, ``len(world)``); the
+    :attr:`results` list, :attr:`backend`, and :attr:`ledger` attributes
+    remain available for inspection as before. Runs started with
+    ``shots=N`` expose the sampled measurement histogram as
+    :attr:`counts`. The world is a context manager: ``with
+    qmpi_run(...) as world:`` closes worker-enabled backends (pool
+    processes, shared memory) on exit.
+    """
+
+    def __init__(
+        self,
+        results: list,
+        backend: QuantumBackend,
+        ledger: Ledger,
+        shots: int | None = None,
+    ):
         self.results = results
         self.backend = backend
         self.ledger = ledger
+        #: Shot count of the run, or ``None`` for a single trajectory.
+        self.shots = shots
+
+    def __getitem__(self, rank: int):
+        return self.results[rank]
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def counts(self):
+        """Per-shot measurement histogram (:class:`collections.Counter`).
+
+        Keys are bitstrings of every measurement in the run, stably
+        ordered by measuring rank (program order within a rank).
+        Requires the run to have been started with ``shots=``.
+        """
+        if self.shots is None:
+            raise RuntimeError(
+                "counts requires a shot-batched run: qmpi_run(..., shots=N)"
+            )
+        return self.backend.counts()
+
+    def close(self) -> None:
+        """Release backend resources (worker pools, shared memory)."""
+        self.backend.close()
+
+    def __enter__(self) -> "QmpiWorld":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shots = f" shots={self.shots}" if self.shots is not None else ""
+        return f"<QmpiWorld ranks={len(self.results)}{shots}>"
+
+
+def _execute(
+    backend: QuantumBackend,
+    n_ranks: int,
+    fn: Callable[..., Any],
+    args: Sequence[Any] = (),
+    kwargs: dict | None = None,
+    s_limit: int | None = None,
+    timeout: float = 120.0,
+    fusion="auto",
+) -> tuple[list, Ledger]:
+    """Run ``fn`` SPMD on a ready backend; shared by qmpi_run and jobs."""
+    ledger = Ledger()
+    epr = EprService(backend, ledger, s_limit=s_limit)
+
+    def wrapper(comm: Communicator, *a: Any, **k: Any) -> Any:
+        epr.abort = comm.fabric.abort
+        qc = QmpiComm(comm, backend, epr, ledger, fusion=fusion)
+        try:
+            return fn(qc, *a, **k)
+        finally:
+            qc.flush_ops()
+
+    results = run_spmd(n_ranks, wrapper, args, kwargs, timeout)
+    return results, ledger
 
 
 def qmpi_run(
@@ -393,6 +475,8 @@ def qmpi_run(
     backend: "str | type[QuantumBackend] | QuantumBackend" = "shared",
     backend_opts: dict | None = None,
     fusion="auto",
+    shots: int | None = None,
+    **backend_kw,
 ) -> QmpiWorld:
     """Run ``fn(qcomm, *args, **kwargs)`` on ``n_ranks`` quantum ranks.
 
@@ -404,8 +488,9 @@ def qmpi_run(
         halves raise :class:`~repro.qmpi.epr.EprBufferFull`.
     seed:
         Measurement RNG seed for reproducible runs. Ignored (along with
-        ``backend_opts``) when ``backend`` is a prebuilt instance, which
-        keeps its own RNG and configuration.
+        backend options) when ``backend`` is a prebuilt instance, which
+        keeps its own RNG and configuration; passing a non-default seed
+        alongside a prebuilt instance warns.
     backend:
         Engine selection: ``"shared"`` (the paper's §6 rank-0 state
         vector), ``"sharded"`` / ``"sharded:<n>"`` (amplitudes chunked
@@ -414,13 +499,9 @@ def qmpi_run(
         ``"sharded"`` sizes the chunk count to ``n_ranks`` (next power of
         two). See :func:`repro.qmpi.backend.make_backend`.
     backend_opts:
-        Extra keyword arguments for the backend constructor (e.g.
-        ``{"n_shards": 8}``, ``{"enforce_locality": False}``, or
-        ``{"workers": 2}`` to enable the sharded engine's
-        process-parallel chunk executor — N persistent worker processes
-        updating the chunks through shared memory; call
-        ``world.backend.close()`` when done with a worker-enabled
-        backend).
+        Deprecated — pass backend constructor options as plain keyword
+        arguments instead (see ``**backend_kw``). Still honored, with a
+        :class:`DeprecationWarning`; explicit keywords win on conflict.
     fusion:
         Per-rank gate-stream fusion: ``"auto"`` (default) buffers,
         fuses, coalesces diagonal runs into
@@ -432,23 +513,42 @@ def qmpi_run(
         gate eagerly as a one-op batch (the escape hatch — identical
         semantics, no batching). See
         :class:`~repro.qmpi.stream.OpStream`.
+    shots:
+        Sample ``N`` trajectories in *one* execution of the program:
+        unitary segments run once, measurement-free circuits sample all
+        outcomes from the final state, and mid-circuit measurements fork
+        batched trajectories inside the engine (see
+        :mod:`repro.sim.shots`). Measurement calls then return per-shot
+        :class:`~repro.sim.shots.ShotBits` and the world exposes
+        :attr:`QmpiWorld.counts`.
+    **backend_kw:
+        Backend constructor options as plain keywords, e.g.
+        ``qmpi_run(..., backend="sharded", workers=2, n_shards=8)`` —
+        ``n_shards``, ``workers``, ``parallel_min_chunk``,
+        ``enforce_locality``. ``workers=N`` enables the sharded engine's
+        process-parallel chunk executor (close the backend when done:
+        ``with qmpi_run(...) as world:`` does so automatically).
     """
-    backend = make_backend(
-        backend, seed=seed, n_ranks=n_ranks, **(backend_opts or {})
+    if backend_opts is not None:
+        warnings.warn(
+            "backend_opts is deprecated; pass backend options as plain "
+            "keyword arguments: qmpi_run(..., backend='sharded', "
+            "workers=2, n_shards=8)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        backend_kw = {**backend_opts, **backend_kw}
+    if isinstance(backend, QuantumBackend) and seed == 0:
+        # The default seed must not trigger the prebuilt-instance
+        # warning in make_backend; only an explicit seed should.
+        seed = None
+    backend = make_backend(backend, seed=seed, n_ranks=n_ranks, **backend_kw)
+    if shots is not None:
+        backend.begin_shots(shots)
+    results, ledger = _execute(
+        backend, n_ranks, fn, args, kwargs, s_limit, timeout, fusion
     )
-    ledger = Ledger()
-    epr = EprService(backend, ledger, s_limit=s_limit)
-
-    def wrapper(comm: Communicator, *a: Any, **k: Any) -> Any:
-        epr.abort = comm.fabric.abort
-        qc = QmpiComm(comm, backend, epr, ledger, fusion=fusion)
-        try:
-            return fn(qc, *a, **k)
-        finally:
-            qc.flush_ops()
-
-    results = run_spmd(n_ranks, wrapper, args, kwargs, timeout)
-    return QmpiWorld(results, backend, ledger)
+    return QmpiWorld(results, backend, ledger, shots=shots)
 
 
 # ----------------------------------------------------------------------

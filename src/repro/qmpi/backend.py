@@ -24,13 +24,17 @@ via :func:`make_backend` or the ``backend=`` argument of
 from __future__ import annotations
 
 import threading
+import warnings
+from collections import Counter
 from typing import Sequence
 
 import numpy as np
 
+from ..sim import gates as _gates
 from ..sim.diag import DiagBatch
 from ..sim.parallel import PARALLEL_MIN_CHUNK
 from ..sim.sharded import ShardedStateVector
+from ..sim.shots import ShotBits
 from ..sim.statevector import SimulationError, StateVector
 from . import ops as _ops
 from .ops import UNITARY, GateDef, Op
@@ -71,6 +75,75 @@ class QuantumBackend:
         self._lock = threading.RLock()
         self._owner: dict[int, int] = {}
         self.enforce_locality = enforce_locality
+        #: Shot count when shot-batched mode is active (else ``None``).
+        self.shots: int | None = None
+        self._measure_log: list[tuple[int, object]] = []
+
+    # ------------------------------------------------------------------
+    # shot-batched mode
+    # ------------------------------------------------------------------
+    def begin_shots(self, shots: int) -> None:
+        """Enter shot-batched mode: one run tracks ``shots`` trajectories.
+
+        Delegates to the engine's ``begin_shots`` (see
+        :mod:`repro.sim.shots`); measurements then return per-shot
+        :class:`~repro.sim.shots.ShotBits` and are recorded for
+        :meth:`counts`. Must be called before any measurement.
+        """
+        with self._lock:
+            starter = getattr(self._sv, "begin_shots", None)
+            if starter is None:
+                raise SimulationError(
+                    f"engine {type(self._sv).__name__} does not support "
+                    "shot-batched execution (no begin_shots method)"
+                )
+            starter(shots)
+            self.shots = int(shots)
+            self._measure_log = []
+
+    def reseed(self, seed) -> None:
+        """Replace the engine's measurement RNG and clear the shot log.
+
+        The job runner uses this hook to give every job its own
+        reproducible RNG stream on a reused backend.
+        """
+        with self._lock:
+            reseeder = getattr(self._sv, "reseed", None)
+            if reseeder is not None:
+                reseeder(seed)
+            else:
+                self._sv.rng = np.random.default_rng(seed)
+            self._measure_log = []
+
+    def counts(self) -> Counter:
+        """Histogram of per-shot measurement bitstrings.
+
+        One string per shot: every measurement recorded this run, stably
+        ordered by measuring rank (program order within a rank), first
+        measurement leftmost. Requires shot-batched mode.
+        """
+        with self._lock:
+            if self.shots is None:
+                raise SimulationError(
+                    "counts() requires shot-batched mode; run with shots="
+                )
+            order = sorted(
+                range(len(self._measure_log)),
+                key=lambda i: self._measure_log[i][0],
+            )
+            cols = []
+            for i in order:
+                _, bits = self._measure_log[i]
+                if isinstance(bits, ShotBits):
+                    cols.append(bits.values)
+                else:
+                    cols.append(np.full(self.shots, int(bits), dtype=np.int64))
+            if not cols:
+                return Counter({"": self.shots})
+            mat = np.stack(cols, axis=1)
+            return Counter(
+                "".join("1" if b else "0" for b in row) for row in mat
+            )
 
     # ------------------------------------------------------------------
     # allocation & ownership
@@ -187,15 +260,41 @@ class QuantumBackend:
         """Projective Z-basis measurement of an owned qubit (collapses)."""
         with self._lock:
             self._check_owner(rank, q)
-            return self._sv.measure(q)
+            bit = self._sv.measure(q)
+            if self.shots is not None:
+                self._measure_log.append((rank, bit))
+            return bit
 
     def measure_and_release(self, rank: int, q: int) -> int:
-        """Measure an owned qubit, then free it. Returns the bit."""
+        """Measure an owned qubit, then free it. Returns the bit.
+
+        Unlike :meth:`measure`, the outcome is *not* recorded in the
+        shot-batched measurement log — this is the protocol-internal
+        primitive (EPR parity bits, teleport corrections), and
+        :meth:`counts` should reflect only user-level measurements.
+        """
         with self._lock:
             self._check_owner(rank, q)
             bit = self._sv.measure_and_release(q)
             del self._owner[q]
             return bit
+
+    def apply_pauli_if(self, rank: int, cond, pauli: str, q: int) -> None:
+        """Apply X/Y/Z to an owned qubit where ``cond`` holds.
+
+        ``cond`` is a classical bit (plain conditional) or per-shot
+        measurement data (:class:`~repro.sim.shots.ShotBits`) — the
+        vectorized replacement for ``if m: backend.x(...)`` fixups in
+        the QMPI protocols. Engines without the conditional hook fall
+        back to eager application, which requires a scalar condition.
+        """
+        with self._lock:
+            self._check_owner(rank, q)
+            applier = getattr(self._sv, "apply_pauli_if", None)
+            if applier is not None:
+                applier(cond, pauli, q)
+            elif cond:
+                self._sv.apply(_gates.PAULIS[pauli.upper()], q)
 
     def prob_one(self, rank: int, q: int) -> float:
         """Probability of measuring |1> on an owned qubit (no collapse)."""
@@ -354,12 +453,25 @@ def make_backend(
     """Resolve a backend spec into a ready instance.
 
     ``spec`` may be an existing :class:`QuantumBackend` instance (returned
-    as-is; ``seed``/``opts`` ignored), a backend class, or a registry name
+    as-is — passing ``seed`` or options alongside one warns, since they
+    cannot be applied retroactively), a backend class, or a registry name
     — ``"shared"``, ``"sharded"``, or ``"sharded:<n>"`` to pin the shard
     count. A plain ``"sharded"`` defaults ``n_shards`` to the smallest
     power of two >= ``n_ranks`` (chunk = rank, as in QCMPI).
     """
     if isinstance(spec, QuantumBackend):
+        ignored = [] if seed is None else [f"seed={seed!r}"]
+        ignored += [f"{k}={v!r}" for k, v in opts.items()]
+        if ignored:
+            warnings.warn(
+                "make_backend received a prebuilt backend instance; "
+                f"{', '.join(ignored)} cannot be applied retroactively and "
+                "will be ignored — construct the instance with them, or "
+                "pass a name/class spec instead (use backend.reseed(seed) "
+                "to change the RNG of an existing backend)",
+                UserWarning,
+                stacklevel=2,
+            )
         return spec
     if isinstance(spec, type):
         if issubclass(spec, ShardedBackend):

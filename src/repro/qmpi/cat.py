@@ -74,8 +74,7 @@ def cat_state_chain(qc, qubit: int, tag: int = 0) -> CatHandle:
         # < k is 1 (exscan, O(log N) — Sanders & Träff).
         prefix = qc.comm.exscan(m, reduce_ops.BXOR)
         qc.ledger.record_classical(1)  # each rank contributes one bit
-        if prefix:
-            qc.backend.x(rank, qubit)
+        qc.backend.apply_pauli_if(rank, 0 if prefix is None else prefix, "X", qubit)
         return CatHandle(qubit, 0, tag)
 
 
@@ -165,8 +164,7 @@ def cat_state_tree(qc, qubit: int, graph: nx.Graph | None = None, root: int = 0,
             fix = None
         myfix = qc.comm.scatter(fix, root=root)
         qc.ledger.record_classical(1)
-        if myfix:
-            qc.backend.x(rank, qubit)
+        qc.backend.apply_pauli_if(rank, myfix, "X", qubit)
         return CatHandle(qubit, root, tag)
 
 
@@ -199,8 +197,7 @@ def uncat(qc, handle: CatHandle) -> None:
         total = qc.comm.reduce(m, reduce_ops.BXOR, root=handle.root)
         qc.ledger.record_classical(1)
         if rank == handle.root:
-            if total:
-                qc.backend.z(rank, handle.qubit)
+            qc.backend.apply_pauli_if(rank, total, "Z", handle.qubit)
             # Root share is now |+>; return it to |0>.
             qc.backend.h(rank, handle.qubit)
             qc.backend.free(rank, handle.qubit)

@@ -128,8 +128,8 @@ def _bcast_cat_one(qc, qubit: int, root: int, tag: int) -> None:
         m = None
     m = qc.comm.bcast(m, root=root)
     qc.ledger.record_classical(1)
-    if rank != root and m:
-        qc.backend.x(rank, qubit)
+    if rank != root:
+        qc.backend.apply_pauli_if(rank, m, "X", qubit)
 
 
 def unbcast(qc, handle: BcastHandle) -> None:
@@ -152,8 +152,8 @@ def unbcast(qc, handle: BcastHandle) -> None:
             else:
                 m = 0
             total = qc.comm.reduce(m, reduce_ops.BXOR, root=handle.root)
-            if rank == handle.root and total:
-                qc.backend.z(rank, q)
+            if rank == handle.root:
+                qc.backend.apply_pauli_if(rank, total, "Z", q)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,288 @@
+"""Concurrent QMPI job execution: ``qmpi_submit`` / :class:`JobRunner`.
+
+:func:`~repro.qmpi.api.qmpi_run` is synchronous — one virtual quantum
+machine, run to completion. This module multiplexes many *independent*
+programs (parameter sweeps, variational iterations, batched experiment
+arms) over a pool of worker threads, each driving its own backend:
+
+>>> from repro.qmpi import qmpi_submit
+>>> futs = [qmpi_submit(prog, n_ranks=2, shots=256, args=(theta,))
+...         for theta in grid]                          # doctest: +SKIP
+>>> histograms = [f.counts() for f in futs]             # doctest: +SKIP
+
+Scheduling model
+----------------
+* Every job gets its **own backend instance** — jobs share nothing
+  quantum, so they run genuinely concurrently (each job still runs its
+  program SPMD over ``n_ranks`` internal threads, exactly like
+  ``qmpi_run``).
+* Worker threads **recycle** backends between jobs when the spec matches
+  (same name, ranks, options) and the previous job released all its
+  qubits; otherwise the used backend is closed and a fresh one built.
+  Prebuilt backend instances are never cached (the caller owns them).
+* Reproducibility: job ``k`` of a runner with ``base_seed=s`` always
+  sees the RNG stream ``SeedSequence(entropy=s, spawn_key=(k,))``,
+  independent of scheduling order or which thread picks the job up.
+  Re-running the same submission sequence reproduces every histogram.
+
+:func:`qmpi_submit` uses a lazily created module-level default runner
+(8 workers); pass ``runner=`` or use :class:`JobRunner` directly (it is
+a context manager) to control pool size, base seed, and shutdown.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .api import _execute
+from .backend import QuantumBackend, make_backend
+
+__all__ = ["JobFuture", "JobRunner", "qmpi_submit", "default_runner"]
+
+
+class JobFuture:
+    """Handle to a submitted job.
+
+    Thin wrapper over a :class:`concurrent.futures.Future` whose payload
+    is ``(results, counts, ledger)``; exposes them with blocking
+    accessors mirroring the ``qmpi_run`` world object.
+    """
+
+    def __init__(self, job_id: int, seed: int, future):
+        #: Monotonic id of this job within its runner (also its seed key).
+        self.job_id = job_id
+        #: The derived RNG seed this job's backend was (re)seeded with.
+        self.seed = seed
+        self._future = future
+
+    def done(self) -> bool:
+        """Whether the job has finished (successfully or not)."""
+        return self._future.done()
+
+    def result(self, timeout: float | None = None) -> list:
+        """Block for the per-rank return values (like ``world.results``)."""
+        return self._future.result(timeout)[0]
+
+    def counts(self, timeout: float | None = None) -> Counter:
+        """Block for the measurement histogram of a shot-batched job."""
+        counts = self._future.result(timeout)[1]
+        if counts is None:
+            raise RuntimeError(
+                "counts requires a shot-batched job: qmpi_submit(..., shots=N)"
+            )
+        return counts
+
+    def ledger(self, timeout: float | None = None):
+        """Block for the job's resource ledger."""
+        return self._future.result(timeout)[2]
+
+    def exception(self, timeout: float | None = None):
+        """The exception raised by the job, if any (blocks until done)."""
+        return self._future.exception(timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done() else "pending"
+        return f"<JobFuture #{self.job_id} {state}>"
+
+
+class JobRunner:
+    """Thread pool running independent QMPI programs concurrently.
+
+    Parameters
+    ----------
+    max_workers:
+        Number of jobs in flight at once (each job additionally spawns
+        its own ``n_ranks`` SPMD threads while it runs).
+    base_seed:
+        Entropy root for the per-job seed streams; two runners with the
+        same ``base_seed`` and submission sequence produce identical
+        per-job RNG streams regardless of thread scheduling.
+    """
+
+    def __init__(self, max_workers: int = 8, base_seed: int = 0):
+        self.base_seed = int(base_seed)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="qmpi-job"
+        )
+        self._ids = itertools.count()
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._owned: list[QuantumBackend] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def job_seed(self, job_id: int) -> int:
+        """The deterministic RNG seed used for job ``job_id``."""
+        ss = np.random.SeedSequence(entropy=self.base_seed, spawn_key=(job_id,))
+        return int(ss.generate_state(1, dtype=np.uint64)[0])
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        n_ranks: int = 1,
+        args: Sequence[Any] = (),
+        kwargs: dict | None = None,
+        shots: int | None = None,
+        s_limit: int | None = None,
+        timeout: float = 120.0,
+        backend: "str | type[QuantumBackend] | QuantumBackend" = "shared",
+        fusion="auto",
+        **backend_kw,
+    ) -> JobFuture:
+        """Queue ``fn`` for execution; returns immediately."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("JobRunner has been shut down")
+            job_id = next(self._ids)
+        seed = self.job_seed(job_id)
+        future = self._pool.submit(
+            self._run_job,
+            seed,
+            fn,
+            n_ranks,
+            args,
+            kwargs,
+            shots,
+            s_limit,
+            timeout,
+            backend,
+            fusion,
+            backend_kw,
+        )
+        return JobFuture(job_id, seed, future)
+
+    # ------------------------------------------------------------------
+    def _cache_key(self, backend, n_ranks, shots, backend_kw):
+        # Only registry-name specs are recyclable; shots-mode engines are
+        # kept separate from plain ones (an engine never leaves shots
+        # mode once entered).
+        if not isinstance(backend, str):
+            return None
+        try:
+            return (backend, n_ranks, shots is not None, tuple(sorted(backend_kw.items())))
+        except TypeError:  # unhashable option value
+            return None
+
+    def _run_job(
+        self,
+        seed,
+        fn,
+        n_ranks,
+        args,
+        kwargs,
+        shots,
+        s_limit,
+        timeout,
+        backend_spec,
+        fusion,
+        backend_kw,
+    ):
+        cache = getattr(self._local, "cache", None)
+        if cache is None:
+            cache = self._local.cache = {}
+        key = self._cache_key(backend_spec, n_ranks, shots, backend_kw)
+        prebuilt = isinstance(backend_spec, QuantumBackend)
+        be = cache.pop(key, None) if key is not None else None
+        if be is not None:
+            be.reseed(seed)
+        elif prebuilt:
+            be = backend_spec
+            be.reseed(seed)
+        else:
+            be = make_backend(backend_spec, seed=seed, n_ranks=n_ranks, **backend_kw)
+            with self._lock:
+                self._owned.append(be)
+        recycle = False
+        try:
+            if shots is not None:
+                be.begin_shots(shots)
+            results, ledger = _execute(
+                be, n_ranks, fn, args, kwargs, s_limit, timeout, fusion
+            )
+            counts = be.counts() if shots is not None else None
+            recycle = key is not None and be.num_qubits == 0
+            return results, counts, ledger
+        finally:
+            if recycle:
+                cache[key] = be
+            elif not prebuilt:
+                with self._lock:
+                    if be in self._owned:
+                        self._owned.remove(be)
+                be.close()
+
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Finish queued jobs (if ``wait``) and release all backends."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+        with self._lock:
+            owned, self._owned = self._owned, []
+        for be in owned:
+            be.close()
+
+    def __enter__(self) -> "JobRunner":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.shutdown()
+        return False
+
+
+# ----------------------------------------------------------------------
+_default_runner: JobRunner | None = None
+_default_lock = threading.Lock()
+
+
+def default_runner() -> JobRunner:
+    """The lazily created module-level runner ``qmpi_submit`` uses."""
+    global _default_runner
+    with _default_lock:
+        if _default_runner is None or _default_runner._closed:
+            _default_runner = JobRunner()
+        return _default_runner
+
+
+def qmpi_submit(
+    fn: Callable[..., Any],
+    n_ranks: int = 1,
+    args: Sequence[Any] = (),
+    kwargs: dict | None = None,
+    shots: int | None = None,
+    s_limit: int | None = None,
+    timeout: float = 120.0,
+    backend: "str | type[QuantumBackend] | QuantumBackend" = "shared",
+    fusion="auto",
+    runner: JobRunner | None = None,
+    **backend_kw,
+) -> JobFuture:
+    """Submit ``fn(qcomm, *args, **kwargs)`` as a concurrent job.
+
+    The asynchronous counterpart of :func:`~repro.qmpi.api.qmpi_run`:
+    same program model and parameters (``shots=`` included), but the call
+    returns a :class:`JobFuture` immediately and the program runs on the
+    ``runner`` (default: a shared 8-worker module-level pool). Seeds are
+    assigned per job by the runner — see :class:`JobRunner`.
+    """
+    r = runner if runner is not None else default_runner()
+    return r.submit(
+        fn,
+        n_ranks=n_ranks,
+        args=args,
+        kwargs=kwargs,
+        shots=shots,
+        s_limit=s_limit,
+        timeout=timeout,
+        backend=backend,
+        fusion=fusion,
+        **backend_kw,
+    )

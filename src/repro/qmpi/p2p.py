@@ -134,13 +134,11 @@ def irecv(qc, qubits, source: int, tag: int = 0, move: bool = False) -> QmpiRequ
             for q in qubits:
                 if move:
                     r = qc.recv_bits(2, source, tag)
-                    if r & 1:
-                        qc.backend.x(qc.rank, q)
-                    if r & 2:
-                        qc.backend.z(qc.rank, q)
+                    qc.backend.apply_pauli_if(qc.rank, r & 1, "X", q)
+                    qc.backend.apply_pauli_if(qc.rank, r & 2, "Z", q)
                 else:
-                    if qc.recv_bits(1, source, tag):
-                        qc.backend.x(qc.rank, q)
+                    m = qc.recv_bits(1, source, tag)
+                    qc.backend.apply_pauli_if(qc.rank, m, "X", q)
                 qc.epr.consume(qc.rank)
             return qubits
 
@@ -177,8 +175,7 @@ def recv(qc, qubits, source: int, tag: int = 0, _op: str = "recv") -> Qureg:
         for q in qubits:
             qc.epr.prepare(qc.rank, q, source, tag, qc.context, _dir(source))
             m = qc.recv_bits(1, source, tag)
-            if m:
-                qc.backend.x(qc.rank, q)
+            qc.backend.apply_pauli_if(qc.rank, m, "X", q)
             qc.epr.consume(qc.rank)  # the half is now data, not buffer
     return qubits
 
@@ -206,8 +203,7 @@ def unsend(qc, qubits, dest: int, tag: int = 0, _op: str = "unsend") -> None:
     with qc.ledger.scope(_op):
         for q in qubits:
             m = qc.recv_bits(1, dest, tag)
-            if m:
-                qc.backend.z(qc.rank, q)
+            qc.backend.apply_pauli_if(qc.rank, m, "Z", q)
 
 
 # ----------------------------------------------------------------------
@@ -241,10 +237,8 @@ def recv_move(qc, qubits, source: int, tag: int = 0, _op: str = "recv_move") -> 
         for q in qubits:
             qc.epr.prepare(qc.rank, q, source, tag, qc.context, _dir(source))
             r = qc.recv_bits(2, source, tag)
-            if r & 1:
-                qc.backend.x(qc.rank, q)
-            if r & 2:
-                qc.backend.z(qc.rank, q)
+            qc.backend.apply_pauli_if(qc.rank, r & 1, "X", q)
+            qc.backend.apply_pauli_if(qc.rank, r & 2, "Z", q)
             qc.epr.consume(qc.rank)
     return qubits
 

@@ -73,10 +73,14 @@ def contract_local(chunk: np.ndarray, u: np.ndarray, bits, n_local: int) -> None
     most significant index bit (the :class:`~repro.sim.plan.ContractionPlan`
     convention). The result is written back through the chunk view so
     shared-memory-backed chunks mutate in place.
+
+    The chunk may carry leading shot-branch rows (flat size a multiple
+    of ``2^n_local``, see :mod:`repro.sim.shots`): the leading ``-1``
+    view axis folds them in and the contraction broadcasts over it.
     """
     k = len(bits)
-    axes = [n_local - 1 - b for b in bits]
-    v = chunk.reshape((2,) * n_local)
+    axes = [1 + n_local - 1 - b for b in bits]
+    v = chunk.reshape((-1,) + (2,) * n_local)
     t = np.tensordot(
         u.reshape((2,) * (2 * k)), v, axes=(range(k, 2 * k), axes)
     )
@@ -133,10 +137,12 @@ def apply_run(chunk: np.ndarray, run, n_local: int, ci: int) -> None:
             _, u, cmask, local_controls, t_bit, diag = entry
             if (ci & cmask) != cmask:
                 continue
-            view = chunk.reshape((2,) * n_local)
-            idx: list = [slice(None)] * n_local
+            # Leading -1 axis folds in any shot-branch rows (no-op for
+            # an unbranched chunk); local axes shift up by one.
+            view = chunk.reshape((-1,) + (2,) * n_local)
+            idx: list = [slice(None)] * (n_local + 1)
             for b in local_controls:
-                idx[n_local - 1 - b] = 1
+                idx[1 + n_local - 1 - b] = 1
             if t_bit >= n_local:
                 # Diagonal on a shard axis: the target bit is fixed per
                 # chunk, so the control slice just scales.
@@ -144,7 +150,7 @@ def apply_run(chunk: np.ndarray, run, n_local: int, ci: int) -> None:
                 if f != 1.0:
                     view[tuple(idx)] *= f
                 continue
-            ax = n_local - 1 - t_bit
+            ax = 1 + n_local - 1 - t_bit
             idx0 = list(idx)
             idx0[ax] = 0
             idx0 = tuple(idx0)
@@ -236,7 +242,7 @@ def _worker_main(tasks, results) -> None:
                                             dtype=np.complex128,
                                             buffer=vshm.buf,
                                         )
-                                    view = arr.reshape((2,) * nl)
+                                    view = arr.reshape((-1,) + (2,) * nl)
                                     view *= vec_arrs[vname]
                                     del view
                             del arr
@@ -261,7 +267,7 @@ def _worker_main(tasks, results) -> None:
                     vec = np.ndarray(
                         vec_shape, dtype=np.complex128, buffer=vshm.buf
                     )
-                    view = _as_array(shm, count).reshape((2,) * nl)
+                    view = _as_array(shm, count).reshape((-1,) + (2,) * nl)
                     view *= vec
                     del vec, view
                 finally:

@@ -70,6 +70,7 @@ from .schedule import (
     compile_segments,
     iter_stretches,
 )
+from .shots import branch_mask, fork_outcomes
 from .statevector import SimulationError
 
 __all__ = ["ShardedStateVector"]
@@ -136,12 +137,70 @@ class ShardedStateVector:
         self._store_chunks([np.ones(1, dtype=np.complex128)])
         self._bit_of: dict[int, int] = {}
         self._next_id = 0
+        self._shots: int | None = None
+        self._shot_of: np.ndarray | None = None
+        self._n_branches = 1
+        self.segments_executed = 0
         if isinstance(seed, np.random.Generator):
             self.rng = seed
         else:
             self.rng = np.random.default_rng(seed)
         if n_qubits:
             self.alloc(n_qubits)
+
+    # ------------------------------------------------------------------
+    # shot-batched trajectories (see repro.sim.shots)
+    # ------------------------------------------------------------------
+    @property
+    def shots(self) -> int | None:
+        """Number of tracked shots, or ``None`` outside shots mode."""
+        return self._shots
+
+    @property
+    def n_branches(self) -> int:
+        """Number of distinct measurement histories currently tracked."""
+        return self._n_branches
+
+    def begin_shots(self, shots: int) -> None:
+        """Enter shot-batched mode: track ``shots`` trajectories in one run.
+
+        Each chunk gains leading *branch* rows (one per distinct
+        measurement history, initially a single row shared by every
+        shot): a chunk's flat array holds ``B`` stacked per-branch
+        copies of its ``2^n_local`` amplitudes.  Strided local kernels
+        and whole-chunk scalings are branch-agnostic on that layout, so
+        unitary segments — including the worker-pool path — run
+        untouched; only :meth:`measure` forks the rows.
+        """
+        if self._shots is not None:
+            if self._bit_of:
+                raise SimulationError(
+                    "begin_shots() called twice on a non-empty engine"
+                )
+            # Empty engine (all qubits released): drop the leftover branch
+            # rows (unobservable global phases) so a reused backend (job
+            # runner) can start a new shot batch.
+            self._store_chunks([np.ones(1, dtype=np.complex128)])
+            self._n_branches = 1
+        if shots < 1:
+            raise SimulationError(f"shots must be >= 1, got {shots}")
+        self._shots = int(shots)
+        self._shot_of = np.zeros(self._shots, dtype=np.int64)
+
+    def reseed(self, seed) -> None:
+        """Replace the measurement RNG (per-job streams use this hook)."""
+        if isinstance(seed, np.random.Generator):
+            self.rng = seed
+        else:
+            self.rng = np.random.default_rng(seed)
+
+    def _require_unforked(self, what: str) -> None:
+        if self._n_branches > 1:
+            raise SimulationError(
+                f"{what}() is ambiguous after a mid-circuit measurement "
+                f"fork ({self._n_branches} branches); inspect counts or "
+                "per-shot measurement results instead"
+            )
 
     # ------------------------------------------------------------------
     # layout introspection
@@ -160,8 +219,8 @@ class ShardedStateVector:
 
     @property
     def chunk_size(self) -> int:
-        """Amplitudes per chunk (``2^n_local``)."""
-        return self._chunks[0].size
+        """Amplitudes per chunk per branch (``2^n_local``)."""
+        return self._chunks[0].size // self._n_branches
 
     @property
     def n_local(self) -> int:
@@ -266,7 +325,9 @@ class ShardedStateVector:
         return (
             self._workers > 0
             and len(self._chunks) > 1
-            and self.chunk_size * stretch_cost
+            # Flat size (branch rows included): that is the work a
+            # worker actually does per chunk.
+            and self._chunks[0].size * stretch_cost
             >= self._parallel_min_chunk * DEFAULT_COST_MODEL.sq_flops
         )
 
@@ -317,10 +378,18 @@ class ShardedStateVector:
                 g[0::2] = c
                 grown.append(g)
             if len(grown) < self.n_shards:
-                # Rebalance: split each doubled chunk at its top bit so the
-                # active chunk count tracks min(n_shards, 2^n).
-                half = grown[0].size // 2
-                grown = [part for c in grown for part in (c[:half].copy(), c[half:].copy())]
+                # Rebalance: split each doubled chunk at its top *local*
+                # bit so the active chunk count tracks min(n_shards, 2^n).
+                # The split is per branch row: each row's top-bit halves
+                # go to the two daughter chunks.
+                B = self._n_branches
+                half = grown[0].size // B // 2
+                grown = [
+                    np.ascontiguousarray(part).reshape(-1)
+                    for c in grown
+                    for v in (c.reshape(B, -1),)
+                    for part in (v[:, :half], v[:, half:])
+                ]
             self._store_chunks(grown)
             ids.append(qid)
         return ids
@@ -357,8 +426,7 @@ class ShardedStateVector:
     def measure_and_release(self, qubit: int) -> int:
         """Measure ``qubit`` in the Z basis, then remove it. Returns the bit."""
         bit = self.measure(qubit)
-        if bit:
-            self.x(qubit)
+        self.apply_pauli_if(bit, "X", qubit)
         self.release(qubit)
         return bit
 
@@ -448,6 +516,7 @@ class ShardedStateVector:
         """
         segs = compile_segments(ops, bit=self._bit, n_local=self.n_local)
         for stretch, barrier in iter_stretches(segs):
+            self.segments_executed += len(stretch) + (0 if barrier is None else 1)
             if stretch:
                 self._apply_stretch(stretch)
             if barrier is None:
@@ -537,7 +606,9 @@ class ShardedStateVector:
         singles, pairs = self._batch_tables(batch)
         _, vecs, sig_of = signature_vectors(singles, pairs, nl, len(self._chunks))
         for ci, c in enumerate(self._chunks):
-            v = c.reshape((2,) * nl)
+            # Leading -1 axis folds in any shot-branch rows; the phase
+            # tensor (ndim nl) broadcasts over it right-aligned.
+            v = c.reshape((-1,) + (2,) * nl)
             v *= vecs[sig_of[ci]]
 
     def _dispatch_stretch(self, stretch) -> None:
@@ -676,15 +747,16 @@ class ShardedStateVector:
         groups, gathered = self._group_exchange(shard_bits)
         ut = u.reshape((2,) * (2 * k))
         # Group-tensor axes: h shard axes first (most significant shard bit
-        # first), then the n_local intra-chunk axes (bit nl-1 first).
+        # first), then a folded shot-branch axis (size 1 when unbranched),
+        # then the n_local intra-chunk axes (bit nl-1 first).
         axes = [
-            (h - 1 - shard_bits.index(b - nl)) if b >= nl else (h + nl - 1 - b)
+            (h - 1 - shard_bits.index(b - nl)) if b >= nl else (h + 1 + nl - 1 - b)
             for b in bits
         ]
         new_chunks: list[np.ndarray] = [None] * len(self._chunks)  # type: ignore[list-item]
         for members in groups.values():
             for dst in members:
-                t = np.stack(gathered[dst]).reshape((2,) * h + (2,) * nl)
+                t = np.stack(gathered[dst]).reshape((2,) * h + (-1,) + (2,) * nl)
                 t = np.tensordot(ut, t, axes=(range(k, 2 * k), axes))
                 t = np.moveaxis(t, range(k), axes)
                 own = tuple((dst >> shard_bits[h - 1 - i]) & 1 for i in range(h))
@@ -729,17 +801,18 @@ class ShardedStateVector:
                 # target bit is fixed per chunk.
                 tb = t_bits[0] - nl
                 cmask = sum(1 << (b - nl) for b in c_bits if b >= nl)
-                idx: list = [slice(None)] * nl
+                # Leading -1 axis folds in any shot-branch rows.
+                idx: list = [slice(None)] * (nl + 1)
                 for b in c_bits:
                     if b < nl:
-                        idx[nl - 1 - b] = 1
+                        idx[1 + nl - 1 - b] = 1
                 idx = tuple(idx)
                 for i, c in enumerate(self._chunks):
                     if (i & cmask) != cmask:
                         continue
                     f = u[1, 1] if (i >> tb) & 1 else u[0, 0]
                     if f != 1.0:
-                        c.reshape((2,) * nl)[idx] *= f
+                        c.reshape((-1,) + (2,) * nl)[idx] *= f
                 return
             if k == 1:
                 self._apply_controlled_high_target(u, c_bits, t_bits[0])
@@ -749,14 +822,16 @@ class ShardedStateVector:
         mask = sum(1 << (b - nl) for b in c_bits if b >= nl)
         local_controls = [b for b in c_bits if b < nl]
         ut = u.reshape((2,) * (2 * k))
-        idx: list = [slice(None)] * nl
+        # Leading -1 axis folds in any shot-branch rows (no-op when
+        # unbranched); local axes shift up by one.
+        idx: list = [slice(None)] * (nl + 1)
         for b in local_controls:
-            idx[nl - 1 - b] = 1
+            idx[1 + nl - 1 - b] = 1
         idx = tuple(idx)
         if k == 1:
             # Strided fast path for the cnot/cz/toffoli family: operate on
             # the two target slices of the |1...1> control subspace.
-            ax = nl - 1 - t_bits[0]
+            ax = 1 + nl - 1 - t_bits[0]
             idx0 = list(idx)
             idx0[ax] = 0
             idx0 = tuple(idx0)
@@ -767,7 +842,7 @@ class ShardedStateVector:
             for i, c in enumerate(self._chunks):
                 if (i & mask) != mask:
                     continue
-                view = c.reshape((2,) * nl)
+                view = c.reshape((-1,) + (2,) * nl)
                 if diag:
                     # Indexed in-place ops: a plain `view[idx0] * u` would be
                     # a copy once every axis is integer-indexed (chunk_size 2).
@@ -783,14 +858,16 @@ class ShardedStateVector:
                     view[idx0] = new0
             return
         # Target axes within the sliced view shift down past removed
-        # control axes (same arithmetic as StateVector.apply_controlled).
+        # control axes (same arithmetic as StateVector.apply_controlled);
+        # the leading branch axis survives the slicing at position 0.
         t_axes = [
-            nl - 1 - b - sum(1 for cb in local_controls if cb > b) for b in t_bits
+            1 + nl - 1 - b - sum(1 for cb in local_controls if cb > b)
+            for b in t_bits
         ]
         for i, c in enumerate(self._chunks):
             if (i & mask) != mask:
                 continue
-            view = c.reshape((2,) * nl)
+            view = c.reshape((-1,) + (2,) * nl)
             sub = view[idx]
             new = np.tensordot(ut, sub, axes=(range(k, 2 * k), t_axes))
             view[idx] = np.moveaxis(new, range(k), t_axes)
@@ -807,10 +884,11 @@ class ShardedStateVector:
         """
         nl = self.n_local
         cmask = sum(1 << (b - nl) for b in c_bits if b >= nl)
-        idx: list = [slice(None)] * nl
+        # Leading -1 axis folds in any shot-branch rows.
+        idx: list = [slice(None)] * (nl + 1)
         for b in c_bits:
             if b < nl:
-                idx[nl - 1 - b] = 1
+                idx[1 + nl - 1 - b] = 1
         idx = tuple(idx)
         pmask = 1 << (t_bit - nl)
         tag = next(self._tags)
@@ -825,14 +903,14 @@ class ShardedStateVector:
         # chunk is mutated.
         new = {}
         for i in parts:
-            own = self._chunks[i].reshape((2,) * nl)
-            par = partners[i].reshape((2,) * nl)
+            own = self._chunks[i].reshape((-1,) + (2,) * nl)
+            par = partners[i].reshape((-1,) + (2,) * nl)
             if i & pmask:
                 new[i] = u[1, 0] * par[idx] + u[1, 1] * own[idx]
             else:
                 new[i] = u[0, 0] * own[idx] + u[0, 1] * par[idx]
         for i in parts:
-            self._chunks[i].reshape((2,) * nl)[idx] = new[i]
+            self._chunks[i].reshape((-1,) + (2,) * nl)[idx] = new[i]
 
     # -- conveniences ---------------------------------------------------
     def h(self, q: int) -> None:
@@ -889,36 +967,139 @@ class ShardedStateVector:
     # ------------------------------------------------------------------
     # measurement and inspection
     # ------------------------------------------------------------------
-    def prob_one(self, qubit: int) -> float:
-        """Probability of measuring |1> on ``qubit`` (no collapse)."""
+    def _branch_prob_one(self, qubit: int) -> np.ndarray:
+        """Per-branch probability of |1> on ``qubit``, shape ``(B,)``."""
         b = self._bit(qubit)
         nl = self.n_local
+        B = self._n_branches
+        p = np.zeros(B)
         if b < nl:
             stride = 1 << b
-            return float(
-                sum(
-                    np.sum(np.abs(c.reshape(-1, 2, stride)[:, 1, :]) ** 2)
-                    for c in self._chunks
-                )
-            )
-        mask = 1 << (b - nl)
-        return float(
-            sum(
-                np.sum(np.abs(c) ** 2)
-                for i, c in enumerate(self._chunks)
-                if i & mask
-            )
-        )
+            for c in self._chunks:
+                v = np.abs(c.reshape(B, -1, 2, stride)[:, :, 1, :]) ** 2
+                p += v.reshape(B, -1).sum(axis=1)
+        else:
+            mask = 1 << (b - nl)
+            for i, c in enumerate(self._chunks):
+                if i & mask:
+                    p += (np.abs(c.reshape(B, -1)) ** 2).sum(axis=1)
+        return np.clip(p, 0.0, 1.0)
 
-    def measure(self, qubit: int) -> int:
-        """Projective Z-basis measurement with collapse. Returns 0 or 1."""
-        p1 = self.prob_one(qubit)
-        bit = int(self.rng.random() < p1)
-        self.postselect(qubit, bit)
-        return bit
+    def prob_one(self, qubit: int):
+        """Probability of measuring |1> on ``qubit`` (no collapse).
+
+        Outside shots mode (and whenever every tracked branch agrees)
+        this is a plain float; after a measurement fork made the
+        probability branch-dependent, the per-shot values are returned
+        as an array instead.
+        """
+        if self._shots is None:
+            return float(self._branch_prob_one(qubit)[0])
+        p = self._branch_prob_one(qubit)
+        if np.ptp(p) < 1e-9:
+            return float(p[0])
+        return p[self._shot_of]
+
+    def measure(self, qubit: int):
+        """Projective Z-basis measurement with collapse.
+
+        Returns 0 or 1; in shots mode returns a
+        :class:`~repro.sim.shots.ShotBits` of per-shot outcomes, and
+        every chunk's branch rows fork into one row per surviving
+        ``(branch, outcome)`` pair.
+        """
+        if self._shots is None:
+            p1 = self.prob_one(qubit)
+            bit = int(self.rng.random() < p1)
+            self.postselect(qubit, bit)
+            return bit
+        p1 = self._branch_prob_one(qubit)
+        bits, self._shot_of, spec = fork_outcomes(p1, self._shot_of, self.rng)
+        b = self._bit(qubit)
+        nl = self.n_local
+        csize = self.chunk_size
+        B_old = self._n_branches
+        new_chunks = []
+        for ci, c in enumerate(self._chunks):
+            v = c.reshape(B_old, csize)
+            out = np.zeros((len(spec), csize), dtype=np.complex128)
+            for i, (src, outcome, scale) in enumerate(spec):
+                if b < nl:
+                    row = v[src] * scale
+                    row.reshape(-1, 2, 1 << b)[:, 1 - outcome, :] = 0.0
+                    out[i] = row
+                elif ((ci >> (b - nl)) & 1) == outcome:
+                    out[i] = v[src] * scale
+                # else: this chunk holds the projected-away half — zero.
+            new_chunks.append(out.reshape(-1))
+        self._n_branches = len(spec)
+        self._store_chunks(new_chunks)
+        return bits
+
+    def apply_pauli_if(self, cond, pauli: str, qubit: int) -> None:
+        """Apply a Pauli to ``qubit`` where ``cond`` holds.
+
+        ``cond`` is an int/bool (plain conditional application) or
+        per-shot measurement data (:class:`~repro.sim.shots.ShotBits`):
+        the Pauli is then applied only on the branch rows whose shots
+        satisfy it — the vectorized form of the protocols' classical
+        ``if m: X`` fixups.
+        """
+        if self._shots is None:
+            if cond:
+                self.apply(G.PAULIS[pauli.upper()], qubit)
+            return
+        mask = branch_mask(cond, self._shot_of, self._n_branches)
+        if not mask.any():
+            return
+        if mask.all():
+            self.apply(G.PAULIS[pauli.upper()], qubit)
+            return
+        self._branch_apply(mask, pauli.upper(), qubit)
+
+    def _branch_apply(self, mask: np.ndarray, pauli: str, qubit: int) -> None:
+        """Apply X/Y/Z to ``qubit`` on the masked branch rows only."""
+        B = self._n_branches
+        if pauli == "Y":
+            # Y = i X Z: the masked rows pick up an i phase on top.
+            self._branch_apply(mask, "Z", qubit)
+            self._branch_apply(mask, "X", qubit)
+            for c in self._chunks:
+                v = c.reshape(B, -1)
+                v[mask] = v[mask] * 1j
+            return
+        b = self._bit(qubit)
+        nl = self.n_local
+        if pauli == "Z":
+            if b < nl:
+                stride = 1 << b
+                for c in self._chunks:
+                    v = c.reshape(B, -1, 2, stride)
+                    v[mask, :, 1, :] = v[mask, :, 1, :] * -1.0
+            else:
+                hbit = 1 << (b - nl)
+                for i, c in enumerate(self._chunks):
+                    if i & hbit:
+                        v = c.reshape(B, -1)
+                        v[mask] = v[mask] * -1.0
+            return
+        # X
+        if b < nl:
+            stride = 1 << b
+            for c in self._chunks:
+                v = c.reshape(B, -1, 2, stride)
+                v[mask] = v[mask][:, :, ::-1, :]
+            return
+        # High axis: the masked rows swap with the partner chunk's rows.
+        # Gather every replacement first — the in-process fabric does not
+        # copy payloads, so partner arrays alias live peer chunks.
+        partners = self._pair_exchange(b - nl)
+        rows = [p.reshape(B, -1)[mask] for p in partners]  # fancy index copies
+        for c, r in zip(self._chunks, rows):
+            c.reshape(B, -1)[mask] = r
 
     def postselect(self, qubit: int, bit: int) -> None:
-        """Project ``qubit`` onto ``|bit>`` and renormalize."""
+        """Project ``qubit`` onto ``|bit>`` and renormalize (per branch)."""
         b = self._bit(qubit)
         nl = self.n_local
         if b < nl:
@@ -930,14 +1111,28 @@ class ShardedStateVector:
             for i, c in enumerate(self._chunks):
                 if bool(i & mask) != bool(bit):
                     c[:] = 0.0
-        norm = self.norm()
-        if norm < 1e-12:
+        if self._shots is None:
+            norm = self.norm()
+            if norm < 1e-12:
+                raise SimulationError(
+                    f"postselecting qubit {qubit} on {bit}: outcome has zero "
+                    "probability"
+                )
+            for c in self._chunks:
+                c /= norm
+            return
+        B = self._n_branches
+        sq = np.zeros(B)
+        for c in self._chunks:
+            sq += (np.abs(c.reshape(B, -1)) ** 2).sum(axis=1)
+        norms = np.sqrt(sq)
+        if np.any(norms < 1e-12):
             raise SimulationError(
                 f"postselecting qubit {qubit} on {bit}: outcome has zero "
-                "probability"
+                "probability in some branch"
             )
         for c in self._chunks:
-            c /= norm
+            c.reshape(B, -1)[:] /= norms[:, None]
 
     def measure_many(self, qubits: Iterable[int]) -> list[int]:
         """Measure several qubits sequentially (with collapse)."""
@@ -953,6 +1148,7 @@ class ShardedStateVector:
             raise SimulationError("bits and qubits must have equal length")
         if len(qubits) != self.num_qubits:
             raise SimulationError("amplitude() requires all qubits")
+        self._require_unforked("amplitude")
         g = 0
         for bval, q in zip(bits, qubits):
             g |= int(bval) << self._bit(q)
@@ -968,6 +1164,7 @@ class ShardedStateVector:
         qubits = list(qubits) if qubits is not None else list(self.qubit_ids)
         if sorted(qubits) != sorted(self._bit_of):
             raise SimulationError("statevector() requires all qubit ids exactly once")
+        self._require_unforked("statevector")
         full = np.concatenate(self._chunks)
         n = self.num_qubits
         # Axis i of the (2,)*n view is global bit n-1-i == qubit_ids[i].
@@ -980,11 +1177,19 @@ class ShardedStateVector:
         return np.abs(vec) ** 2
 
     def norm(self) -> float:
-        """Euclidean norm of the state (should always be ~1)."""
-        return float(np.sqrt(sum(float(np.sum(np.abs(c) ** 2)) for c in self._chunks)))
+        """Euclidean norm of the state (should always be ~1).
+
+        In shots mode this is the root-mean-square of the per-branch
+        norms, so it stays ~1 regardless of how many branches exist.
+        """
+        sq = sum(float(np.sum(np.abs(c) ** 2)) for c in self._chunks)
+        if self._shots is not None:
+            sq /= self._n_branches
+        return float(np.sqrt(sq))
 
     def expectation_pauli(self, mapping: dict[int, str]) -> float:
         """Expectation value of a Pauli string ``{qubit: 'X'|'Y'|'Z'}``."""
+        self._require_unforked("expectation_pauli")
         saved = [c.copy() for c in self._chunks]
         try:
             for q, p in mapping.items():
@@ -1012,6 +1217,10 @@ class ShardedStateVector:
         out._chunks = [c.copy() for c in self._chunks]
         out._bit_of = dict(self._bit_of)
         out._next_id = self._next_id
+        out._shots = self._shots
+        out._shot_of = None if self._shot_of is None else self._shot_of.copy()
+        out._n_branches = self._n_branches
+        out.segments_executed = self.segments_executed
         out.rng = np.random.default_rng(self.rng.integers(2**63))
         return out
 

@@ -26,6 +26,7 @@ import numpy as np
 from . import gates as G
 from .diag import DiagBatch, chunk_phase
 from .schedule import DiagSegment, KernelRun, compile_segments
+from .shots import ShotBits, branch_mask, fork_outcomes
 
 __all__ = ["StateVector", "SimulationError"]
 
@@ -57,12 +58,61 @@ class StateVector:
         self._psi = np.array(1.0 + 0j)  # shape () scalar == zero qubits
         self._axis_of: dict[int, int] = {}
         self._next_id = 0
+        self._shots: int | None = None
+        self._shot_of: np.ndarray | None = None
+        self.segments_executed = 0
         if isinstance(seed, np.random.Generator):
             self.rng = seed
         else:
             self.rng = np.random.default_rng(seed)
         if n_qubits:
             self.alloc(n_qubits)
+
+    # ------------------------------------------------------------------
+    # shot-batched trajectories (see repro.sim.shots)
+    # ------------------------------------------------------------------
+    @property
+    def shots(self) -> int | None:
+        """Number of tracked shots, or ``None`` outside shots mode."""
+        return self._shots
+
+    @property
+    def n_branches(self) -> int:
+        """Number of distinct measurement histories currently tracked."""
+        return self._psi.shape[0] if self._shots is not None else 1
+
+    def begin_shots(self, shots: int) -> None:
+        """Enter shot-batched mode: track ``shots`` trajectories in one run.
+
+        The state gains a leading *branch* axis (one row per distinct
+        measurement history — initially a single row shared by every
+        shot); unitary segments broadcast over it unchanged, and
+        :meth:`measure` forks it. Must be called before any
+        measurement-induced fork, typically right after construction.
+        """
+        if self._shots is not None:
+            if self._axis_of:
+                raise SimulationError(
+                    "begin_shots() called twice on a non-empty engine"
+                )
+            # Empty engine (all qubits released): the leftover per-branch
+            # global phases are unobservable — reset to a fresh run so a
+            # reused backend (job runner) can start a new shot batch.
+            self._psi = np.array(1.0 + 0j)
+        if shots < 1:
+            raise SimulationError(f"shots must be >= 1, got {shots}")
+        self._shots = int(shots)
+        self._shot_of = np.zeros(self._shots, dtype=np.int64)
+        self._psi = self._psi[None]
+        for q in self._axis_of:
+            self._axis_of[q] += 1
+
+    def reseed(self, seed) -> None:
+        """Replace the measurement RNG (per-job streams use this hook)."""
+        if isinstance(seed, np.random.Generator):
+            self.rng = seed
+        else:
+            self.rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
     # allocation
@@ -112,8 +162,7 @@ class StateVector:
     def measure_and_release(self, qubit: int) -> int:
         """Measure ``qubit`` in the Z basis, then remove it. Returns the bit."""
         bit = self.measure(qubit)
-        if bit:
-            self.x(qubit)
+        self.apply_pauli_if(bit, "X", qubit)
         self.release(qubit)
         return bit
 
@@ -204,6 +253,7 @@ class StateVector:
         real per-chunk batching and worker dispatch on the same IR.
         """
         for seg in compile_segments(ops):
+            self.segments_executed += 1
             if isinstance(seg, KernelRun):
                 for op in seg.ops:
                     controls = op.controls
@@ -291,31 +341,109 @@ class StateVector:
     # ------------------------------------------------------------------
     # measurement and inspection
     # ------------------------------------------------------------------
-    def prob_one(self, qubit: int) -> float:
-        """Probability of measuring |1> on ``qubit`` (no collapse)."""
+    def _branch_prob_one(self, qubit: int) -> np.ndarray:
+        """Per-branch probability of |1> on ``qubit``, shape ``(B,)``."""
         ax = self._axis(qubit)
-        moved = np.moveaxis(self._psi, ax, 0)
-        return float(np.sum(np.abs(moved[1]) ** 2))
+        moved = np.moveaxis(self._psi, ax, 1)  # (B, 2, ...)
+        p = np.abs(moved[:, 1].reshape(moved.shape[0], -1)) ** 2
+        return np.clip(p.sum(axis=1), 0.0, 1.0)
 
-    def measure(self, qubit: int) -> int:
-        """Projective Z-basis measurement with collapse. Returns 0 or 1."""
-        p1 = self.prob_one(qubit)
-        bit = int(self.rng.random() < p1)
-        self.postselect(qubit, bit)
-        return bit
+    def prob_one(self, qubit: int):
+        """Probability of measuring |1> on ``qubit`` (no collapse).
+
+        Outside shots mode (and whenever every tracked branch agrees)
+        this is a plain float; after a measurement fork made the
+        probability branch-dependent, the per-shot values are returned
+        as an array instead.
+        """
+        if self._shots is None:
+            ax = self._axis(qubit)
+            moved = np.moveaxis(self._psi, ax, 0)
+            return float(np.sum(np.abs(moved[1]) ** 2))
+        p = self._branch_prob_one(qubit)
+        if np.ptp(p) < 1e-9:
+            return float(p[0])
+        return p[self._shot_of]
+
+    def measure(self, qubit: int):
+        """Projective Z-basis measurement with collapse.
+
+        Returns 0 or 1; in shots mode returns a
+        :class:`~repro.sim.shots.ShotBits` of per-shot outcomes, and the
+        state forks into one branch per surviving ``(branch, outcome)``
+        pair.
+        """
+        if self._shots is None:
+            p1 = self.prob_one(qubit)
+            bit = int(self.rng.random() < p1)
+            self.postselect(qubit, bit)
+            return bit
+        p1 = self._branch_prob_one(qubit)
+        bits, self._shot_of, spec = fork_outcomes(p1, self._shot_of, self.rng)
+        ax = self._axis(qubit)
+        moved = np.moveaxis(self._psi, ax, 1)  # (B, 2, ...)
+        new = np.zeros((len(spec),) + moved.shape[1:], dtype=moved.dtype)
+        for i, (b, outcome, scale) in enumerate(spec):
+            new[i, outcome] = moved[b, outcome] * scale
+        self._psi = np.moveaxis(new, 1, ax)
+        return bits
+
+    def apply_pauli_if(self, cond, pauli: str, qubit: int) -> None:
+        """Apply a Pauli to ``qubit`` where ``cond`` holds.
+
+        ``cond`` is an int/bool (plain conditional application) or
+        per-shot measurement data (:class:`~repro.sim.shots.ShotBits`):
+        the Pauli is then applied only on the branches whose shots
+        satisfy it — the vectorized form of the protocols' classical
+        ``if m: X`` fixups.
+        """
+        u = G.PAULIS[pauli.upper()]
+        if self._shots is None:
+            if cond:
+                self.apply(u, qubit)
+            return
+        mask = branch_mask(cond, self._shot_of, self._psi.shape[0])
+        if not mask.any():
+            return
+        if mask.all():
+            self.apply(u, qubit)
+            return
+        ax = self._axis(qubit)
+        moved = np.moveaxis(self._psi, ax, 1)  # (B, 2, ...)
+        p = pauli.upper()
+        if p == "X":
+            moved[mask] = moved[mask][:, ::-1]
+        elif p == "Z":
+            moved[mask, 1] = moved[mask, 1] * -1.0
+        else:  # Y
+            sel = moved[mask]
+            out = np.empty_like(sel)
+            out[:, 0] = -1j * sel[:, 1]
+            out[:, 1] = 1j * sel[:, 0]
+            moved[mask] = out
 
     def postselect(self, qubit: int, bit: int) -> None:
-        """Project ``qubit`` onto ``|bit>`` and renormalize."""
+        """Project ``qubit`` onto ``|bit>`` and renormalize (per branch)."""
         ax = self._axis(qubit)
         moved = np.moveaxis(self._psi, ax, 0)
         moved[1 - bit] = 0.0
-        norm = np.linalg.norm(self._psi)
-        if norm < 1e-12:
+        if self._shots is None:
+            norm = np.linalg.norm(self._psi)
+            if norm < 1e-12:
+                raise SimulationError(
+                    f"postselecting qubit {qubit} on {bit}: outcome has zero "
+                    "probability"
+                )
+            self._psi /= norm
+            return
+        flat = np.abs(self._psi.reshape(self._psi.shape[0], -1)) ** 2
+        norms = np.sqrt(flat.sum(axis=1))
+        if np.any(norms < 1e-12):
             raise SimulationError(
                 f"postselecting qubit {qubit} on {bit}: outcome has zero "
-                "probability"
+                "probability in some branch"
             )
-        self._psi /= norm
+        self._psi /= norms.reshape((-1,) + (1,) * (self._psi.ndim - 1))
 
     def measure_many(self, qubits: Iterable[int]) -> list[int]:
         """Measure several qubits sequentially (with collapse)."""
@@ -331,6 +459,7 @@ class StateVector:
             raise SimulationError("bits and qubits must have equal length")
         if len(qubits) != self.num_qubits:
             raise SimulationError("amplitude() requires all qubits")
+        self._require_unforked("amplitude")
         idx = [0] * self._psi.ndim
         for b, q in zip(bits, qubits):
             idx[self._axis(q)] = int(b)
@@ -345,8 +474,20 @@ class StateVector:
         qubits = list(qubits) if qubits is not None else list(self.qubit_ids)
         if sorted(qubits) != sorted(self._axis_of):
             raise SimulationError("statevector() requires all qubit ids exactly once")
+        self._require_unforked("statevector")
         axes = [self._axis(q) for q in qubits]
+        if self._shots is not None:
+            moved = np.moveaxis(self._psi, axes, range(1, len(axes) + 1))
+            return moved[0].reshape(-1).copy()
         return np.moveaxis(self._psi, axes, range(len(axes))).reshape(-1).copy()
+
+    def _require_unforked(self, what: str) -> None:
+        if self._shots is not None and self._psi.shape[0] > 1:
+            raise SimulationError(
+                f"{what}() is ambiguous after a mid-circuit measurement "
+                f"fork ({self._psi.shape[0]} branches); inspect counts or "
+                "per-shot measurement results instead"
+            )
 
     def probabilities(self, qubits: Sequence[int] | None = None) -> np.ndarray:
         """Measurement distribution over computational basis states."""
@@ -354,11 +495,18 @@ class StateVector:
         return np.abs(vec) ** 2
 
     def norm(self) -> float:
-        """Euclidean norm of the state (should always be ~1)."""
+        """Euclidean norm of the state (should always be ~1).
+
+        In shots mode this is the root-mean-square of the per-branch
+        norms, so it stays ~1 regardless of how many branches exist.
+        """
+        if self._shots is not None:
+            return float(np.linalg.norm(self._psi) / np.sqrt(self._psi.shape[0]))
         return float(np.linalg.norm(self._psi))
 
     def expectation_pauli(self, mapping: dict[int, str]) -> float:
         """Expectation value of a Pauli string ``{qubit: 'X'|'Y'|'Z'}``."""
+        self._require_unforked("expectation_pauli")
         tmp = self._psi.copy()
         saved = self._psi
         try:
@@ -376,6 +524,9 @@ class StateVector:
         out._psi = self._psi.copy()
         out._axis_of = dict(self._axis_of)
         out._next_id = self._next_id
+        out._shots = self._shots
+        out._shot_of = None if self._shot_of is None else self._shot_of.copy()
+        out.segments_executed = self.segments_executed
         out.rng = np.random.default_rng(self.rng.integers(2**63))
         return out
 

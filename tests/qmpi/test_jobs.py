@@ -1,0 +1,238 @@
+"""Concurrent job API (qmpi_submit / JobRunner) and backend construction."""
+
+import threading
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.mpi.errors import RankFailure
+from repro.qmpi import (
+    JobFuture,
+    JobRunner,
+    QuantumBackend,
+    SharedBackend,
+    make_backend,
+    qmpi_submit,
+)
+
+
+def _ghz(qc, n=3):
+    q = qc.alloc_qmem(n)
+    qc.h(q[0])
+    for i in range(n - 1):
+        qc.cnot(q[i], q[i + 1])
+    return [qc.measure(x) for x in q]
+
+
+# ----------------------------------------------------------------------
+# concurrency
+# ----------------------------------------------------------------------
+def test_eight_jobs_run_concurrently():
+    # a barrier all 8 programs must reach proves true overlap: if the
+    # runner serialized them, every job would dead-block on the barrier
+    barrier = threading.Barrier(8, timeout=30)
+
+    def prog(qc):
+        barrier.wait()
+        q = qc.alloc_qmem(2)
+        qc.h(q[0])
+        qc.cnot(q[0], q[1])
+        return [qc.measure(x) for x in q]
+
+    with JobRunner(max_workers=8, base_seed=42) as runner:
+        futures = [runner.submit(prog, shots=64) for _ in range(8)]
+        for f in futures:
+            counts = f.counts()
+            assert set(counts) <= {"00", "11"}
+            assert sum(counts.values()) == 64
+
+
+def test_multi_rank_job_with_protocol():
+    def tele(qc):
+        if qc.rank == 0:
+            q = qc.alloc_qmem(1)
+            qc.x(q[0])
+            qc.send_move(q, 1)
+            return None
+        t = qc.alloc_qmem(1)
+        qc.recv_move(t, 0)
+        return qc.measure(t[0])
+
+    with JobRunner(max_workers=4) as runner:
+        futures = [runner.submit(tele, n_ranks=2, shots=16) for _ in range(4)]
+        for f in futures:
+            assert f.counts() == Counter({"1": 16})
+
+
+# ----------------------------------------------------------------------
+# reproducibility
+# ----------------------------------------------------------------------
+def test_per_job_seeds_are_reproducible():
+    def round_trip():
+        with JobRunner(max_workers=4, base_seed=7) as runner:
+            futures = [
+                runner.submit(_ghz, shots=128, kwargs={"n": 4}) for _ in range(6)
+            ]
+            return [f.counts() for f in futures], [f.seed for f in futures]
+
+    counts_a, seeds_a = round_trip()
+    counts_b, seeds_b = round_trip()
+    assert seeds_a == seeds_b
+    assert counts_a == counts_b
+
+
+def test_jobs_get_distinct_seed_streams():
+    with JobRunner(base_seed=0) as runner:
+        seeds = {runner.job_seed(i) for i in range(64)}
+    assert len(seeds) == 64
+
+
+def test_seed_independent_of_scheduling_order():
+    # job k's seed is a pure function of (base_seed, k)
+    a = JobRunner(max_workers=1, base_seed=5)
+    b = JobRunner(max_workers=8, base_seed=5)
+    try:
+        assert [a.job_seed(k) for k in range(10)] == [b.job_seed(k) for k in range(10)]
+    finally:
+        a.shutdown()
+        b.shutdown()
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+def test_future_surface_and_default_runner():
+    f = qmpi_submit(_ghz, shots=32)
+    assert isinstance(f, JobFuture)
+    counts = f.counts()
+    assert f.done()
+    assert sum(counts.values()) == 32
+    assert isinstance(f.result()[0], list)
+    assert f.ledger() is not None
+
+
+def test_non_shot_job_counts_raises():
+    with JobRunner() as runner:
+        f = runner.submit(_ghz, kwargs={"n": 2})
+        assert f.result() is not None
+        with pytest.raises(RuntimeError, match="shots"):
+            f.counts()
+
+
+def test_job_errors_propagate_as_rank_failure():
+    def boom(qc):
+        raise ValueError("kaboom")
+
+    with JobRunner() as runner:
+        f = runner.submit(boom)
+        assert isinstance(f.exception(), RankFailure)
+        with pytest.raises(RankFailure, match="kaboom"):
+            f.result()
+        # a failed job must not poison the next one on the same thread
+        assert runner.submit(_ghz, shots=8).counts() is not None
+
+
+def test_backend_recycling_within_a_thread():
+    seen = []
+
+    def prog(qc):
+        seen.append(qc.backend)
+        q = qc.alloc_qmem(1)
+        qc.h(q[0])
+        # release everything so the backend is clean and recyclable
+        return qc.measure_and_release(q[0])
+
+    with JobRunner(max_workers=1) as runner:
+        for _ in range(3):
+            runner.submit(prog, shots=4).result()
+    # single worker thread + identical spec + clean engine -> reused
+    assert len({id(be) for be in seen}) == 1
+
+
+def test_dirty_backend_is_not_recycled():
+    seen = []
+
+    def prog(qc):
+        seen.append(qc.backend)
+        q = qc.alloc_qmem(1)
+        qc.h(q[0])
+        return qc.measure(q[0])  # qubit stays allocated
+
+    with JobRunner(max_workers=1) as runner:
+        for _ in range(2):
+            runner.submit(prog, shots=4).result()
+    assert len({id(be) for be in seen}) == 2
+
+
+def test_submit_after_shutdown_raises():
+    runner = JobRunner()
+    runner.shutdown()
+    with pytest.raises(RuntimeError, match="shut down"):
+        runner.submit(_ghz)
+
+
+# ----------------------------------------------------------------------
+# make_backend construction surface (ISSUE 6 satellite)
+# ----------------------------------------------------------------------
+class TestMakeBackend:
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("warp-core")
+
+    def test_colon_arg_on_non_sharded_raises(self):
+        with pytest.raises(ValueError, match="':' argument"):
+            make_backend("shared:2")
+
+    def test_class_spec_with_bad_opts_raises(self):
+        with pytest.raises(TypeError):
+            make_backend(SharedBackend, n_shards=2)
+
+    def test_prebuilt_instance_with_seed_warns(self):
+        be = make_backend("shared")
+        with pytest.warns(UserWarning, match="prebuilt backend instance"):
+            out = make_backend(be, seed=3)
+        assert out is be
+        be.close()
+
+    def test_prebuilt_instance_without_opts_is_silent(self):
+        be = make_backend("shared")
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert make_backend(be) is be
+        be.close()
+
+    def test_reseed_reproduces_measurements(self):
+        be = make_backend("shared", seed=1)
+        assert isinstance(be, QuantumBackend)
+
+        def sample():
+            be.reseed(99)
+            q = be.alloc(0, 1)[0]
+            be.h(0, q)
+            return be.measure_and_release(0, q)
+
+        bits_a = [sample() for _ in range(20)]
+        bits_b = [sample() for _ in range(20)]
+        assert bits_a == bits_b
+        be.close()
+
+    def test_sharded_colon_arg_sets_shard_count(self):
+        be = make_backend("sharded:8")
+        assert be._sv.n_shards == 8
+        be.close()
+
+
+def test_job_seed_matches_seedsequence_contract():
+    runner = JobRunner(base_seed=123)
+    try:
+        expect = int(
+            np.random.SeedSequence(entropy=123, spawn_key=(4,)).generate_state(
+                1, dtype=np.uint64
+            )[0]
+        )
+        assert runner.job_seed(4) == expect
+    finally:
+        runner.shutdown()
