@@ -1,0 +1,179 @@
+"""Rank-scaling of the transport fabrics -> BENCH_fabric.json.
+
+The same QMPI kernels run over both registered transports (see
+:mod:`repro.mpi.transport`): ``inproc`` places ranks as threads sharing
+the in-memory fabric, ``mp`` spawns one OS process per rank with a pipe
+control plane and a shared-memory data plane, forwarding every backend
+call to the parent over the service plane (the paper's §6 "all ranks
+drive one shared simulator" made literal).
+
+Three kernels scale over 1/2/4 ranks:
+
+* ``teleport`` — one qubit moved rank 0 -> last rank (2+ ranks only),
+  protocol-latency bound: two classical bits and one EPR pair per shot
+  batch, the worst case for a process-hopping control plane;
+* ``cat-bcast`` — the §7.1 constant-depth cat-state broadcast plus a
+  correlated readout on every rank;
+* ``tfim`` — the §7.2 transverse-field Ising Trotter evolution on the
+  sharded backend, compute bound: many forwarded gate batches, so it
+  measures service-plane throughput rather than latency.
+
+Every mp row records ``mp_vs_inproc`` — mp wall time over inproc wall
+time for the identical kernel row, i.e. the process-fabric overhead
+multiplier (values > 1 mean mp is slower). The ratio is informational:
+it tracks host scheduling and pickling costs, not algorithmic quality,
+so CI never gates on it (see tools/bench_compare.py).
+
+Run standalone (CI quick mode)::
+
+    PYTHONPATH=src python benchmarks/bench_fabric.py --quick
+
+or full (committed baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_fabric.py
+
+See docs/benchmarks.md for the BENCH_fabric.json schema.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # script run without PYTHONPATH/install
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps.tfim import tfim_program  # noqa: E402
+from repro.qmpi import qmpi_run  # noqa: E402
+
+RANK_COUNTS = (1, 2, 4)
+TRANSPORTS = ("inproc", "mp")
+
+
+def _ordered_alloc(qc, n=1):
+    """Allocate ``n`` qubits per rank in rank order (deterministic ids)."""
+    out = None
+    for r in range(qc.size):
+        if qc.rank == r:
+            out = qc.alloc_qmem(n)
+        qc.barrier()
+    return out
+
+
+def teleport_kernel(qc, theta):
+    (q,) = _ordered_alloc(qc, 1)
+    last = qc.size - 1
+    if qc.rank == 0:
+        qc.h(q)
+        qc.rz(q, theta)
+        qc.send_move([q], dest=last, tag=1)
+        return None
+    if qc.rank == last:
+        (dst,) = qc.recv_move([q], source=0, tag=1)
+        return qc.measure(dst)
+    qc.free_qmem([q])
+    return None
+
+
+def cat_bcast_kernel(qc):
+    (q,) = _ordered_alloc(qc, 1)
+    if qc.rank == 0:
+        qc.h(q)
+    qc.bcast([q], root=0, algorithm="cat")
+    qc.barrier()  # protocol measurements precede the readout
+    return qc.measure(q)
+
+
+def tfim_kernel(qc, spins, trotter):
+    return tfim_program(qc, 1.0, 0.7, 0.5, spins, trotter)
+
+
+def _run(kernel, n_ranks, transport, cfg):
+    fn, args, backend, shots = kernel
+    t0 = time.perf_counter()
+    with qmpi_run(
+        n_ranks, fn, args=args, seed=cfg["seed"], shots=shots,
+        backend=backend, transport=transport, timeout=300.0,
+    ) as world:
+        counts = world.counts if shots else None
+    return time.perf_counter() - t0, counts
+
+
+def bench_fabric(cfg):
+    kernels = {
+        # name -> (fn, args, backend, shots)
+        "teleport": (teleport_kernel, (0.7,), "shared", cfg["shots"]),
+        "cat-bcast": (cat_bcast_kernel, (), "shared", cfg["shots"]),
+        "tfim": (
+            tfim_kernel, (cfg["spins"], cfg["trotter"]), "sharded", None,
+        ),
+    }
+    rows = []
+    for name, kernel in kernels.items():
+        for n_ranks in RANK_COUNTS:
+            if name == "teleport" and n_ranks < 2:
+                continue  # nothing to move on a single rank
+            walls, histograms = {}, {}
+            for transport in TRANSPORTS:
+                walls[transport], histograms[transport] = _run(
+                    kernel, n_ranks, transport, cfg
+                )
+            if kernel[3]:  # shots set: equal seed must mean equal outcomes
+                assert histograms["mp"] == histograms["inproc"], (
+                    f"{name}@{n_ranks}: transports disagree at equal seed"
+                )
+            for transport in TRANSPORTS:
+                row = {
+                    "kernel": name,
+                    "n_ranks": n_ranks,
+                    "backend": kernel[2],
+                    "transport": transport,
+                    "shots": kernel[3] or 0,
+                    "wall_s": round(walls[transport], 4),
+                }
+                if transport == "mp":
+                    row["mp_vs_inproc"] = round(
+                        walls["mp"] / walls["inproc"], 2
+                    )
+                rows.append(row)
+            print(
+                f"{name:<10} ranks={n_ranks} backend={kernel[2]:<8} "
+                f"inproc {walls['inproc']:>7.3f}s  mp {walls['mp']:>7.3f}s "
+                f"x{walls['mp'] / walls['inproc']:.2f}"
+            )
+    return rows
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="small sizes, short passes (CI)")
+    ap.add_argument("--out", default="BENCH_fabric.json", help="output JSON path")
+    args = ap.parse_args(argv)
+
+    if args.quick:
+        cfg = {"seed": 42, "shots": 64, "spins": 2, "trotter": 1}
+    else:
+        cfg = {"seed": 42, "shots": 256, "spins": 2, "trotter": 4}
+
+    print("# fabric phase: identical kernels over inproc vs mp transports")
+    rows = bench_fabric(cfg)
+
+    payload = {
+        "quick": args.quick,
+        "cpu_count": os.cpu_count() or 1,
+        "shots": cfg["shots"],
+        "fabric": rows,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -100,9 +100,17 @@ class Communicator:
         source: int = ANY_SOURCE,
         tag: int = ANY_TAG,
         status: Status | None = None,
+        timeout: float | None = None,
     ) -> Any:
-        """Blocking receive; returns the payload object."""
-        env = self.fabric.recv(self.context, self.group[self._rank], source, tag)
+        """Blocking receive; returns the payload object.
+
+        ``timeout`` bounds the wait (monotonic seconds); on expiry a
+        :class:`~repro.mpi.errors.RecvTimeout` is raised and no message is
+        consumed.
+        """
+        env = self.fabric.recv(
+            self.context, self.group[self._rank], source, tag, timeout=timeout
+        )
         if status is not None:
             status.source = env.source
             status.tag = env.tag
@@ -329,6 +337,18 @@ class Communicator:
         else:
             ctxs = None
         ctxs = self.bcast(ctxs, root=0)
+        if __debug__:
+            # new_context is issued by one designated caller (rank 0, above)
+            # and distributed by bcast; verify every member actually received
+            # the same context table, so a misuse of Fabric.new_context (two
+            # ranks advancing the counter independently) fails loudly here
+            # instead of as silent traffic crosstalk.
+            agreed = self.allgather(ctxs)
+            assert all(view == ctxs for view in agreed), (
+                "communicator split disagreed on context ids: "
+                f"{agreed!r} (Fabric.new_context must only be advanced by "
+                "the designated caller)"
+            )
         if color is None:
             return None
         members = sorted(

@@ -1,8 +1,15 @@
-"""Error types for the in-process MPI substrate."""
+"""Error types for the classical MPI substrate (all transports)."""
 
 from __future__ import annotations
 
-__all__ = ["MpiError", "MpiAbort", "DeadlockError", "RankFailure"]
+__all__ = [
+    "MpiError",
+    "MpiAbort",
+    "DeadlockError",
+    "RankFailure",
+    "RecvTimeout",
+    "TransportError",
+]
 
 
 class MpiError(RuntimeError):
@@ -12,6 +19,15 @@ class MpiError(RuntimeError):
 class MpiAbort(MpiError):
     """Raised inside ranks when the job is being torn down (another rank
     failed or the watchdog fired). Mirrors ``MPI_Abort`` semantics."""
+
+
+class RecvTimeout(MpiError):
+    """A ``timeout=``-bounded receive found no matching message in time."""
+
+
+class TransportError(MpiError):
+    """A transport-level failure: lost connection, handshake failure, or a
+    rank process that died without reporting a result."""
 
 
 class DeadlockError(MpiError):

@@ -15,10 +15,11 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from .errors import MpiAbort
+from .errors import MpiAbort, RecvTimeout
 from .status import ANY_SOURCE, ANY_TAG
 
 __all__ = ["Envelope", "Mailbox", "Fabric"]
@@ -70,8 +71,16 @@ class Mailbox:
         abort: threading.Event,
         timeout: float | None = None,
     ) -> Envelope:
-        """Block until a matching envelope arrives (or abort/timeout)."""
-        deadline = None
+        """Block until a matching envelope arrives (or abort/timeout).
+
+        Raises
+        ------
+        MpiAbort
+            If ``abort`` is set while waiting.
+        RecvTimeout
+            If ``timeout`` seconds (monotonic clock) elapse with no match.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while True:
                 if abort.is_set():
@@ -80,14 +89,19 @@ class Mailbox:
                 if env is not None:
                     return env
                 # Poll-wake periodically so the abort flag is observed even
-                # if no further messages arrive.
-                self._cond.wait(timeout=0.05 if timeout is None else timeout)
-                if timeout is not None:
-                    if deadline is None:
-                        deadline = 0  # single bounded wait already done
-                    else:  # pragma: no cover - defensive
-                        break
-        raise MpiAbort("timed out waiting for a message")  # pragma: no cover
+                # if no further messages arrive; a caller timeout bounds the
+                # whole wait, not one interval (spurious wakeups and stray
+                # non-matching traffic must not extend or shorten it).
+                interval = 0.05
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise RecvTimeout(
+                            f"no message matching (context={context}, "
+                            f"source={source}, tag={tag}) within {timeout}s"
+                        )
+                    interval = min(interval, remaining)
+                self._cond.wait(timeout=interval)
 
     def peek(self, context: int, source: int, tag: int) -> Envelope | None:
         """Non-destructive probe: the first matching envelope, or None."""
@@ -123,8 +137,15 @@ class Fabric:
         env = Envelope(context, source, dest, tag, payload, next(self._seq))
         self.mailboxes[dest].deposit(env)
 
-    def recv(self, context: int, me: int, source: int, tag: int) -> Envelope:
-        return self.mailboxes[me].collect(context, source, tag, self.abort)
+    def recv(
+        self,
+        context: int,
+        me: int,
+        source: int,
+        tag: int,
+        timeout: float | None = None,
+    ) -> Envelope:
+        return self.mailboxes[me].collect(context, source, tag, self.abort, timeout)
 
     def probe(self, context: int, me: int, source: int, tag: int) -> Envelope | None:
         return self.mailboxes[me].peek(context, source, tag)
@@ -132,8 +153,12 @@ class Fabric:
     def new_context(self) -> int:
         """A fresh communicator context id (collision-free traffic class).
 
-        Called collectively; all ranks must agree on the id, so the counter
-        is only advanced by one designated caller (see Communicator.split).
+        NOT a collective: exactly one designated caller per communicator
+        creation advances the counter (rank 0 of the parent communicator in
+        ``Communicator.split``) and distributes the ids to the members over
+        the fabric. The lock only guards concurrent allocations for
+        *different* communicators. ``Communicator.split`` double-checks the
+        agreement with a debug-mode allgather.
         """
         with self._ctx_lock:
             return next(self._ctx_counter)

@@ -447,8 +447,21 @@ def _execute(
     s_limit: int | None = None,
     timeout: float = 120.0,
     fusion="auto",
+    transport="inproc",
 ) -> tuple[list, Ledger]:
     """Run ``fn`` SPMD on a ready backend; shared by qmpi_run and jobs."""
+    from ..mpi.transport import make_transport
+
+    t = make_transport(transport)
+    if not t.inprocess:
+        # Process transports cannot share the backend object with the
+        # ranks: the parent keeps it behind a service endpoint and the
+        # ranks drive it through proxies (see repro.qmpi.service).
+        from .service import execute_mp
+
+        return execute_mp(
+            backend, n_ranks, fn, args, kwargs, s_limit, timeout, fusion, t
+        )
     ledger = Ledger()
     epr = EprService(backend, ledger, s_limit=s_limit)
 
@@ -460,7 +473,7 @@ def _execute(
         finally:
             qc.flush_ops()
 
-    results = run_spmd(n_ranks, wrapper, args, kwargs, timeout)
+    results = run_spmd(n_ranks, wrapper, args, kwargs, timeout, transport=t)
     return results, ledger
 
 
@@ -476,6 +489,7 @@ def qmpi_run(
     backend_opts: dict | None = None,
     fusion="auto",
     shots: int | None = None,
+    transport="inproc",
     **backend_kw,
 ) -> QmpiWorld:
     """Run ``fn(qcomm, *args, **kwargs)`` on ``n_ranks`` quantum ranks.
@@ -521,6 +535,16 @@ def qmpi_run(
         :mod:`repro.sim.shots`). Measurement calls then return per-shot
         :class:`~repro.sim.shots.ShotBits` and the world exposes
         :attr:`QmpiWorld.counts`.
+    transport:
+        Rank placement (see :mod:`repro.mpi.transport`): ``"inproc"``
+        (default) runs ranks as threads; ``"mp"`` spawns one OS process
+        per rank — the backend stays in the calling process behind a
+        service endpoint and the ranks drive it over RPC (the paper's
+        §6 forwarding discipline made literal), so per-shot outcomes
+        are identical between transports at equal seed. ``"mp"``
+        requires ``fn`` and its arguments to be picklable (module-level
+        function). Also accepts a
+        :class:`~repro.mpi.transport.Transport` class or instance.
     **backend_kw:
         Backend constructor options as plain keywords, e.g.
         ``qmpi_run(..., backend="sharded", workers=2, n_shards=8)`` —
@@ -546,7 +570,7 @@ def qmpi_run(
     if shots is not None:
         backend.begin_shots(shots)
     results, ledger = _execute(
-        backend, n_ranks, fn, args, kwargs, s_limit, timeout, fusion
+        backend, n_ranks, fn, args, kwargs, s_limit, timeout, fusion, transport
     )
     return QmpiWorld(results, backend, ledger, shots=shots)
 

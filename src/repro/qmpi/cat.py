@@ -63,11 +63,18 @@ def cat_state_chain(qc, qubit: int, tag: int = 0) -> CatHandle:
             qc.epr.prepare(rank, qubit, rank - 1, tag, qc.context, _cat_dir(rank - 1))
         # Internal nodes merge: CNOT(left half -> right half), measure the
         # right half. Outcome 1 means everything right of the cut needs X.
+        # The merges act on disjoint qubits and commute, but they are run
+        # in rank order so the simulator consumes measurement randomness
+        # in one fixed global sequence: like rank-ordered allocation, this
+        # is simulator scheduling, not protocol structure — the fixup is
+        # outcome-independent and the modeled quantum time stays constant.
         m = 0
-        if 0 < rank < size - 1:
-            qc.backend.cnot(rank, qubit, right)
-            m = qc.backend.measure_and_release(rank, right)
-            qc.epr.consume(rank)
+        for r in range(1, size - 1):
+            if rank == r:
+                qc.backend.cnot(rank, qubit, right)
+                m = qc.backend.measure_and_release(rank, right)
+                qc.epr.consume(rank)
+            qc.barrier()
         # The kept half ('qubit') leaves the EPR buffer: it is cat data now.
         qc.epr.consume(rank)
         # Classical fixup: X on rank k iff XOR of merge outcomes at ranks

@@ -133,9 +133,15 @@ class JobRunner:
         timeout: float = 120.0,
         backend: "str | type[QuantumBackend] | QuantumBackend" = "shared",
         fusion="auto",
+        transport="inproc",
         **backend_kw,
     ) -> JobFuture:
-        """Queue ``fn`` for execution; returns immediately."""
+        """Queue ``fn`` for execution; returns immediately.
+
+        ``transport="mp"`` places the job's ranks in spawned OS
+        processes (the backend stays worker-local behind a service
+        endpoint); see :func:`repro.qmpi.api.qmpi_run`.
+        """
         with self._lock:
             if self._closed:
                 raise RuntimeError("JobRunner has been shut down")
@@ -153,19 +159,27 @@ class JobRunner:
             timeout,
             backend,
             fusion,
+            transport,
             backend_kw,
         )
         return JobFuture(job_id, seed, future)
 
     # ------------------------------------------------------------------
-    def _cache_key(self, backend, n_ranks, shots, backend_kw):
+    def _cache_key(self, backend, n_ranks, shots, transport, backend_kw):
         # Only registry-name specs are recyclable; shots-mode engines are
         # kept separate from plain ones (an engine never leaves shots
-        # mode once entered).
-        if not isinstance(backend, str):
+        # mode once entered). Transport is part of the key out of
+        # caution, though the backend lives worker-local either way.
+        if not isinstance(backend, str) or not isinstance(transport, str):
             return None
         try:
-            return (backend, n_ranks, shots is not None, tuple(sorted(backend_kw.items())))
+            return (
+                backend,
+                n_ranks,
+                shots is not None,
+                transport,
+                tuple(sorted(backend_kw.items())),
+            )
         except TypeError:  # unhashable option value
             return None
 
@@ -181,12 +195,13 @@ class JobRunner:
         timeout,
         backend_spec,
         fusion,
+        transport,
         backend_kw,
     ):
         cache = getattr(self._local, "cache", None)
         if cache is None:
             cache = self._local.cache = {}
-        key = self._cache_key(backend_spec, n_ranks, shots, backend_kw)
+        key = self._cache_key(backend_spec, n_ranks, shots, transport, backend_kw)
         prebuilt = isinstance(backend_spec, QuantumBackend)
         be = cache.pop(key, None) if key is not None else None
         if be is not None:
@@ -203,7 +218,7 @@ class JobRunner:
             if shots is not None:
                 be.begin_shots(shots)
             results, ledger = _execute(
-                be, n_ranks, fn, args, kwargs, s_limit, timeout, fusion
+                be, n_ranks, fn, args, kwargs, s_limit, timeout, fusion, transport
             )
             counts = be.counts() if shots is not None else None
             recycle = key is not None and be.num_qubits == 0
@@ -262,6 +277,7 @@ def qmpi_submit(
     timeout: float = 120.0,
     backend: "str | type[QuantumBackend] | QuantumBackend" = "shared",
     fusion="auto",
+    transport="inproc",
     runner: JobRunner | None = None,
     **backend_kw,
 ) -> JobFuture:
@@ -284,5 +300,6 @@ def qmpi_submit(
         timeout=timeout,
         backend=backend,
         fusion=fusion,
+        transport=transport,
         **backend_kw,
     )

@@ -1,0 +1,221 @@
+"""QMPI over the mp transport: bit-identical equivalence with inproc.
+
+The acceptance bar of the transport subsystem: at equal seed,
+``transport="mp"`` must produce the *same per-shot outcomes* as
+``transport="inproc"`` — the parent-held backend consumes the identical
+RNG stream because the protocols below are fully dependency-sequenced
+(teleport, fanout send/recv, cat-state broadcast), so their global
+measurement order is deterministic on both transports.
+
+All programs are module-level (the mp transport pickles them into
+spawned rank processes) and allocate in rank order so qubit ids are
+deterministic across runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpi import RankFailure
+from repro.qmpi import EprBufferFull, LocalityError, qmpi_run, qmpi_submit
+from repro.qmpi.jobs import JobRunner
+
+BACKEND_SPECS = ["shared", "sharded"]
+RANK_COUNTS = [2, 4]
+
+
+def _ordered_alloc(qc, n=1):
+    """Allocate ``n`` qubits per rank, in rank order (deterministic ids)."""
+    out = None
+    for r in range(qc.size):
+        if qc.rank == r:
+            out = qc.alloc_qmem(n)
+        qc.barrier()
+    return out
+
+
+# ----------------------------------------------------------------------
+# programs (module-level: pickled into rank processes)
+# ----------------------------------------------------------------------
+def teleport_prog(qc, theta):
+    """Teleport a rotated qubit from rank 0 to the last rank; measure there."""
+    (q,) = _ordered_alloc(qc, 1)
+    last = qc.size - 1
+    if qc.rank == 0:
+        qc.h(q)
+        qc.rz(q, theta)
+        qc.send_move([q], dest=last, tag=3)
+        return None
+    if qc.rank == last:
+        (dst,) = qc.recv_move([q], source=0, tag=3)
+        return qc.measure(dst)
+    qc.free_qmem([q])
+    return None
+
+
+def fanout_prog(qc):
+    """Entangled-copy fanout from rank 0 to every other rank, in order."""
+    (q,) = _ordered_alloc(qc, 1)
+    if qc.rank == 0:
+        qc.h(q)
+        for dest in range(1, qc.size):
+            qc.send([q], dest=dest, tag=5)
+    else:
+        qc.recv([q], source=0, tag=5)
+    # All copy-protocol measurements precede the readout: without the
+    # barrier an early receiver's measure races rank 0's later copies
+    # and permutes the backend's RNG stream.
+    qc.barrier()
+    return qc.measure(q)
+
+
+def cat_bcast_prog(qc):
+    """Cat-state broadcast (§7.1 optimized construction) + measure."""
+    (q,) = _ordered_alloc(qc, 1)
+    if qc.rank == 0:
+        qc.h(q)
+    qc.bcast([q], root=0, algorithm="cat")
+    return qc.measure(q)
+
+
+def locality_prog(qc):
+    regs = _ordered_alloc(qc, 1)
+    if qc.rank == 1:
+        qc.h(regs[0] - 1)  # rank 0's qubit: must be rejected
+        qc.flush_ops()
+    return True
+
+
+def buffer_full_prog(qc):
+    (a, b) = _ordered_alloc(qc, 2)
+    peer = 1 - qc.rank
+    if qc.rank == 0:
+        qc.iprepare_epr(a, dest=peer, tag=1)
+        qc.iprepare_epr(b, dest=peer, tag=2)  # second half: S=1 exceeded
+    else:
+        qc.prepare_epr(a, dest=peer, tag=1)
+    return True
+
+
+def failing_prog(qc):
+    (q,) = _ordered_alloc(qc, 1)
+    if qc.rank == 1:
+        raise ValueError("deliberate failure on rank 1")
+    qc.recv_move(1, source=1, tag=0)  # blocks until the abort wakes it
+    return True
+
+
+PROGRAMS = {
+    "teleport": (teleport_prog, (0.7,)),
+    "fanout": (fanout_prog, ()),
+    "cat-bcast": (cat_bcast_prog, ()),
+}
+
+
+# ----------------------------------------------------------------------
+# bit-identical equivalence (the acceptance criterion)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKEND_SPECS)
+@pytest.mark.parametrize("n_ranks", RANK_COUNTS)
+@pytest.mark.parametrize("kernel", sorted(PROGRAMS))
+def test_mp_matches_inproc_per_shot(kernel, n_ranks, backend):
+    prog, args = PROGRAMS[kernel]
+    outcome = {}
+    for transport in ("inproc", "mp"):
+        with qmpi_run(
+            n_ranks, prog, args=args, seed=42, shots=64,
+            backend=backend, transport=transport,
+        ) as world:
+            outcome[transport] = (list(world), world.counts)
+    assert outcome["mp"][0] == outcome["inproc"][0]
+    assert outcome["mp"][1] == outcome["inproc"][1]
+
+
+def test_mp_matches_inproc_single_trajectory_state():
+    """Without shots: same RNG draws, same collapses, same final state."""
+    vecs = {}
+    for transport in ("inproc", "mp"):
+        world = qmpi_run(
+            2, teleport_prog, args=(0.3,), seed=7, transport=transport
+        )
+        vecs[transport] = (world.results, world.backend.statevector())
+    assert vecs["mp"][0] == vecs["inproc"][0]
+    np.testing.assert_allclose(vecs["mp"][1], vecs["inproc"][1], atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# resource accounting across the process boundary
+# ----------------------------------------------------------------------
+def test_mp_ledger_merge_totals_and_rows():
+    world = qmpi_run(2, teleport_prog, args=(0.5,), seed=0, transport="mp")
+    ledger = world.ledger
+    # One teleport: one EPR pair (recorded parent-side), two fixup bits
+    # (recorded rank-side, merged at teardown).
+    assert ledger.epr_pairs == 1
+    assert ledger.classical_bits == 2
+    assert ledger.row("send_move").calls >= 1
+    assert ledger.row("recv_move").calls >= 1
+    assert ledger.row("recv_move").classical_bits == 2
+
+
+def test_mp_ledger_matches_inproc():
+    ledgers = {}
+    for transport in ("inproc", "mp"):
+        world = qmpi_run(4, cat_bcast_prog, seed=1, transport=transport)
+        ledgers[transport] = world.ledger
+    li, lm = ledgers["inproc"], ledgers["mp"]
+    assert lm.epr_pairs == li.epr_pairs
+    assert lm.classical_bits == li.classical_bits
+    assert lm.classical_messages == li.classical_messages
+
+
+# ----------------------------------------------------------------------
+# failure surfacing through the service plane
+# ----------------------------------------------------------------------
+def test_mp_locality_error_propagates():
+    with pytest.raises(RankFailure) as ei:
+        qmpi_run(2, locality_prog, transport="mp", timeout=30)
+    assert isinstance(ei.value.failures[1], LocalityError)
+
+
+def test_mp_epr_buffer_full_propagates():
+    with pytest.raises(RankFailure) as ei:
+        qmpi_run(2, buffer_full_prog, s_limit=1, transport="mp", timeout=30)
+    assert isinstance(ei.value.failures[0], EprBufferFull)
+
+
+def test_mp_abort_unblocks_epr_wait():
+    with pytest.raises(RankFailure) as ei:
+        qmpi_run(2, failing_prog, transport="mp", timeout=30)
+    assert set(ei.value.failures) == {1}
+    assert isinstance(ei.value.failures[1], ValueError)
+
+
+# ----------------------------------------------------------------------
+# job runner integration
+# ----------------------------------------------------------------------
+def test_qmpi_submit_mp_transport():
+    with JobRunner(max_workers=2, base_seed=3) as runner:
+        futs = [
+            qmpi_submit(
+                fanout_prog, n_ranks=2, shots=32,
+                transport="mp", runner=runner,
+            )
+            for _ in range(2)
+        ]
+        for fut in futs:
+            counts = fut.counts(timeout=60)
+            assert sum(counts.values()) == 32
+            # Fanout of H|0>: both ranks always agree.
+            assert set(counts) <= {"00", "11"}
+
+
+def test_submit_seed_determinism_across_transports():
+    histograms = {}
+    for transport in ("inproc", "mp"):
+        with JobRunner(max_workers=1, base_seed=11) as runner:
+            fut = qmpi_submit(
+                cat_bcast_prog, n_ranks=2, shots=48,
+                transport=transport, runner=runner,
+            )
+            histograms[transport] = fut.counts(timeout=60)
+    assert histograms["mp"] == histograms["inproc"]

@@ -38,16 +38,21 @@ import json
 from pathlib import Path
 
 #: Fields that identify a row (whichever subset is present is the key).
-KEY_FIELDS = ("kernel", "n_qubits", "backend")
+KEY_FIELDS = ("kernel", "n_qubits", "backend", "n_ranks", "transport")
 
 #: Ratio columns gated per benchmark row, by column name.
 RATIO_FIELDS = ("speedup", "fused_speedup", "sharded_fused_vs_shared")
+
+#: Ratio columns printed for matched rows but never gated: the mp/inproc
+#: wall ratio of BENCH_fabric.json measures process spawn + pickling
+#: against the host scheduler, not algorithmic quality.
+INFO_FIELDS = ("mp_vs_inproc",)
 
 #: list-of-rows sections to compare, per file; anything else (scalars,
 #: machine-dependent phases like the "workers" sections of
 #: BENCH_diag/BENCH_plan — those accumulate cpu_count-keyed history via
 #: tools/fold_workers_ci.py instead) is ignored.
-SECTIONS = ("plan", "diag", "coalescing", "results", "small", "wide")
+SECTIONS = ("plan", "diag", "coalescing", "results", "small", "wide", "fabric")
 
 
 def _rows(payload: dict):
@@ -82,6 +87,9 @@ def compare(baseline: dict, fresh: dict, tolerance: float):
             else:
                 verdict = "ok"
             yield key, field, base_v, new_v, verdict
+        for field in INFO_FIELDS:
+            if field in b and field in f:
+                yield key, field, float(b[field]), float(f[field]), "info"
 
 
 def main(argv=None) -> int:
