@@ -31,8 +31,10 @@ from typing import Sequence
 import numpy as np
 
 from ..sim import gates as _gates
+from ..sim.cache import ScheduleCache
 from ..sim.diag import DiagBatch
 from ..sim.parallel import PARALLEL_MIN_CHUNK
+from ..sim.schedule import DEFAULT_COST_MODEL, lower_flush
 from ..sim.sharded import ShardedStateVector
 from ..sim.shots import ShotBits
 from ..sim.statevector import SimulationError, StateVector
@@ -70,7 +72,9 @@ class QuantumBackend:
     :class:`~repro.qmpi.ops.GateDef` extends every backend at once.
     """
 
-    def __init__(self, engine, enforce_locality: bool = True):
+    def __init__(self, engine, enforce_locality: bool = True, cache: str = "on"):
+        if cache not in ("on", "off"):
+            raise ValueError(f'cache must be "on" or "off", got {cache!r}')
         self._sv = engine
         self._lock = threading.RLock()
         self._owner: dict[int, int] = {}
@@ -78,6 +82,15 @@ class QuantumBackend:
         #: Shot count when shot-batched mode is active (else ``None``).
         self.shots: int | None = None
         self._measure_log: list[tuple[int, object]] = []
+        #: The flush-schedule cache (see :mod:`repro.sim.cache`), or
+        #: ``None`` with ``cache="off"`` or an engine without the
+        #: cache API (``layout_key``/``compile_batch``/``execute_segments``).
+        self.schedule_cache: ScheduleCache | None = None
+        if cache == "on" and all(
+            hasattr(engine, m)
+            for m in ("layout_key", "compile_batch", "execute_segments")
+        ):
+            self.schedule_cache = ScheduleCache()
 
     # ------------------------------------------------------------------
     # shot-batched mode
@@ -243,6 +256,78 @@ class QuantumBackend:
                     else:
                         self._sv.apply(op.target_matrix(), *op.targets)
 
+    def apply_flush(
+        self,
+        rank: int,
+        ops,
+        *,
+        diag_batching: bool = True,
+        planning: bool = True,
+        cost_model=None,
+    ) -> None:
+        """Execute a raw (pre-lowering) flush buffer, cached when possible.
+
+        This is the flush-time entry point
+        :meth:`repro.qmpi.stream.OpStream.flush` prefers over the
+        lower-then-:meth:`apply_ops` sequence: ownership of every
+        operand is checked once, and the lower + compile work is served
+        from the backend's :class:`~repro.sim.cache.ScheduleCache` —
+        structurally identical buffers (same gates and qubit pattern,
+        any rotation angles) replay their compiled segment list with
+        the parameters rebound instead of recompiling.  With
+        ``cache="off"`` (or a cache bypass) the buffer is lowered and
+        executed one-shot, through exactly the same numeric pipeline.
+        """
+        ops = tuple(ops)
+        if not ops:
+            return
+        if cost_model is None:
+            cost_model = DEFAULT_COST_MODEL
+        with self._lock:
+            for op in ops:
+                self._check_owner(rank, *op.qubits)
+            n = self._sv.num_qubits
+            if self.schedule_cache is not None:
+                self.schedule_cache.execute(
+                    self._sv,
+                    ops,
+                    num_qubits=n,
+                    diag_batching=diag_batching,
+                    planning=planning,
+                    cost_model=cost_model,
+                )
+                return
+            lowered = tuple(
+                lower_flush(
+                    list(ops),
+                    n,
+                    diag_batching=diag_batching,
+                    planning=planning,
+                    cost_model=cost_model,
+                )
+            )
+            sv_apply_ops = getattr(self._sv, "apply_ops", None)
+            if sv_apply_ops is not None:
+                sv_apply_ops(lowered)
+            else:  # engines predating the op IR: unroll generically
+                for op in lowered:
+                    if isinstance(op, DiagBatch):
+                        for qs, table in op.terms():
+                            self._sv.apply(np.diag(table), *qs)
+                    elif op.n_controls:
+                        self._sv.apply_controlled(
+                            op.target_matrix(), list(op.controls), list(op.targets)
+                        )
+                    else:
+                        self._sv.apply(op.target_matrix(), *op.targets)
+
+    def cache_info(self) -> dict | None:
+        """Schedule-cache counters, or ``None`` when caching is off."""
+        with self._lock:
+            if self.schedule_cache is None:
+                return None
+            return self.schedule_cache.info()
+
     def apply(self, rank: int, u: np.ndarray, *qubits: int) -> None:
         """Apply an explicit ``2^k x 2^k`` unitary to ``k`` owned qubits.
 
@@ -350,8 +435,8 @@ class QuantumBackend:
 class SharedBackend(QuantumBackend):
     """The paper's §6 semantics: one monolithic rank-0-style state vector."""
 
-    def __init__(self, seed=None, enforce_locality: bool = True):
-        super().__init__(StateVector(seed=seed), enforce_locality)
+    def __init__(self, seed=None, enforce_locality: bool = True, cache: str = "on"):
+        super().__init__(StateVector(seed=seed), enforce_locality, cache=cache)
 
 
 class ShardedBackend(QuantumBackend):
@@ -377,6 +462,7 @@ class ShardedBackend(QuantumBackend):
         n_shards: int = 4,
         workers: int = 0,
         parallel_min_chunk: int = PARALLEL_MIN_CHUNK,
+        cache: str = "on",
     ):
         super().__init__(
             ShardedStateVector(
@@ -386,6 +472,7 @@ class ShardedBackend(QuantumBackend):
                 parallel_min_chunk=parallel_min_chunk,
             ),
             enforce_locality,
+            cache=cache,
         )
         self.n_shards = n_shards
         self.workers = workers

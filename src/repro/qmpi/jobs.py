@@ -168,20 +168,27 @@ class JobRunner:
     def _cache_key(self, backend, n_ranks, shots, transport, backend_kw):
         # Only registry-name specs are recyclable; shots-mode engines are
         # kept separate from plain ones (an engine never leaves shots
-        # mode once entered). Transport is part of the key out of
-        # caution, though the backend lives worker-local either way.
+        # mode once entered), and the *exact* shot count plus the
+        # amplitude dtype are part of the key: a recycled backend
+        # carries its schedule cache, and replaying a schedule compiled
+        # for a different branch-axis state or precision would be a
+        # layout mismatch. Transport is part of the key out of caution,
+        # though the backend lives worker-local either way.
         if not isinstance(backend, str) or not isinstance(transport, str):
             return None
         try:
-            return (
+            key = (
                 backend,
                 n_ranks,
-                shots is not None,
+                int(shots) if shots is not None else None,
+                str(backend_kw.get("dtype", "complex128")),
                 transport,
                 tuple(sorted(backend_kw.items())),
             )
-        except TypeError:  # unhashable option value
+            hash(key)
+        except TypeError:  # unsortable or unhashable option value
             return None
+        return key
 
     def _run_job(
         self,

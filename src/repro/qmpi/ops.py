@@ -138,6 +138,26 @@ class Op:
                 f"got {len(self.params)}"
             )
 
+    def rebind(self, qubits=None, params=None) -> "Op":
+        """A clone with replaced qubits/params, skipping re-validation.
+
+        For trusted template rebinding (the schedule cache replay hot
+        path): the template already passed ``__post_init__`` and the
+        replacement fields are structurally identical — same arity,
+        ints/floats from an already-validated payload — so the clone
+        only swaps tuples.
+        """
+        clone = object.__new__(Op)
+        object.__setattr__(clone, "gate", self.gate)
+        object.__setattr__(
+            clone, "qubits", self.qubits if qubits is None else tuple(qubits)
+        )
+        object.__setattr__(
+            clone, "params", self.params if params is None else tuple(params)
+        )
+        object.__setattr__(clone, "u", self.u)
+        return clone
+
     # -- structure -------------------------------------------------------
     @property
     def spec(self) -> GateDef | None:

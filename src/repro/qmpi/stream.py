@@ -155,12 +155,26 @@ class OpStream:
         runs fuse into :class:`~repro.qmpi.ops.ContractionPlan` records
         (unless ``fusion="noplan"``) — **size-aware**: the cost model
         bypasses planning outright on small registers and widens
-        windows on large ones. On error (e.g. a locality violation) the
-        buffered batch is discarded — partial replay would double-apply
-        its prefix.
+        windows on large ones. Backends exposing ``apply_flush`` take
+        the raw buffer instead and serve the lowering + compilation
+        from their schedule cache (see :mod:`repro.sim.cache`);
+        backends without it (recording fakes, minimal test doubles)
+        keep the legacy lower-then-``apply_ops`` path. On error (e.g. a
+        locality violation) the buffered batch is discarded — partial
+        replay would double-apply its prefix.
         """
         if self._buf:
             buf, self._buf = self._buf, []
+            apply_flush = getattr(self._backend, "apply_flush", None)
+            if apply_flush is not None:
+                apply_flush(
+                    self._rank,
+                    tuple(buf),
+                    diag_batching=self._diag_batching,
+                    planning=self._planning,
+                    cost_model=self._cost_model,
+                )
+                return
             buf = lower_flush(
                 buf,
                 self._backend.num_qubits,

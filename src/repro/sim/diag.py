@@ -60,7 +60,7 @@ class DiagBatch:
     arguments.
     """
 
-    __slots__ = ("phases1", "phases2", "_qubits")
+    __slots__ = ("phases1", "phases2", "_qubits", "sources")
 
     #: Op-protocol constants: a batch is an uncontrolled, multi-target,
     #: diagonal pseudo-op outside the GATESET registry.
@@ -77,6 +77,11 @@ class DiagBatch:
         self.phases1 = phases1
         self.phases2 = phases2
         self._qubits = tuple(qubits)
+        #: Source op records the batch was coalesced from (set by
+        #: :meth:`from_ops` when every input is a plain op; ``None``
+        #: otherwise).  The schedule cache keys on them to rebuild the
+        #: phase tables under fresh rotation parameters.
+        self.sources = None
 
     @property
     def qubits(self) -> tuple:
@@ -128,8 +133,11 @@ class DiagBatch:
             else:
                 phases2[(a, b)] = np.array(table, dtype=np.complex128)
 
+        ops = tuple(ops)
+        plain = True
         for op in ops:
             if isinstance(op, DiagBatch):
+                plain = False
                 for q, t in op.phases1.items():
                     touch((q,))
                     mul1(q, t)
@@ -152,7 +160,10 @@ class DiagBatch:
                 mul1(qs[0], d)
             else:
                 mul2(qs[0], qs[1], d)
-        return cls(phases1, phases2, order)
+        batch = cls(phases1, phases2, order)
+        if plain:
+            batch.sources = ops
+        return batch
 
     def terms(self):
         """Yield ``(qubits, table)`` elementary diagonal factors.

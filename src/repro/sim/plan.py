@@ -52,7 +52,14 @@ import numpy as np
 
 from .diag import DiagBatch
 
-__all__ = ["ContractionPlan", "plan_contractions", "MAX_WINDOW"]
+__all__ = [
+    "ContractionPlan",
+    "plan_contractions",
+    "window_product",
+    "freeze_window",
+    "replay_window",
+    "MAX_WINDOW",
+]
 
 #: Default largest number of distinct qubits a plan window may span.
 #: Three local qubits keep the fused unitary at 8x8 — still far below
@@ -79,7 +86,7 @@ class ContractionPlan:
     arguments.
     """
 
-    __slots__ = ("u", "_qubits", "n_ops", "is_diagonal")
+    __slots__ = ("u", "_qubits", "n_ops", "is_diagonal", "sources")
 
     #: Op-protocol constants: a plan is an uncontrolled multi-target
     #: pseudo-op outside the GATESET registry.
@@ -97,6 +104,11 @@ class ContractionPlan:
         self.is_diagonal = bool(
             np.count_nonzero(u - np.diag(np.diagonal(u))) == 0
         )
+        #: Source op records the plan was fused from (set by
+        #: :meth:`from_ops`; ``None`` for directly constructed plans).
+        #: The schedule cache keys on them to rebind the window unitary
+        #: under fresh rotation parameters.
+        self.sources = None
 
     @property
     def qubits(self) -> tuple:
@@ -134,33 +146,113 @@ class ContractionPlan:
                 if q not in seen:
                     seen.add(q)
                     window.append(q)
-        w = len(window)
-        wtup = tuple(window)
-        # Accumulate U as a matrix; an op spanning the whole window in
-        # window order is a plain matmul (the common case for two-qubit
-        # windows), anything else embeds through a (2,)*w + (2,)*w view
-        # of U — applying the op matrix to U's row axes is the operator
-        # product E @ U without materializing the embedded E.
-        u = np.eye(1 << w, dtype=np.complex128)
-        for op in ops:
-            m = np.asarray(op.matrix(), dtype=np.complex128)
-            if op.qubits == wtup:
-                u = m @ u
-                continue
-            k = len(op.qubits)
-            axes = [window.index(q) for q in op.qubits]
-            t = np.tensordot(
-                m.reshape((2,) * (2 * k)),
-                u.reshape((2,) * (2 * w)),
-                axes=(range(k, 2 * k), axes),
-            )
-            u = np.ascontiguousarray(
-                np.moveaxis(t, range(k), axes)
-            ).reshape(1 << w, 1 << w)
-        return cls(u, window, len(ops))
+        u = window_product(ops, window, lambda op: op.matrix())
+        plan = cls(u, window, len(ops))
+        plan.sources = ops
+        return plan
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ContractionPlan qubits={self._qubits} n_ops={self.n_ops}>"
+
+
+def window_product(ops, window, matrix_of, dtype=np.complex128):
+    """In-order operator product of ``ops`` embedded over ``window``.
+
+    ``matrix_of(op)`` supplies each op's full matrix (controls
+    included); the result is the ``2^w x 2^w`` product ``M_k ... M_1``
+    with every matrix embedded over the window qubits.  An op spanning
+    the whole window in window order is a plain matmul (the common case
+    for two-qubit windows), anything else embeds through a
+    ``(2,)*w + (2,)*w`` view of U — applying the op matrix to U's row
+    axes is the operator product ``E @ U`` without materializing the
+    embedded ``E``.  :meth:`ContractionPlan.from_ops` runs it on the
+    actual matrices; the schedule cache runs it on non-negative
+    *support* matrices (which cannot cancel) to classify parametric
+    windows independently of their rotation angles.
+    """
+    window = list(window)
+    w = len(window)
+    wtup = tuple(window)
+    u = np.eye(1 << w, dtype=dtype)
+    for op in ops:
+        m = np.asarray(matrix_of(op), dtype=dtype)
+        if op.qubits == wtup:
+            u = m @ u
+            continue
+        k = len(op.qubits)
+        axes = [window.index(q) for q in op.qubits]
+        t = np.tensordot(
+            m.reshape((2,) * (2 * k)),
+            u.reshape((2,) * (2 * w)),
+            axes=(range(k, 2 * k), axes),
+        )
+        u = np.ascontiguousarray(
+            np.moveaxis(t, range(k), axes)
+        ).reshape(1 << w, 1 << w)
+    return u
+
+
+def freeze_window(ops, window):
+    """Precompute the structural recipe of one :func:`window_product`.
+
+    For every op the recipe captures the shape of its embedding step —
+    ``None`` for a full-window matmul, else ``(k, perm_in, perm_out)``
+    where the permutations are exactly the transposes
+    ``np.tensordot``/``np.moveaxis`` derive internally per call.  The
+    recipe depends only on the window structure (op arities and qubit
+    positions), never on matrix values, so the schedule cache computes
+    it once per cached plan and replays fresh parameter payloads through
+    :func:`replay_window` at a fraction of the per-flush cost.
+    """
+    window = list(window)
+    w = len(window)
+    wtup = tuple(window)
+    widx = {q: i for i, q in enumerate(window)}
+    steps = []
+    for op in ops:
+        if op.qubits == wtup:
+            steps.append(None)
+            continue
+        k = len(op.qubits)
+        axes = [widx[q] for q in op.qubits]
+        # np.tensordot(m.reshape((2,)*2k), u.reshape((2,)*2w),
+        #              axes=(range(k, 2k), axes)) transposes u by
+        # contracted-axes-first before one flat dot ...
+        perm_in = tuple(axes) + tuple(
+            x for x in range(2 * w) if x not in axes
+        )
+        # ... and np.moveaxis(t, range(k), axes) is this transpose.
+        order = list(range(k, 2 * w))
+        for dest, src in sorted(zip(axes, range(k))):
+            order.insert(dest, src)
+        steps.append((k, perm_in, tuple(order)))
+    return (w, tuple(steps))
+
+
+def replay_window(recipe, mats, dtype=np.complex128):
+    """Re-run a frozen :func:`window_product` on fresh matrices.
+
+    Performs, step for step, the same numpy operations
+    :func:`window_product` performs — the flat ``dot`` with the same
+    operand layouts, the same transposes, the same contiguous copy — so
+    the result is bit-identical to rebuilding the product from scratch;
+    only the per-call structure derivation is skipped.
+    """
+    w, steps = recipe
+    full = (2,) * (2 * w)
+    dim = 1 << w
+    u = np.eye(dim, dtype=dtype)
+    for m, step in zip(mats, steps):
+        if step is None:
+            u = m @ u
+            continue
+        k, perm_in, perm_out = step
+        bt = u.reshape(full).transpose(perm_in).reshape(1 << k, -1)
+        t = np.dot(m, bt)
+        u = np.ascontiguousarray(
+            t.reshape(full).transpose(perm_out)
+        ).reshape(dim, dim)
+    return u
 
 
 def _plannable(op) -> bool:

@@ -61,7 +61,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .diag import DiagBatch, coalesce_diagonals
-from .plan import MAX_WINDOW, ContractionPlan, plan_contractions
+from .plan import MAX_WINDOW, ContractionPlan, plan_contractions, window_product
 
 __all__ = [
     "LOCAL",
@@ -75,6 +75,8 @@ __all__ = [
     "PlanSegment",
     "ExchangeSegment",
     "classify_matrix",
+    "is_parametric",
+    "plan_support",
     "lower_flush",
     "compile_segments",
     "iter_stretches",
@@ -281,7 +283,60 @@ def lower_flush(
 # ----------------------------------------------------------------------
 # layout classification
 # ----------------------------------------------------------------------
-def classify_matrix(u: np.ndarray, bits, n_local: int):
+def _csel_layout(bits, n_local: int):
+    """Structural sub-block layout of a window over the chunk boundary.
+
+    Returns ``(mixing, rows_per_sig, hi_bits, lo_bits)``: the boolean
+    mask of matrix entries that would couple two distinct shard-axis
+    bit patterns, the row-index array each shard-bit signature selects,
+    and the shard-/local-bit tuples of the eventual ``"csel"`` entry.
+    Depends only on ``bits`` and ``n_local`` — never on matrix values —
+    so the schedule cache can reuse it across parameter rebinds.
+    """
+    bits = list(bits)
+    w = len(bits)
+    high_idx = [i for i, b in enumerate(bits) if b >= n_local]
+    h = len(high_idx)
+    # Row/column index bit of window qubit i is (w - 1 - i); the matrix
+    # is exchange-free iff no entry couples two distinct shard-axis bit
+    # patterns.
+    hmask = sum(1 << (w - 1 - i) for i in high_idx)
+    g = np.arange(1 << w)
+    mixing = (g[:, None] & hmask) != (g[None, :] & hmask)
+    rows_per_sig = []
+    for sig in range(1 << h):
+        pattern = sum(
+            ((sig >> (h - 1 - j)) & 1) << (w - 1 - i)
+            for j, i in enumerate(high_idx)
+        )
+        rows_per_sig.append(g[(g & hmask) == pattern])
+    hi_bits = tuple(bits[i] - n_local for i in high_idx)
+    lo_bits = tuple(b for b in bits if b < n_local)
+    return mixing, rows_per_sig, hi_bits, lo_bits
+
+
+def _csel_table(u: np.ndarray, rows_per_sig):
+    """Extract the per-signature sub-blocks of a block-diagonal window.
+
+    Identity sub-blocks become ``None`` (skipped at execution), ``1x1``
+    sub-blocks collapse to scalars.  Value-dependent by design: the
+    schedule cache re-runs this per parameter payload while reusing the
+    structural ``rows_per_sig`` layout.
+    """
+    eye = np.eye(len(rows_per_sig[0]), dtype=np.complex128)
+    table = []
+    for rows in rows_per_sig:
+        sub = np.ascontiguousarray(u[np.ix_(rows, rows)])
+        if np.allclose(sub, eye, rtol=0.0, atol=1e-12):
+            table.append(None)
+        elif sub.shape == (1, 1):
+            table.append(complex(sub[0, 0]))
+        else:
+            table.append(sub)
+    return tuple(table)
+
+
+def classify_matrix(u: np.ndarray, bits, n_local: int, support=None):
     """Classify a unitary over bit positions against the chunk layout.
 
     Returns a kernel-run entry for the communication-free forms, or
@@ -297,6 +352,14 @@ def classify_matrix(u: np.ndarray, bits, n_local: int):
       scalars);
     * anything else mixes amplitudes across a shard axis — ``None``.
 
+    ``support`` (optional) is a non-negative matrix whose nonzero
+    pattern is a superset of ``|u|``'s for *every* parameter assignment
+    (see :func:`plan_support`): when given, the block-diagonality
+    decision is made on it instead of on ``u``'s current values, so the
+    classification is stable under parameter rebinding — a window that
+    happens to be block-diagonal at one angle but mixes at another is
+    always classified ``mixing``.
+
     This is the classification that used to live in
     ``ShardedStateVector._classify_plan``, hoisted here so it runs in
     exactly one place, once per plan.
@@ -304,35 +367,79 @@ def classify_matrix(u: np.ndarray, bits, n_local: int):
     bits = list(bits)
     if all(b < n_local for b in bits):
         return ("ct", u, tuple(bits))
-    w = len(bits)
-    high_idx = [i for i, b in enumerate(bits) if b >= n_local]
-    h = len(high_idx)
-    # Row/column index bit of window qubit i is (w - 1 - i); the matrix
-    # is exchange-free iff no entry couples two distinct shard-axis bit
-    # patterns.
-    hmask = sum(1 << (w - 1 - i) for i in high_idx)
-    g = np.arange(1 << w)
-    mixing = (g[:, None] & hmask) != (g[None, :] & hmask)
-    if np.any(np.abs(u[mixing]) > 1e-12):
+    mixing, rows_per_sig, hi_bits, lo_bits = _csel_layout(bits, n_local)
+    probe = np.abs(u) if support is None else support
+    if np.any(probe[mixing] > 1e-12):
         return None
-    eye = np.eye(1 << (w - h), dtype=np.complex128)
-    table = []
-    for sig in range(1 << h):
-        pattern = sum(
-            ((sig >> (h - 1 - j)) & 1) << (w - 1 - i)
-            for j, i in enumerate(high_idx)
-        )
-        rows = g[(g & hmask) == pattern]
-        sub = np.ascontiguousarray(u[np.ix_(rows, rows)])
-        if np.allclose(sub, eye, rtol=0.0, atol=1e-12):
-            table.append(None)
-        elif sub.shape == (1, 1):
-            table.append(complex(sub[0, 0]))
-        else:
-            table.append(sub)
-    hi_bits = tuple(bits[i] - n_local for i in high_idx)
-    lo_bits = tuple(b for b in bits if b < n_local)
-    return ("csel", tuple(table), hi_bits, lo_bits)
+    return ("csel", _csel_table(u, rows_per_sig), hi_bits, lo_bits)
+
+
+# ----------------------------------------------------------------------
+# parameter-stable structure: support supersets
+# ----------------------------------------------------------------------
+#: Generic sample angles for parametric support evaluation.  Every
+#: matrix entry of the built-in rotation builders is of the form
+#: ``cos(t/2)``, ``sin(t/2)`` or ``e^{i t}`` — each vanishes only on an
+#: isolated lattice of angles spaced ``pi`` apart (as half-angles), so
+#: no entry can vanish at both samples and the elementwise maximum over
+#: them covers the support of *every* parameter assignment.
+_SUPPORT_SAMPLES = (0.7365439, 2.1130981)
+
+
+def is_parametric(op) -> bool:
+    """Whether ``op`` is a named gate with continuous parameters.
+
+    Parametric ops are the ones whose matrix values the schedule cache
+    holds out of the structural key (the parameters travel in the
+    payload vector instead); explicit-``unitary`` ops and constant
+    gates hash by value/name.
+    """
+    return bool(
+        getattr(op, "params", ())
+        and getattr(op, "spec", None) is not None
+        and getattr(op.spec, "builder", None) is not None
+    )
+
+
+def _op_support(op) -> np.ndarray:
+    """Non-negative support superset of an op's full matrix.
+
+    Constant and explicit-matrix ops contribute their exact nonzero
+    pattern; parametric ops contribute the union of their patterns at
+    the two generic :data:`_SUPPORT_SAMPLES` angles, which covers every
+    parameter assignment for sinusoidal/phase entries.
+    """
+    if is_parametric(op):
+        acc = None
+        for s in _SUPPORT_SAMPLES:
+            sampled = type(op)(op.gate, op.qubits, (s,) * len(op.params))
+            m = np.abs(np.asarray(sampled.matrix(), dtype=np.complex128))
+            acc = m if acc is None else np.maximum(acc, m)
+        m = acc
+    else:
+        m = np.abs(np.asarray(op.matrix(), dtype=np.complex128))
+    return (m > 1e-12).astype(np.float64)
+
+
+def plan_support(plan: ContractionPlan):
+    """Support superset of a plan's window unitary over all parameters.
+
+    Returns ``None`` when the plan carries no parametric sources (its
+    current values *are* its structure — classify them directly), else
+    a non-negative matrix whose nonzero pattern contains ``|plan.u|``'s
+    for every parameter assignment: the boolean chain product of the
+    per-op support matrices (non-negative products cannot cancel, so
+    the product pattern only ever over-approximates).  Classifying on
+    it keeps the block-diagonal/mixing decision identical across
+    parameter rebinds — the invariant the schedule cache relies on.
+    """
+    sources = plan.sources
+    if sources is None or not any(is_parametric(op) for op in sources):
+        return None
+    s = window_product(
+        sources, plan.qubits, _op_support, dtype=np.float64
+    )
+    return (s > 1e-12).astype(np.float64)
 
 
 # ----------------------------------------------------------------------
@@ -401,7 +508,9 @@ def compile_segments(
                 )
                 continue
             bits = [bit(q) for q in op.qubits]
-            entry = classify_matrix(op.u, bits, n_local)
+            entry = classify_matrix(
+                op.u, bits, n_local, support=plan_support(op)
+            )
             if entry is None:
                 segs.append(
                     PlanSegment(
@@ -425,7 +534,12 @@ def compile_segments(
         if not controls and len(targets) == 1:
             u = np.asarray(op.target_matrix(), dtype=np.complex128)
             b = bit(targets[0])
-            diag = u[0, 1] == 0 and u[1, 0] == 0
+            # Structural diagonality (gate spec, not current values):
+            # an rx(0.0) that happens to be the identity is still
+            # routed as non-diagonal, so the comm pattern is a function
+            # of circuit *shape* and the schedule cache can replay it
+            # under any parameter payload.
+            diag = op.is_diagonal
             if b < n_local:
                 push_entry(op, ("sq", u, b, diag), LOCAL)
                 continue
@@ -442,7 +556,7 @@ def compile_segments(
         if controls and len(targets) == 1:
             u = np.asarray(op.target_matrix(), dtype=np.complex128)
             t_b = bit(targets[0])
-            diag = u[0, 1] == 0 and u[1, 0] == 0
+            diag = op.is_diagonal
             if t_b >= n_local and not diag:
                 # Non-diagonal shard-axis target: restricted pair
                 # exchange (the engine's specialized path).

@@ -112,6 +112,10 @@ class ShardedStateVector:
     0.4999...
     """
 
+    #: Amplitude dtype name; part of the engine layout key (see
+    #: :meth:`layout_key`) so cached schedules never cross precisions.
+    dtype = "complex128"
+
     def __init__(
         self,
         n_qubits: int = 0,
@@ -132,6 +136,10 @@ class ShardedStateVector:
         self._pool: ChunkPool | None = None
         self._shm: list[shared_memory.SharedMemory] | None = [] if workers else None
         self._retired: list[shared_memory.SharedMemory] = []
+        # Memoized run-level task partition: ((n_chunks, n_tasks), refs)
+        # — reused verbatim across stretches (and cached-schedule
+        # replays) until the chunk layout reallocates.
+        self._partition_memo: tuple | None = None
         # Zero qubits == one chunk holding the single amplitude 1.
         self._chunks: list[np.ndarray] = []
         self._store_chunks([np.ones(1, dtype=np.complex128)])
@@ -265,6 +273,7 @@ class ShardedStateVector:
                     c[:] = a
             return
         self._drain_retired()
+        self._partition_memo = None
         old = self._shm
         self._shm = []
         chunks = []
@@ -514,8 +523,38 @@ class ShardedStateVector:
         O(workers) queue round-trips per stretch instead of
         O(chunks x entries)).
         """
-        segs = compile_segments(ops, bit=self._bit, n_local=self.n_local)
-        for stretch, barrier in iter_stretches(segs):
+        self.execute_segments(self.compile_batch(ops))
+
+    # ------------------------------------------------------------------
+    # schedule-cache engine API (see repro.sim.cache)
+    # ------------------------------------------------------------------
+    def layout_key(self, qubits):
+        """Layout fingerprint of this engine for the touched ``qubits``.
+
+        Pins each touched qubit's global bit position, the chunk
+        boundary, the active chunk count, the presence of shot-branch
+        rows, and the amplitude dtype — everything
+        :meth:`compile_batch`'s classification *and* the segment
+        interpreters depend on.  Equal keys mean a cached segment list
+        compiled under one is exact under the other; unknown qubit ids
+        raise, so a recycled engine can never bind a stale schedule.
+        """
+        return (
+            "sharded",
+            tuple(self._bit(q) for q in qubits),
+            self.n_local,
+            len(self._chunks),
+            self._shots is not None,
+            self.dtype,
+        )
+
+    def compile_batch(self, ops):
+        """Compile a lowered op batch against the current chunk layout."""
+        return compile_segments(ops, bit=self._bit, n_local=self.n_local)
+
+    def execute_segments(self, segments) -> None:
+        """Interpret an already-compiled segment list (cache replay path)."""
+        for stretch, barrier in iter_stretches(segments):
             self.segments_executed += len(stretch) + (0 if barrier is None else 1)
             if stretch:
                 self._apply_stretch(stretch)
@@ -524,6 +563,210 @@ class ShardedStateVector:
             if isinstance(barrier, PlanSegment):
                 # Shard-axis-mixing plan: one exchange for the whole
                 # fused run instead of one per constituent op.
+                self.apply(barrier.plan.u, *barrier.plan.qubits)
+            else:
+                op = barrier.op
+                if op.controls:
+                    self.apply_controlled(
+                        op.target_matrix(), list(op.controls), list(op.targets)
+                    )
+                else:
+                    self.apply(op.target_matrix(), *op.targets)
+
+    # ------------------------------------------------------------------
+    # frozen replay (schedule-cache warm path)
+    # ------------------------------------------------------------------
+    def freeze_segments(self, segments):
+        """Freeze a bound segment list into a replay program.
+
+        Precomputes the stretch grouping (:func:`iter_stretches`), the
+        per-stretch cost tag (structural — rebinding never changes it),
+        the run/diag fold boundaries, and — per kernel-run fold — one
+        specialized step list **per chunk** (:meth:`_freeze_run`): every
+        branch :func:`~repro.sim.parallel.apply_run` decides per entry
+        per chunk per flush (kind dispatch, shard-axis factor selection,
+        control-mask participation, index-tuple construction) is decided
+        once here.  Steps reference the live segment objects and re-read
+        their entries on every execution, so the cache's in-place
+        parameter rebinding flows through; the arithmetic on the
+        amplitudes is the interpreter's, expression for expression.
+        """
+        nl = self.n_local
+        n_chunks = len(self._chunks)
+        steps = []
+        for stretch, barrier in iter_stretches(segments):
+            if stretch:
+                folds = []
+                run: list = []
+                for seg in stretch:
+                    if isinstance(seg, DiagSegment):
+                        if run:
+                            folds.append(
+                                ("run", self._freeze_run(run, nl, n_chunks))
+                            )
+                            run = []
+                        folds.append(("diag", seg))
+                    else:
+                        run.append(seg)
+                if run:
+                    folds.append(("run", self._freeze_run(run, nl, n_chunks)))
+                cost = sum(seg.cost for seg in stretch)
+                steps.append(
+                    ("stretch", tuple(stretch), cost, tuple(folds), len(stretch))
+                )
+            if barrier is not None:
+                steps.append(("barrier", barrier))
+        return tuple(steps)
+
+    @staticmethod
+    def _freeze_run(segs, nl, n_chunks):
+        """Specialize a kernel-run fold into per-chunk step lists.
+
+        Mirrors :func:`~repro.sim.parallel.apply_run`'s dispatch exactly:
+        each entry becomes, per chunk, one precomputed step — or no step
+        at all for a chunk whose shard-axis control bits rule it out.
+        Only ``(seg, i)`` references are stored for the matrices, which
+        rebinding replaces inside the live segments.
+        """
+        per_chunk: list[list] = [[] for _ in range(n_chunks)]
+        vshape = (-1,) + (2,) * nl
+        for seg in segs:
+            if isinstance(seg, KernelRun):
+                sources = [(seg, i, e) for i, e in enumerate(seg.entries)]
+            else:  # communication-free PlanSegment
+                sources = [(seg, None, seg.entry)]
+            for src, i, e in sources:
+                kind = e[0]
+                if kind == "sq":
+                    b, diag = e[2], e[3]
+                    if b >= nl:
+                        sh = b - nl
+                        for ci in range(n_chunks):
+                            per_chunk[ci].append(
+                                ("ss", src, i, (ci >> sh) & 1)
+                            )
+                    else:
+                        shp = (-1, 2, 1 << b)
+                        tag = "sd" if diag else "sf"
+                        for ci in range(n_chunks):
+                            per_chunk[ci].append((tag, src, i, shp))
+                elif kind == "cc":
+                    cmask, local_controls, t_bit, diag = e[2], e[3], e[4], e[5]
+                    base: list = [slice(None)] * (nl + 1)
+                    for b in local_controls:
+                        base[1 + nl - 1 - b] = 1
+                    if t_bit >= nl:
+                        idx = tuple(base)
+                        sh = t_bit - nl
+                        for ci in range(n_chunks):
+                            if (ci & cmask) != cmask:
+                                continue
+                            per_chunk[ci].append(
+                                ("cs", src, i, vshape, idx, (ci >> sh) & 1)
+                            )
+                    else:
+                        ax = 1 + nl - 1 - t_bit
+                        idx0 = list(base)
+                        idx0[ax] = 0
+                        idx1 = list(base)
+                        idx1[ax] = 1
+                        step = (
+                            "cd" if diag else "cf",
+                            src,
+                            i,
+                            vshape,
+                            tuple(idx0),
+                            tuple(idx1),
+                        )
+                        for ci in range(n_chunks):
+                            if (ci & cmask) != cmask:
+                                continue
+                            per_chunk[ci].append(step)
+                elif i is None:  # PlanSegment "ct"/"csel": generic entry
+                    for ci in range(n_chunks):
+                        per_chunk[ci].append(("gp", src))
+                else:  # KernelRun "ct"/"csel": generic entry
+                    for ci in range(n_chunks):
+                        per_chunk[ci].append(("g", src, i))
+        return tuple(tuple(s) for s in per_chunk)
+
+    def _exec_frozen_run(self, per_chunk, nl) -> None:
+        """Run one frozen kernel fold chunk by chunk.
+
+        Each step replays the exact arithmetic of its
+        :func:`~repro.sim.parallel.apply_run` branch on the live entry
+        matrix; scalar factors, operand order and in-place writes match
+        expression for expression, so results are bit-identical to the
+        interpreter.
+        """
+        for ci, chunk in enumerate(self._chunks):
+            for st in per_chunk[ci]:
+                tag = st[0]
+                if tag == "sf":
+                    u = st[1].entries[st[2]][1]
+                    v = chunk.reshape(st[3])
+                    a0 = v[:, 0, :].copy()
+                    a1 = v[:, 1, :]
+                    v[:, 0, :] = u[0, 0] * a0 + u[0, 1] * a1
+                    v[:, 1, :] = u[1, 0] * a0 + u[1, 1] * a1
+                elif tag == "sd":
+                    u = st[1].entries[st[2]][1]
+                    v = chunk.reshape(st[3])
+                    if u[0, 0] != 1.0:
+                        v[:, 0, :] *= u[0, 0]
+                    if u[1, 1] != 1.0:
+                        v[:, 1, :] *= u[1, 1]
+                elif tag == "cf":
+                    u = st[1].entries[st[2]][1]
+                    view = chunk.reshape(st[3])
+                    a0 = view[st[4]]
+                    a1 = view[st[5]]
+                    new0 = u[0, 0] * a0 + u[0, 1] * a1
+                    view[st[5]] = u[1, 0] * a0 + u[1, 1] * a1
+                    view[st[4]] = new0
+                elif tag == "cd":
+                    u = st[1].entries[st[2]][1]
+                    view = chunk.reshape(st[3])
+                    if u[0, 0] != 1.0:
+                        view[st[4]] *= u[0, 0]
+                    if u[1, 1] != 1.0:
+                        view[st[5]] *= u[1, 1]
+                elif tag == "ss":
+                    u = st[1].entries[st[2]][1]
+                    sel = st[3]
+                    f = u[sel, sel]
+                    if f != 1.0:
+                        chunk *= f
+                elif tag == "cs":
+                    u = st[1].entries[st[2]][1]
+                    sel = st[5]
+                    f = u[sel, sel]
+                    if f != 1.0:
+                        chunk.reshape(st[3])[st[4]] *= f
+                elif tag == "g":
+                    apply_run(chunk, (st[1].entries[st[2]],), nl, ci)
+                else:  # "gp"
+                    apply_run(chunk, (st[1].entry,), nl, ci)
+
+    def execute_frozen(self, program) -> None:
+        """Replay a frozen program (same arithmetic as the interpreter)."""
+        nl = self.n_local
+        for step in program:
+            if step[0] == "stretch":
+                _, stretch, cost, folds, n_segments = step
+                self.segments_executed += n_segments
+                if self._parallel_ready(cost):
+                    self._dispatch_stretch(stretch)
+                    continue
+                for kind, payload in folds:
+                    if kind == "diag":
+                        self._apply_diag_batch(payload.batch)
+                    else:
+                        self._exec_frozen_run(payload, nl)
+                continue
+            barrier = step[1]
+            self.segments_executed += 1
+            if isinstance(barrier, PlanSegment):
                 self.apply(barrier.plan.u, *barrier.plan.qubits)
             else:
                 op = barrier.op
@@ -652,15 +895,23 @@ class ShardedStateVector:
             pool = self._get_pool()
             n_chunks = len(self._chunks)
             n_tasks = min(pool.workers, n_chunks)
-            tasks = []
-            for w in range(n_tasks):
-                lo = w * n_chunks // n_tasks
-                hi = (w + 1) * n_chunks // n_tasks
-                refs = tuple(
-                    (self._shm[ci].name, self._chunks[ci].size, ci)
-                    for ci in range(lo, hi)
-                )
-                tasks.append(("segments", refs, nl, tuple(payloads)))
+            memo = self._partition_memo
+            if memo is None or memo[0] != (n_chunks, n_tasks):
+                parts = []
+                for w in range(n_tasks):
+                    lo = w * n_chunks // n_tasks
+                    hi = (w + 1) * n_chunks // n_tasks
+                    parts.append(
+                        tuple(
+                            (self._shm[ci].name, self._chunks[ci].size, ci)
+                            for ci in range(lo, hi)
+                        )
+                    )
+                memo = ((n_chunks, n_tasks), tuple(parts))
+                self._partition_memo = memo
+            tasks = [
+                ("segments", refs, nl, tuple(payloads)) for refs in memo[1]
+            ]
             pool.run_tasks(tasks)
         finally:
             for shm in scratch:

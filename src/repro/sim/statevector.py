@@ -54,6 +54,11 @@ class StateVector:
     0.4999...
     """
 
+    #: Amplitude dtype name; part of the engine layout key so a cached
+    #: schedule compiled for one precision is never replayed on another
+    #: (forward-looking: the array dtype below is pinned to it).
+    dtype = "complex128"
+
     def __init__(self, n_qubits: int = 0, seed=None):
         self._psi = np.array(1.0 + 0j)  # shape () scalar == zero qubits
         self._axis_of: dict[int, int] = {}
@@ -252,7 +257,37 @@ class StateVector:
         amplitudes for the whole fused run); the sharded engine overlays
         real per-chunk batching and worker dispatch on the same IR.
         """
-        for seg in compile_segments(ops):
+        self.execute_segments(self.compile_batch(ops))
+
+    # ------------------------------------------------------------------
+    # schedule-cache engine API (see repro.sim.cache)
+    # ------------------------------------------------------------------
+    def layout_key(self, qubits):
+        """Layout fingerprint of this engine for the touched ``qubits``.
+
+        Two calls returning equal keys guarantee that a segment list
+        compiled under the first is valid under the second: the key
+        pins the axis of every touched qubit, the total axis count, the
+        presence of the shots branch axis, and the amplitude dtype.
+        Unknown qubit ids raise, so a stale cached schedule can never
+        bind to a recycled engine that no longer owns them.
+        """
+        branch = self._shots is not None
+        return (
+            "shared",
+            tuple(self._axis(q) for q in qubits),
+            self._psi.ndim,
+            branch,
+            self.dtype,
+        )
+
+    def compile_batch(self, ops):
+        """Compile a lowered op batch into this engine's segment list."""
+        return compile_segments(ops)
+
+    def execute_segments(self, segments) -> None:
+        """Interpret an already-compiled segment list (cache replay path)."""
+        for seg in segments:
             self.segments_executed += 1
             if isinstance(seg, KernelRun):
                 for op in seg.ops:
@@ -267,6 +302,116 @@ class StateVector:
                 self._apply_diag_batch(seg.batch)
             else:  # PlanSegment (ExchangeSegment never occurs layout-less)
                 self.apply(seg.plan.u, *seg.plan.qubits)
+
+    # ------------------------------------------------------------------
+    # frozen replay (schedule-cache warm path)
+    # ------------------------------------------------------------------
+    def _freeze_contraction(self, target_axes, ndim):
+        """Precompute the transpose/reshape/dot pipeline of one ``apply``.
+
+        Replicates exactly what ``np.tensordot(ut, psi, (col_axes,
+        target_axes))`` followed by ``np.moveaxis(res, range(k), axes)``
+        does: transpose the contracted axes to the front, flatten to a
+        ``(2^k, rest)`` matrix, one ``np.dot``, then the inverse
+        permutation — the same array operations on the same values, so
+        the result is bit-identical to the interpreter.
+        """
+        k = len(target_axes)
+        notin = tuple(a for a in range(ndim) if a not in target_axes)
+        perm_in = tuple(target_axes) + notin
+        order = list(range(k, ndim))
+        for dest, src in sorted(zip(target_axes, range(k))):
+            order.insert(dest, src)
+        return k, 1 << k, notin, perm_in, tuple(order)
+
+    def freeze_segments(self, segments):
+        """Freeze a bound segment list into a replay program.
+
+        One step per kernel op / diagonal batch / plan, with every
+        axis permutation precomputed against this engine's current
+        layout (the schedule cache keeps one program per
+        :meth:`layout_key`).  Steps hold references to the live segment
+        objects, so the cache's in-place parameter rebinding flows
+        through; matrices are memoized per op *object* (a rebind swaps
+        the op, invalidating the memo).
+        """
+        ndim = self._psi.ndim
+        steps = []
+        n_segments = 0
+        for seg in segments:
+            n_segments += 1
+            if isinstance(seg, KernelRun):
+                for i, op in enumerate(seg.ops):
+                    controls = op.controls
+                    if not controls:
+                        axes = [self._axis(q) for q in op.targets]
+                        steps.append(
+                            ("k", seg, i, [None, None],
+                             *self._freeze_contraction(axes, ndim))
+                        )
+                        continue
+                    c_axes = [self._axis(q) for q in controls]
+                    idx: list = [slice(None)] * ndim
+                    for a in c_axes:
+                        idx[a] = 1
+                    t_axes = []
+                    for q in op.targets:
+                        a = self._axis(q)
+                        t_axes.append(a - sum(1 for c in c_axes if c < a))
+                    steps.append(
+                        ("c", seg, i, [None, None], tuple(idx),
+                         *self._freeze_contraction(t_axes, ndim - len(c_axes)))
+                    )
+            elif isinstance(seg, DiagSegment):
+                steps.append(("d", seg))
+            else:  # PlanSegment
+                axes = [self._axis(q) for q in seg.plan.qubits]
+                steps.append(
+                    ("p", seg, *self._freeze_contraction(axes, ndim))
+                )
+        return n_segments, tuple(steps)
+
+    def execute_frozen(self, program) -> None:
+        """Replay a frozen program (same arithmetic as the interpreter)."""
+        n_segments, steps = program
+        self.segments_executed += n_segments
+        dot = np.dot
+        for step in steps:
+            kind = step[0]
+            if kind == "k":
+                _, seg, i, cell, k, rows, notin, perm_in, perm_out = step
+                op = seg.ops[i]
+                if op is cell[0]:
+                    u = cell[1]
+                else:
+                    u = np.asarray(op.target_matrix(), dtype=np.complex128)
+                    cell[0], cell[1] = op, u
+                psi = self._psi
+                st = psi.transpose(perm_in).reshape(rows, -1)
+                shape = (2,) * k + tuple(psi.shape[a] for a in notin)
+                self._psi = dot(u, st).reshape(shape).transpose(perm_out)
+            elif kind == "c":
+                _, seg, i, cell, idx, k, rows, notin, perm_in, perm_out = step
+                op = seg.ops[i]
+                if op is cell[0]:
+                    u = cell[1]
+                else:
+                    u = np.asarray(op.target_matrix(), dtype=np.complex128)
+                    cell[0], cell[1] = op, u
+                view = self._psi
+                sub = view[idx]
+                st = sub.transpose(perm_in).reshape(rows, -1)
+                shape = (2,) * k + tuple(sub.shape[a] for a in notin)
+                view[idx] = dot(u, st).reshape(shape).transpose(perm_out)
+            elif kind == "d":
+                self._apply_diag_batch(step[1].batch)
+            else:  # "p"
+                _, seg, k, rows, notin, perm_in, perm_out = step
+                u = np.asarray(seg.plan.u, dtype=np.complex128)
+                psi = self._psi
+                st = psi.transpose(perm_in).reshape(rows, -1)
+                shape = (2,) * k + tuple(psi.shape[a] for a in notin)
+                self._psi = dot(u, st).reshape(shape).transpose(perm_out)
 
     def _apply_diag_batch(self, batch: DiagBatch) -> None:
         """One vectorized multiply for a whole coalesced diagonal run.

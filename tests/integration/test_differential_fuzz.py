@@ -1,0 +1,201 @@
+"""Differential fuzzing of the schedule cache.
+
+Seeded random circuits (parameterized rz/ry/rx/crz/cphase + Clifford
+h/x/s/cnot/cz/swap + end-of-circuit measurement) run twice — backend
+``cache="on"`` vs ``cache="off"`` — with identical seeds, and every
+run must agree **bit-identically**: the same measured bits and
+``np.array_equal`` final amplitudes (no tolerance).  Configurations
+cycle deterministically over shared/sharded × all four fusion modes ×
+1/2/4 ranks, so the quick-mode corpus covers the full 24-combination
+matrix several times over.
+
+Each circuit applies the same gate *shape* three times with fresh
+random angles, flushing between passes: on the cache-on side the
+second and third passes replay the compiled schedule with rebound
+parameters, which is exactly the path the cache must prove safe.
+
+Environment knobs (used by CI):
+
+* ``QMPI_FUZZ_SEED`` — base corpus seed (fixed default for PRs; CI
+  rotates it daily on push builds).
+* ``QMPI_FUZZ_CIRCUITS`` — corpus size (default 200).
+
+Failures are shrinking-friendly: the assertion message carries the
+base seed, circuit index, full configuration, and the op-list repr —
+enough to replay one circuit in isolation.
+"""
+
+import os
+
+import numpy as np
+
+from repro.qmpi import qmpi_run
+
+BASE_SEED = int(os.environ.get("QMPI_FUZZ_SEED", "20260808"))
+N_CIRCUITS = int(os.environ.get("QMPI_FUZZ_CIRCUITS", "200"))
+N_SHOT_CIRCUITS = max(4, N_CIRCUITS // 20)
+
+# (gate, arity, n_params) — parameterized rotations + Cliffords.
+GATE_POOL = (
+    ("h", 1, 0),
+    ("x", 1, 0),
+    ("s", 1, 0),
+    ("t", 1, 0),
+    ("rz", 1, 1),
+    ("ry", 1, 1),
+    ("rx", 1, 1),
+    ("cnot", 2, 0),
+    ("cz", 2, 0),
+    ("swap", 2, 0),
+    ("crz", 2, 1),
+    ("cphase", 2, 1),
+)
+
+BACKENDS = ("shared", "sharded")
+FUSIONS = ("auto", "noplan", "nodiag", "off")
+RANKS = (1, 2, 4)
+PASSES = 3  # same shape, fresh angles — passes 2..3 replay warm
+
+
+def _gen_circuit(rng):
+    """One random circuit: (n_qubits, ops, measured) with symbolic angles.
+
+    ``ops`` entries are ``(gate, qubit_indices, n_params)``; concrete
+    angles are drawn per pass so the same shape replays with a fresh
+    payload.
+    """
+    n_qubits = int(rng.integers(2, 6))
+    n_ops = int(rng.integers(6, 19))
+    ops = []
+    for _ in range(n_ops):
+        gate, arity, n_params = GATE_POOL[int(rng.integers(len(GATE_POOL)))]
+        qs = tuple(
+            int(q) for q in rng.choice(n_qubits, size=arity, replace=False)
+        )
+        ops.append((gate, qs, n_params))
+    n_meas = int(rng.integers(0, n_qubits + 1))
+    measured = sorted(
+        int(q) for q in rng.choice(n_qubits, size=n_meas, replace=False)
+    )
+    return n_qubits, tuple(ops), tuple(measured)
+
+
+def _angles(rng, ops):
+    """One concrete angle vector per parametric site, in op order."""
+    return tuple(
+        tuple(float(a) for a in rng.uniform(-np.pi, np.pi, size=n_params))
+        for _, _, n_params in ops
+    )
+
+
+def _prog(qc, n_qubits, ops, measured, passes):
+    """Rank 0 drives the whole circuit; other ranks idle (deterministic)."""
+    if qc.rank != 0:
+        return None
+    q = qc.alloc_qmem(n_qubits)
+    for angles in passes:
+        for (gate, qs, _), theta in zip(ops, angles):
+            getattr(qc, gate)(*(q[i] for i in qs), *theta)
+        qc.flush_ops()  # pass boundary: passes 2..n replay the cached shape
+    return [qc.measure(q[i]) for i in measured]
+
+
+def _run(circ, passes, backend, fusion, n_ranks, cache, shots=None):
+    n_qubits, ops, measured = circ
+    w = qmpi_run(
+        n_ranks,
+        _prog,
+        args=(n_qubits, ops, measured, passes),
+        seed=7,
+        backend=backend,
+        fusion=fusion,
+        shots=shots,
+        cache=cache,
+    )
+    bits = w.results[0]
+    if shots is not None:
+        return [np.asarray(b).tolist() for b in bits], None, w
+    order = sorted(w.backend.qubit_ids())
+    return bits, w.backend.statevector(order), w
+
+
+def _describe(i, circ, passes, backend, fusion, n_ranks, shots=None):
+    n_qubits, ops, measured = circ
+    return (
+        f"fuzz circuit {i} (QMPI_FUZZ_SEED={BASE_SEED}): "
+        f"backend={backend} fusion={fusion} n_ranks={n_ranks} "
+        f"shots={shots} n_qubits={n_qubits} measured={measured}\n"
+        f"ops={ops!r}\n"
+        f"passes={passes!r}"
+    )
+
+
+def _corpus(n, tag):
+    for i in range(n):
+        rng = np.random.default_rng((BASE_SEED, tag, i))
+        circ = _gen_circuit(rng)
+        passes = tuple(_angles(rng, circ[1]) for _ in range(PASSES))
+        yield i, circ, passes
+
+
+def test_fuzz_cache_on_off_bit_identical():
+    """≥200 random circuits: cache replay is bit-identical to no cache."""
+    checked = 0
+    for i, circ, passes in _corpus(N_CIRCUITS, 0):
+        backend = BACKENDS[i % len(BACKENDS)]
+        fusion = FUSIONS[i % len(FUSIONS)]
+        n_ranks = RANKS[i % len(RANKS)]
+        label = _describe(i, circ, passes, backend, fusion, n_ranks)
+        bits_on, sv_on, w_on = _run(circ, passes, backend, fusion, n_ranks, "on")
+        bits_off, sv_off, _ = _run(circ, passes, backend, fusion, n_ranks, "off")
+        assert bits_on == bits_off, f"measured bits diverged\n{label}"
+        assert np.array_equal(sv_on, sv_off), f"amplitudes diverged\n{label}"
+        info = w_on.backend.cache_info()
+        if fusion != "off":
+            # The buffered modes must actually exercise the cache.
+            assert info is not None and info["misses"] + info["bypasses"] > 0, (
+                f"cache never engaged\n{label}"
+            )
+        checked += 1
+    assert checked >= min(N_CIRCUITS, 200) or checked == N_CIRCUITS
+
+
+def test_fuzz_shots_mode_per_shot_bits_identical():
+    """Shot-batched subset: per-shot bits and counts are identical."""
+    for i, circ, passes in _corpus(N_SHOT_CIRCUITS, 1):
+        if not circ[2]:  # need at least one measured qubit
+            circ = (circ[0], circ[1], (0,))
+        backend = BACKENDS[i % len(BACKENDS)]
+        fusion = FUSIONS[i % len(FUSIONS)]
+        n_ranks = RANKS[i % len(RANKS)]
+        label = _describe(i, circ, passes, backend, fusion, n_ranks, shots=8)
+        bits_on, _, w_on = _run(circ, passes, backend, fusion, n_ranks, "on", shots=8)
+        bits_off, _, w_off = _run(circ, passes, backend, fusion, n_ranks, "off", shots=8)
+        assert bits_on == bits_off, f"per-shot bits diverged\n{label}"
+        assert w_on.counts == w_off.counts, f"shot counts diverged\n{label}"
+
+
+def test_fuzz_warm_replay_actually_hits():
+    """A fusion-proof sweep shape records real warm hits (not bypasses).
+
+    Random circuits may peephole-fuse into value-dependent ``UNITARY``
+    records (correctly uncacheable across angle changes), so warm-hit
+    accounting is asserted on a shape built to survive fusion:
+    rotation layers separated by entangler layers.
+    """
+    n_qubits = 4
+    ops = []
+    for layer in range(3):
+        ops.extend(("ry", (q,), 1) for q in range(n_qubits))
+        ops.extend(("cnot", (q, q + 1), 0) for q in range(n_qubits - 1))
+        ops.extend(("crz", (q, q + 1), 1) for q in range(0, n_qubits - 1, 2))
+    circ = (n_qubits, tuple(ops), (0, 1))
+    rng = np.random.default_rng((BASE_SEED, 2))
+    passes = tuple(_angles(rng, circ[1]) for _ in range(PASSES))
+    for backend in BACKENDS:
+        bits_on, sv_on, w_on = _run(circ, passes, backend, "auto", 2, "on")
+        bits_off, sv_off, _ = _run(circ, passes, backend, "auto", 2, "off")
+        assert bits_on == bits_off and np.array_equal(sv_on, sv_off)
+        info = w_on.backend.cache_info()
+        assert info["hits"] >= PASSES - 1, info
+        assert info["bypasses"] == 0, info

@@ -153,6 +153,9 @@ def _spy_backend(backend_cls=SharedBackend):
         return orig(rank, ops)
 
     be.apply_ops = spy
+    # Force the legacy lower-then-apply_ops flush path so the spy sees
+    # the lowered records (apply_flush takes the raw buffer instead).
+    be.apply_flush = None
     return be, seen
 
 

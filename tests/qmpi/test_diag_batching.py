@@ -156,6 +156,9 @@ class _SpyBackend(SharedBackend):
     def __init__(self):
         super().__init__(seed=0)
         self.seen = []
+        # Force the legacy lower-then-apply_ops flush path so the spy
+        # sees the lowered records (apply_flush takes the raw buffer).
+        self.apply_flush = None
 
     def apply_ops(self, rank, ops):
         ops = tuple(ops)

@@ -236,3 +236,31 @@ def test_job_seed_matches_seedsequence_contract():
         assert runner.job_seed(4) == expect
     finally:
         runner.shutdown()
+
+
+def test_cache_key_covers_shots_dtype_and_layout_state():
+    # Regression: recycled backends carry their schedule cache, so the
+    # recycling key must separate anything that changes the engine
+    # layout — exact shot count (branch axis width) and amplitude dtype
+    # — not just "shots vs no shots".
+    runner = JobRunner()
+    try:
+        plain = runner._cache_key("shared", 1, None, "inline", {})
+        s100 = runner._cache_key("shared", 1, 100, "inline", {})
+        s200 = runner._cache_key("shared", 1, 200, "inline", {})
+        assert plain != s100 != s200 and plain != s200
+        # dtype participates even though backends default it.
+        c64 = runner._cache_key("shared", 1, None, "inline", {"dtype": "complex64"})
+        assert c64 != plain
+        assert "complex128" in map(str, plain)
+        # Non-recyclable specs still key to None.
+        assert runner._cache_key(SharedBackend, 1, None, "inline", {}) is None
+        assert (
+            runner._cache_key("shared", 1, None, "inline", {"bad": object()})
+            is not None
+        )  # object() is hashable; only unhashable opts disable recycling
+        assert (
+            runner._cache_key("shared", 1, None, "inline", {"bad": []}) is None
+        )
+    finally:
+        runner.shutdown()

@@ -382,16 +382,16 @@ def test_all_gates_execute_through_apply_ops(backend):
     batches = []
 
     def prog(qc):
-        orig = qc.backend.apply_ops
+        orig = qc.backend.apply_flush
         if not batches:  # wrap once; the backend is shared by all ranks
-            def spy(rank, ops):
+            def spy(rank, ops, **kw):
                 ops = tuple(ops)
-                # A DiagBatch / ContractionPlan record represents a
-                # whole fused run (n_ops); count what the batch carries.
+                # The flush entry point receives the raw buffered batch
+                # (lowering happens behind it, cached); count its ops.
                 batches.append(sum(getattr(op, "n_ops", 1) for op in ops))
-                return orig(rank, ops)
+                return orig(rank, ops, **kw)
 
-            qc.backend.apply_ops = spy
+            qc.backend.apply_flush = spy
         q = _ordered_alloc(qc, 2)
         _random_local_circuit(qc, q, 11 + qc.rank, depth=20)
         qc.barrier()

@@ -196,6 +196,7 @@ def test_no_plan_segment_below_threshold():
     seen = []
     orig = be.apply_ops
     be.apply_ops = lambda rank, ops: (seen.extend(ops), orig(rank, ops))
+    be.apply_flush = None  # legacy flush path: the spy sees lowered records
     qs = tuple(be.alloc(0, 6))
     stream = OpStream(be, 0, fusion="auto")
     for op in _dense_ladder(qs):
@@ -207,6 +208,7 @@ def test_no_plan_segment_below_threshold():
     seen2 = []
     orig2 = be2.apply_ops
     be2.apply_ops = lambda rank, ops: (seen2.extend(ops), orig2(rank, ops))
+    be2.apply_flush = None  # legacy flush path: the spy sees lowered records
     qs2 = tuple(be2.alloc(0, 6))
     stream2 = OpStream(
         be2, 0, fusion="auto", cost_model=CostModel(plan_min_qubits=0)

@@ -52,7 +52,17 @@ INFO_FIELDS = ("mp_vs_inproc",)
 #: machine-dependent phases like the "workers" sections of
 #: BENCH_diag/BENCH_plan — those accumulate cpu_count-keyed history via
 #: tools/fold_workers_ci.py instead) is ignored.
-SECTIONS = ("plan", "diag", "coalescing", "results", "small", "wide", "fabric")
+SECTIONS = (
+    "plan",
+    "diag",
+    "coalescing",
+    "results",
+    "small",
+    "wide",
+    "fabric",
+    "flush",
+    "sweep",
+)
 
 
 def _rows(payload: dict):
