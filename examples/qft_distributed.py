@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.qmpi import DiagBatch, make_backend, qmpi_run
 from repro.apps.qft import dft_column, qft_program
+from repro.sim import lower_flush
 
 
 def main():
@@ -39,16 +40,22 @@ def main():
     backend = make_backend(args.backend, seed=0, n_ranks=args.ranks,
                            **(backend_opts or {}))
     batches = []
-    orig = backend.apply_ops
+    n_total = args.ranks * args.qubits
+    orig = backend.apply_flush
 
-    def spy(rank, ops):
+    def spy(rank, ops, **kw):
+        # apply_flush lowers (or cache-replays) internally; re-run the
+        # same lowering here to record what each flush dispatched.
         ops = tuple(ops)
-        batches.append(ops)
-        return orig(rank, ops)
+        batches.append(tuple(lower_flush(
+            list(ops), n_total,
+            **{k: v for k, v in kw.items() if v is not None},
+        )))
+        return orig(rank, ops, **kw)
 
-    backend.apply_ops = spy
+    backend.apply_flush = spy
     world = qmpi_run(args.ranks, qft_program, args=(args.qubits, 3), backend=backend)
-    backend.apply_ops = orig
+    backend.apply_flush = orig
 
     values = [(3 + r) % (1 << args.qubits) for r in range(args.ranks)]
     qft_gates = args.qubits * (args.qubits + 1) // 2 + args.qubits // 2

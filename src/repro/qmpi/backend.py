@@ -328,6 +328,21 @@ class QuantumBackend:
                 return None
             return self.schedule_cache.info()
 
+    def kernel_info(self) -> dict | None:
+        """Native-kernel dispatch counters, or ``None`` without dispatch.
+
+        Engines without the kernel dispatch layer report ``None``.
+        Mirrors :meth:`cache_info`: a snapshot dict with the resolved
+        ``mode``/``provider``, jit hit / numpy fallback / csel counters,
+        and the one-time provider compile time (see
+        :meth:`repro.sim.kernels.KernelDispatch.info`).
+        """
+        with self._lock:
+            kd = getattr(self._sv, "_kernels", None)
+            if kd is None:
+                return None
+            return kd.info()
+
     def apply(self, rank: int, u: np.ndarray, *qubits: int) -> None:
         """Apply an explicit ``2^k x 2^k`` unitary to ``k`` owned qubits.
 
@@ -433,10 +448,23 @@ class QuantumBackend:
 
 
 class SharedBackend(QuantumBackend):
-    """The paper's §6 semantics: one monolithic rank-0-style state vector."""
+    """The paper's §6 semantics: one monolithic rank-0-style state vector.
 
-    def __init__(self, seed=None, enforce_locality: bool = True, cache: str = "on"):
-        super().__init__(StateVector(seed=seed), enforce_locality, cache=cache)
+    ``kernels`` selects the native-kernel dispatch mode
+    (``"auto"``/``"numpy"``/``"jit"``, default from
+    ``REPRO_QMPI_KERNELS``); see :mod:`repro.sim.kernels`.
+    """
+
+    def __init__(
+        self,
+        seed=None,
+        enforce_locality: bool = True,
+        cache: str = "on",
+        kernels: str | None = None,
+    ):
+        super().__init__(
+            StateVector(seed=seed, kernels=kernels), enforce_locality, cache=cache
+        )
 
 
 class ShardedBackend(QuantumBackend):
@@ -453,6 +481,11 @@ class ShardedBackend(QuantumBackend):
     shared-memory chunk buffers (see :mod:`repro.sim.parallel`). Call
     :meth:`~QuantumBackend.close` to shut the pool down deterministically;
     ``parallel_min_chunk`` tunes the smallest chunk size dispatched.
+
+    ``kernels`` selects the native-kernel dispatch mode
+    (``"auto"``/``"numpy"``/``"jit"``, default from
+    ``REPRO_QMPI_KERNELS``); see :mod:`repro.sim.kernels`. Worker
+    processes inherit the mode and warm the provider once per process.
     """
 
     def __init__(
@@ -463,6 +496,7 @@ class ShardedBackend(QuantumBackend):
         workers: int = 0,
         parallel_min_chunk: int = PARALLEL_MIN_CHUNK,
         cache: str = "on",
+        kernels: str | None = None,
     ):
         super().__init__(
             ShardedStateVector(
@@ -470,6 +504,7 @@ class ShardedBackend(QuantumBackend):
                 n_shards=n_shards,
                 workers=workers,
                 parallel_min_chunk=parallel_min_chunk,
+                kernels=kernels,
             ),
             enforce_locality,
             cache=cache,

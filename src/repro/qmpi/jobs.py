@@ -294,7 +294,9 @@ def qmpi_submit(
     same program model and parameters (``shots=`` included), but the call
     returns a :class:`JobFuture` immediately and the program runs on the
     ``runner`` (default: a shared 8-worker module-level pool). Seeds are
-    assigned per job by the runner — see :class:`JobRunner`.
+    assigned per job by the runner — see :class:`JobRunner`. Backend
+    options (``kernels=``, ``workers=``, ...) pass through ``backend_kw``
+    and participate in the runner's backend-reuse key.
     """
     r = runner if runner is not None else default_runner()
     return r.submit(

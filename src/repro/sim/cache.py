@@ -585,8 +585,13 @@ class ScheduleCache:
         # Engines exposing a freeze surface replay through a per-layout
         # frozen program: the same arithmetic with the interpreter's
         # per-op dispatch precompiled away (see ``freeze_segments`` on
-        # the engines).  The program references the live segment
-        # objects, so in-place rebinds flow through automatically.
+        # the engines).  The sharded engine additionally packs runs of
+        # strided steps into contiguous typed opcode arrays that the
+        # native kernel driver (:mod:`repro.sim.kernels`) walks in one
+        # call per chunk when ``kernels`` dispatch selects the jit path.
+        # The program references the live segment objects, so in-place
+        # rebinds flow through automatically — matrices are re-read at
+        # execute time, not freeze time.
         execute_frozen = getattr(engine, "execute_frozen", None)
         if execute_frozen is not None:
             if layout.frozen is None:

@@ -39,6 +39,8 @@ import cmath
 
 import numpy as np
 
+from .kernels import imul as _imul
+
 __all__ = ["DiagBatch", "coalesce_diagonals", "chunk_phase", "signature_vectors"]
 
 #: Table re-index that swaps the two bits of a pair phase table
@@ -216,7 +218,7 @@ def coalesce_diagonals(ops):
     return out
 
 
-def signature_vectors(singles, pairs, n_local, num_chunks):
+def signature_vectors(singles, pairs, n_local, num_chunks, kernels=None):
     """Materialize phase tables once per shard-bit signature.
 
     ``singles``/``pairs`` are bit-position phase tables (the
@@ -230,12 +232,17 @@ def signature_vectors(singles, pairs, n_local, num_chunks):
     positions the batch touches (chunk-index-relative), a dict mapping
     each signature tuple to its broadcastable tensor, and the per-chunk
     signature list (``sig_of[ci]`` keys into ``vecs``).
+
+    ``kernels`` (a :class:`repro.sim.kernels.KernelDispatch`) routes
+    table materialization through the native phase-fill driver when the
+    engine's mode and the table size warrant it; tables are bit-identical
+    either way.
     """
     lo_s = [(b, t) for b, t in singles if b < n_local]
     hi_s = [(b, t) for b, t in singles if b >= n_local]
     lo_p = [(bb, t) for bb, t in pairs if bb[0] < n_local and bb[1] < n_local]
     hi_p = [(bb, t) for bb, t in pairs if bb[0] >= n_local or bb[1] >= n_local]
-    base = chunk_phase(lo_s, lo_p, n_local)
+    base = chunk_phase(lo_s, lo_p, n_local, kernels=kernels)
     high_bits = sorted(
         {b - n_local for b, _ in hi_s}
         | {b - n_local for bb, _ in hi_p for b in bb if b >= n_local}
@@ -249,7 +256,7 @@ def signature_vectors(singles, pairs, n_local, num_chunks):
             if not high_bits:
                 vecs[sig] = base
             else:
-                extra = chunk_phase(hi_s, hi_p, n_local, ci)
+                extra = chunk_phase(hi_s, hi_p, n_local, ci, kernels=kernels)
                 # All-identity extras (e.g. a control bit fixed to 0)
                 # come back 0-d: those chunks just reuse the base.
                 if extra.ndim == 0 and extra.item() == 1.0:
@@ -259,7 +266,7 @@ def signature_vectors(singles, pairs, n_local, num_chunks):
     return high_bits, vecs, sig_of
 
 
-def chunk_phase(singles, pairs, n_axes, ci=0):
+def chunk_phase(singles, pairs, n_axes, ci=0, kernels=None):
     """Materialize phase tables as one broadcastable tensor.
 
     Parameters
@@ -277,6 +284,12 @@ def chunk_phase(singles, pairs, n_axes, ci=0):
         Chunk index.  Bits ``>= n_axes`` are shard-axis bits whose value
         is fixed per chunk: they contribute scalars (or collapse a pair
         table to a single-axis table) read from ``ci``'s bits.
+    kernels:
+        Optional :class:`repro.sim.kernels.KernelDispatch`.  The
+        multiply-path doubling fill dispatches to the native driver when
+        the mode/size gate passes; the wide-batch angle path always
+        stays on numpy's vectorized cos/sin (libm transcendentals are
+        not bit-portable), so it is identical in every mode.
 
     Returns a complex tensor of shape ``(1|2,) * n_axes`` — size 2 only
     on the axes a table touches — so applying a whole batch to a chunk
@@ -369,19 +382,36 @@ def chunk_phase(singles, pairs, n_axes, ci=0):
         if scalar != 1.0:
             out *= scalar
     else:
-        out = np.full(1, scalar, dtype=np.complex128)
-        for p in range(n_live):
-            out = np.concatenate([out, out])
-            for axes, vals, nz in parts_at[p]:
-                if len(axes) == 1:
-                    v = out.reshape(-1, 2, 1 << pos[axes[0]])
-                    for i in nz:
-                        v[:, i, :] *= vals[i]
-                else:
-                    pa, pb = pos[axes[0]], pos[axes[1]]  # ascending => pa > pb
-                    v = out.reshape(-1, 2, 1 << (pa - pb - 1), 2, 1 << pb)
-                    for i in nz:
-                        v[:, i >> 1, :, i & 1, :] *= vals[i]
+        # The multiply path is the dispatched kernel: folds are planar
+        # float64 multiplies (see repro.sim.kernels — numpy's complex
+        # ufunc may FMA-contract, the planar tree cannot), so the numpy
+        # fill below and the native fill are bit-identical.
+        out = None
+        if kernels is not None and kernels.native(1 << n_live):
+            enc = []
+            for p in range(n_live):
+                for axes, vals, nz in parts_at[p]:
+                    if len(axes) == 1:
+                        enc.append((p, 1, pos[axes[0]], 0, vals, nz))
+                    else:
+                        enc.append((p, 2, pos[axes[0]], pos[axes[1]], vals, nz))
+            out = kernels.phase_fill(scalar, n_live, enc)
+        if out is None:
+            if kernels is not None:
+                kernels.counters["numpy_fallbacks"] += 1
+            out = np.full(1, scalar, dtype=np.complex128)
+            for p in range(n_live):
+                out = np.concatenate([out, out])
+                for axes, vals, nz in parts_at[p]:
+                    if len(axes) == 1:
+                        v = out.reshape(-1, 2, 1 << pos[axes[0]])
+                        for i in nz:
+                            _imul(v[:, i, :], vals[i])
+                    else:
+                        pa, pb = pos[axes[0]], pos[axes[1]]  # ascending => pa > pb
+                        v = out.reshape(-1, 2, 1 << (pa - pb - 1), 2, 1 << pb)
+                        for i in nz:
+                            _imul(v[:, i >> 1, :, i & 1, :], vals[i])
     # Non-unit-modulus leftovers of the angle path: rare, applied as
     # full-size strided complex multiplies on the finished table.
     for axes, vals, nz in deferred:

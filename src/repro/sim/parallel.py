@@ -16,18 +16,24 @@ of the execution schedule (see :mod:`repro.sim.schedule`), so a stretch
 costs ``O(workers)`` queue round-trips instead of ``O(chunks x
 entries)``:
 
-* ``("segments", chunk_refs, n_local, payloads)`` — ``chunk_refs`` is
-  a tuple of ``(shm_name, size, chunk_index)`` for the worker's chunk
-  slice; ``payloads`` is the stretch as ``("run", entries)`` kernel
-  runs (:func:`apply_run`) and ``("mul", high_bits, vec_map)``
-  phase-vector multiplies, where ``vec_map`` maps each shard-bit
-  signature to its staged scratch tensor ``(name, shape)`` and every
-  chunk picks the tensor its own signature selects.
+* ``("segments", chunk_refs, n_local, payloads[, kernel_args])`` —
+  ``chunk_refs`` is a tuple of ``(shm_name, size, chunk_index)`` for
+  the worker's chunk slice; ``payloads`` is the stretch as
+  ``("run", entries)`` kernel runs (:func:`apply_run`) and
+  ``("mul", high_bits, vec_map)`` phase-vector multiplies, where
+  ``vec_map`` maps each shard-bit signature to its staged scratch
+  tensor ``(name, shape)`` and every chunk picks the tensor its own
+  signature selects.  ``kernel_args`` is the engine dispatch's
+  :meth:`~repro.sim.kernels.KernelDispatch.worker_args` spec: each
+  worker process rebuilds (and warm-compiles, once per process) its
+  own :class:`~repro.sim.kernels.KernelDispatch` from it, so jitted
+  steps run inside the spawned processes without shipping compiled
+  state across the queue.
 
 Two single-chunk kinds are kept for targeted dispatch and tests:
 
-* ``("run", chunk, size, n_local, ci, run)`` — one kernel run on one
-  chunk;
+* ``("run", chunk, size, n_local, ci, run[, kernel_args])`` — one
+  kernel run on one chunk;
 * ``("mul", chunk, size, n_local, vec_name, vec_shape)`` — one staged
   phase tensor multiplied into one chunk.
 
@@ -51,6 +57,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from .kernels import DEFAULT_KERNELS, KernelDispatch
 from .statevector import SimulationError
 
 __all__ = ["ChunkPool", "apply_run", "contract_local", "PARALLEL_MIN_CHUNK"]
@@ -87,7 +94,7 @@ def contract_local(chunk: np.ndarray, u: np.ndarray, bits, n_local: int) -> None
     v[...] = np.moveaxis(t, range(k), axes)
 
 
-def apply_run(chunk: np.ndarray, run, n_local: int, ci: int) -> None:
+def apply_run(chunk: np.ndarray, run, n_local: int, ci: int, kernels=None) -> None:
     """Apply a run of communication-free kernels to one chunk.
 
     ``run`` is a sequence of tagged entries, shared between the serial
@@ -111,68 +118,37 @@ def apply_run(chunk: np.ndarray, run, n_local: int, ci: int) -> None:
       into ``table``, whose entry is the local sub-block to contract
       over ``lo_bits`` — ``None`` for an identity sub-block (skip), a
       complex scalar when the window has no local qubits.
+
+    ``kernels`` is the engine's :class:`~repro.sim.kernels.KernelDispatch`
+    (``None`` = the shared numpy-mode dispatch): every entry routes
+    through it, so the native driver and the planar numpy fallbacks are
+    chosen per entry with identical arithmetic either way.
     """
+    kd = kernels if kernels is not None else DEFAULT_KERNELS
     for entry in run:
         kind = entry[0]
         if kind == "sq":
             _, u, b, diag = entry
             if b >= n_local:
                 # Diagonal on a shard axis: the whole chunk scales.
-                f = u[1, 1] if (ci >> (b - n_local)) & 1 else u[0, 0]
-                if f != 1.0:
-                    chunk *= f
-            elif diag:
-                v = chunk.reshape(-1, 2, 1 << b)
-                if u[0, 0] != 1.0:
-                    v[:, 0, :] *= u[0, 0]
-                if u[1, 1] != 1.0:
-                    v[:, 1, :] *= u[1, 1]
+                kd.scale(chunk, u[1, 1] if (ci >> (b - n_local)) & 1 else u[0, 0])
             else:
-                v = chunk.reshape(-1, 2, 1 << b)
-                a0 = v[:, 0, :].copy()
-                a1 = v[:, 1, :]
-                v[:, 0, :] = u[0, 0] * a0 + u[0, 1] * a1
-                v[:, 1, :] = u[1, 0] * a0 + u[1, 1] * a1
+                kd.sq(chunk, u, b, diag)
         elif kind == "cc":
             _, u, cmask, local_controls, t_bit, diag = entry
             if (ci & cmask) != cmask:
                 continue
-            # Leading -1 axis folds in any shot-branch rows (no-op for
-            # an unbranched chunk); local axes shift up by one.
-            view = chunk.reshape((-1,) + (2,) * n_local)
-            idx: list = [slice(None)] * (n_local + 1)
-            for b in local_controls:
-                idx[1 + n_local - 1 - b] = 1
             if t_bit >= n_local:
                 # Diagonal on a shard axis: the target bit is fixed per
                 # chunk, so the control slice just scales.
                 f = u[1, 1] if (ci >> (t_bit - n_local)) & 1 else u[0, 0]
-                if f != 1.0:
-                    view[tuple(idx)] *= f
-                continue
-            ax = 1 + n_local - 1 - t_bit
-            idx0 = list(idx)
-            idx0[ax] = 0
-            idx0 = tuple(idx0)
-            idx1 = list(idx)
-            idx1[ax] = 1
-            idx1 = tuple(idx1)
-            if diag:
-                # Indexed in-place ops: a plain `view[idx0] * u` would
-                # copy once every axis is integer-indexed (chunk size 2).
-                if u[0, 0] != 1.0:
-                    view[idx0] *= u[0, 0]
-                if u[1, 1] != 1.0:
-                    view[idx1] *= u[1, 1]
+                kd.masked_scale(chunk, f, local_controls, n_local)
             else:
-                a0 = view[idx0]
-                a1 = view[idx1]
-                new0 = u[0, 0] * a0 + u[0, 1] * a1
-                view[idx1] = u[1, 0] * a0 + u[1, 1] * a1
-                view[idx0] = new0
+                kd.cc(chunk, u, local_controls, t_bit, n_local, diag)
         elif kind == "ct":
             _, u, bits = entry
-            contract_local(chunk, u, bits, n_local)
+            if not kd.contract(chunk, u, bits, n_local):
+                contract_local(chunk, u, bits, n_local)
         elif kind == "csel":
             _, table, hi_bits, lo_bits = entry
             sig = 0
@@ -182,8 +158,8 @@ def apply_run(chunk: np.ndarray, run, n_local: int, ci: int) -> None:
             if u is None:
                 continue
             if not lo_bits:
-                chunk *= u  # all-shard window: a per-chunk scalar
-            else:
+                kd.scale(chunk, u)  # all-shard window: a per-chunk scalar
+            elif not kd.contract(chunk, u, lo_bits, n_local):
                 contract_local(chunk, u, lo_bits, n_local)
         else:  # pragma: no cover - protocol error
             raise ValueError(f"unknown run entry kind {kind!r}")
@@ -208,6 +184,27 @@ def _as_array(shm: shared_memory.SharedMemory, count: int) -> np.ndarray:
     return np.ndarray((count,), dtype=np.complex128, buffer=shm.buf)
 
 
+def _worker_kernels(kernel_args):
+    """Per-process kernel dispatch for pool workers.
+
+    Built once per distinct ``(mode, jit_min_amps)`` spec and cached in
+    the worker's module globals; construction warm-compiles (numba) or
+    loads the prebuilt artifact (cffi) *before* the first chunk is
+    touched, so cold-compile time never lands inside a timed stretch.
+    """
+    if kernel_args is None:
+        return None
+    kd = _WORKER_KERNELS.get(kernel_args)
+    if kd is None:
+        kd = KernelDispatch(kernel_args[0], jit_min_amps=kernel_args[1])
+        kd.warmup()
+        _WORKER_KERNELS[kernel_args] = kd
+    return kd
+
+
+_WORKER_KERNELS: dict[tuple, KernelDispatch] = {}
+
+
 def _worker_main(tasks, results) -> None:
     """Worker loop: pop a task, mutate the referenced chunk, acknowledge."""
     while True:
@@ -217,7 +214,8 @@ def _worker_main(tasks, results) -> None:
         try:
             kind = task[0]
             if kind == "segments":
-                _, chunk_refs, nl, payloads = task
+                _, chunk_refs, nl, payloads = task[:4]
+                kd = _worker_kernels(task[4] if len(task) > 4 else None)
                 vec_shms: dict[str, shared_memory.SharedMemory] = {}
                 vec_arrs: dict[str, np.ndarray] = {}
                 try:
@@ -227,7 +225,7 @@ def _worker_main(tasks, results) -> None:
                             arr = _as_array(shm, count)
                             for p in payloads:
                                 if p[0] == "run":
-                                    apply_run(arr, p[1], nl, ci)
+                                    apply_run(arr, p[1], nl, ci, kd)
                                 else:  # ("mul", high_bits, vec_map)
                                     _, high_bits, vec_map = p
                                     sig = tuple(
@@ -253,10 +251,11 @@ def _worker_main(tasks, results) -> None:
                     for vshm in vec_shms.values():
                         vshm.close()
             elif kind == "run":
-                _, name, count, nl, ci, run = task
+                _, name, count, nl, ci, run = task[:6]
+                kd = _worker_kernels(task[6] if len(task) > 6 else None)
                 shm = _attach(name)
                 try:
-                    apply_run(_as_array(shm, count), run, nl, ci)
+                    apply_run(_as_array(shm, count), run, nl, ci, kd)
                 finally:
                     shm.close()
             elif kind == "mul":

@@ -60,7 +60,9 @@ import numpy as np
 
 from ..mpi.fabric import Fabric
 from . import gates as G
+from . import kernels as _K
 from .diag import DiagBatch, signature_vectors
+from .kernels import KernelDispatch
 from .parallel import PARALLEL_MIN_CHUNK, ChunkPool, apply_run, contract_local
 from .schedule import (
     DEFAULT_COST_MODEL,
@@ -74,6 +76,42 @@ from .shots import branch_mask, fork_outcomes
 from .statevector import SimulationError
 
 __all__ = ["ShardedStateVector"]
+
+
+def _pack_native(seq):
+    """Pack one chunk's raw freeze items into typed step blocks.
+
+    ``seq`` holds ``("s", code, arg0, arg1, seg, i)`` native-able steps
+    and ``("p", step)`` python steps.  Maximal native runs become
+    ``("blk", codes, arg0, arg1, refs)`` with int64 step arrays — one
+    ``KernelDispatch.drive`` call each — while the matrices stay as
+    ``(seg, i)`` refs re-read at execution so cache rebinding flows
+    through.
+    """
+    out = []
+    buf: list = []
+
+    def flush():
+        if buf:
+            out.append(
+                (
+                    "blk",
+                    np.array([b[0] for b in buf], dtype=np.int64),
+                    np.array([b[1] for b in buf], dtype=np.int64),
+                    np.array([b[2] for b in buf], dtype=np.int64),
+                    tuple((b[3], b[4]) for b in buf),
+                )
+            )
+            buf.clear()
+
+    for item in seq:
+        if item[0] == "s":
+            buf.append(item[1:])
+        else:
+            flush()
+            out.append(("py", item[1]))
+    flush()
+    return tuple(out)
 
 
 class ShardedStateVector:
@@ -103,6 +141,14 @@ class ShardedStateVector:
         dispatches at chunks k times smaller, because the one
         run-level round-trip amortizes over the whole stretch (see
         :meth:`_parallel_ready`). Tests force the pool with ``1``.
+    kernels:
+        Kernel dispatch mode — ``"auto"`` (native kernels at or above
+        the :class:`~repro.sim.schedule.CostModel` break-even size
+        ``jit_min_amps``), ``"numpy"`` (pure-numpy always), ``"jit"``
+        (native whenever a provider is importable).  ``None`` reads
+        ``REPRO_QMPI_KERNELS`` before defaulting to ``"auto"``.  All
+        modes produce bit-identical amplitudes (see
+        :mod:`repro.sim.kernels`).
 
     Examples
     --------
@@ -123,12 +169,20 @@ class ShardedStateVector:
         n_shards: int = 4,
         workers: int = 0,
         parallel_min_chunk: int = PARALLEL_MIN_CHUNK,
+        kernels: str | None = None,
     ):
         if n_shards < 1 or (n_shards & (n_shards - 1)):
             raise SimulationError(f"n_shards must be a power of two, got {n_shards}")
         if workers < 0:
             raise SimulationError(f"workers must be >= 0, got {workers}")
         self.n_shards = n_shards
+        # Kernel dispatch (repro.sim.kernels): "auto"/"numpy"/"jit",
+        # None = the REPRO_QMPI_KERNELS environment default.  Amplitudes
+        # are bit-identical in every mode; only the counters and the
+        # wall clock move.
+        self._kernels = KernelDispatch(
+            kernels, jit_min_amps=DEFAULT_COST_MODEL.jit_min_amps
+        )
         self._fabric = Fabric(n_shards)
         self._tags = itertools.count()
         self._workers = int(workers)
@@ -620,15 +674,26 @@ class ShardedStateVector:
 
     @staticmethod
     def _freeze_run(segs, nl, n_chunks):
-        """Specialize a kernel-run fold into per-chunk step lists.
+        """Specialize a kernel-run fold into per-chunk replay programs.
 
         Mirrors :func:`~repro.sim.parallel.apply_run`'s dispatch exactly:
         each entry becomes, per chunk, one precomputed step — or no step
         at all for a chunk whose shard-axis control bits rule it out.
         Only ``(seg, i)`` references are stored for the matrices, which
         rebinding replaces inside the live segments.
+
+        Returns ``(per_chunk, native)``: the tagged python step lists
+        (the planar-numpy arm) and, per chunk, the same program packed
+        into contiguous typed step arrays — maximal ``("blk", codes,
+        arg0, arg1, refs)`` runs of :mod:`repro.sim.kernels` opcodes
+        that one native ``drive`` call walks per chunk, broken by
+        ``("py", step)`` items for the generic ``ct``/``csel`` entries
+        (whose matmul stays on BLAS in every mode).  Which arm executes
+        is decided per chunk per flush by the engine's dispatch; both
+        arms replay the identical planar expression tree.
         """
         per_chunk: list[list] = [[] for _ in range(n_chunks)]
+        raw_native: list[list] = [[] for _ in range(n_chunks)]
         vshape = (-1,) + (2,) * nl
         for seg in segs:
             if isinstance(seg, KernelRun):
@@ -642,27 +707,37 @@ class ShardedStateVector:
                     if b >= nl:
                         sh = b - nl
                         for ci in range(n_chunks):
-                            per_chunk[ci].append(
-                                ("ss", src, i, (ci >> sh) & 1)
+                            sel = (ci >> sh) & 1
+                            per_chunk[ci].append(("ss", src, i, sel))
+                            raw_native[ci].append(
+                                ("s", _K.OP_SCALE, sel, 0, src, i)
                             )
                     else:
                         shp = (-1, 2, 1 << b)
                         tag = "sd" if diag else "sf"
+                        code = _K.OP_SQ_DIAG if diag else _K.OP_SQ_FULL
                         for ci in range(n_chunks):
                             per_chunk[ci].append((tag, src, i, shp))
+                            raw_native[ci].append(("s", code, b, 0, src, i))
                 elif kind == "cc":
                     cmask, local_controls, t_bit, diag = e[2], e[3], e[4], e[5]
                     base: list = [slice(None)] * (nl + 1)
+                    lmask = 0
                     for b in local_controls:
                         base[1 + nl - 1 - b] = 1
+                        lmask |= 1 << b
                     if t_bit >= nl:
                         idx = tuple(base)
                         sh = t_bit - nl
                         for ci in range(n_chunks):
                             if (ci & cmask) != cmask:
                                 continue
+                            sel = (ci >> sh) & 1
                             per_chunk[ci].append(
-                                ("cs", src, i, vshape, idx, (ci >> sh) & 1)
+                                ("cs", src, i, vshape, idx, sel)
+                            )
+                            raw_native[ci].append(
+                                ("s", _K.OP_MASK_SCALE, lmask, sel, src, i)
                             )
                     else:
                         ax = 1 + nl - 1 - t_bit
@@ -678,75 +753,93 @@ class ShardedStateVector:
                             tuple(idx0),
                             tuple(idx1),
                         )
+                        code = _K.OP_CC_DIAG if diag else _K.OP_CC_FULL
                         for ci in range(n_chunks):
                             if (ci & cmask) != cmask:
                                 continue
                             per_chunk[ci].append(step)
+                            raw_native[ci].append(
+                                ("s", code, lmask, t_bit, src, i)
+                            )
                 elif i is None:  # PlanSegment "ct"/"csel": generic entry
                     for ci in range(n_chunks):
                         per_chunk[ci].append(("gp", src))
+                        raw_native[ci].append(("p", ("gp", src)))
                 else:  # KernelRun "ct"/"csel": generic entry
                     for ci in range(n_chunks):
                         per_chunk[ci].append(("g", src, i))
-        return tuple(tuple(s) for s in per_chunk)
+                        raw_native[ci].append(("p", ("g", src, i)))
+        native = tuple(_pack_native(seq) for seq in raw_native)
+        return tuple(tuple(s) for s in per_chunk), native
 
-    def _exec_frozen_run(self, per_chunk, nl) -> None:
+    def _exec_frozen_run(self, frozen, nl) -> None:
         """Run one frozen kernel fold chunk by chunk.
 
-        Each step replays the exact arithmetic of its
-        :func:`~repro.sim.parallel.apply_run` branch on the live entry
-        matrix; scalar factors, operand order and in-place writes match
-        expression for expression, so results are bit-identical to the
-        interpreter.
+        When the engine's dispatch goes native for a chunk, the typed
+        step blocks are walked by one compiled ``drive`` call each
+        (matrices re-filled from the live ``(seg, i)`` refs, so cache
+        rebinding flows through); otherwise each tagged python step
+        replays the same planar expression tree through the
+        :mod:`repro.sim.kernels` numpy helpers.  The two arms are
+        bit-identical by the planar kernel contract.
         """
+        per_chunk, native = frozen
+        kd = self._kernels
         for ci, chunk in enumerate(self._chunks):
+            if kd.native(chunk.size):
+                for item in native[ci]:
+                    if item[0] == "blk":
+                        _, codes, arg0, arg1, refs = item
+                        mats = np.empty((len(refs), 4), dtype=np.complex128)
+                        for j, (src, i) in enumerate(refs):
+                            u = src.entries[i][1]
+                            mats[j, 0] = u[0, 0]
+                            mats[j, 1] = u[0, 1]
+                            mats[j, 2] = u[1, 0]
+                            mats[j, 3] = u[1, 1]
+                        kd.drive(chunk, codes, arg0, arg1, mats.view(np.float64))
+                    else:  # ("py", step): generic ct/csel entry
+                        st = item[1]
+                        if st[0] == "g":
+                            apply_run(chunk, (st[1].entries[st[2]],), nl, ci, kd)
+                        else:
+                            apply_run(chunk, (st[1].entry,), nl, ci, kd)
+                continue
+            counters = kd.counters
             for st in per_chunk[ci]:
                 tag = st[0]
                 if tag == "sf":
-                    u = st[1].entries[st[2]][1]
-                    v = chunk.reshape(st[3])
-                    a0 = v[:, 0, :].copy()
-                    a1 = v[:, 1, :]
-                    v[:, 0, :] = u[0, 0] * a0 + u[0, 1] * a1
-                    v[:, 1, :] = u[1, 0] * a0 + u[1, 1] * a1
+                    counters["numpy_fallbacks"] += 1
+                    _K.sq_full_view(chunk.reshape(st[3]), st[1].entries[st[2]][1])
                 elif tag == "sd":
-                    u = st[1].entries[st[2]][1]
-                    v = chunk.reshape(st[3])
-                    if u[0, 0] != 1.0:
-                        v[:, 0, :] *= u[0, 0]
-                    if u[1, 1] != 1.0:
-                        v[:, 1, :] *= u[1, 1]
+                    counters["numpy_fallbacks"] += 1
+                    _K.sq_diag_view(chunk.reshape(st[3]), st[1].entries[st[2]][1])
                 elif tag == "cf":
-                    u = st[1].entries[st[2]][1]
-                    view = chunk.reshape(st[3])
-                    a0 = view[st[4]]
-                    a1 = view[st[5]]
-                    new0 = u[0, 0] * a0 + u[0, 1] * a1
-                    view[st[5]] = u[1, 0] * a0 + u[1, 1] * a1
-                    view[st[4]] = new0
+                    counters["numpy_fallbacks"] += 1
+                    _K.cc_full_view(
+                        chunk.reshape(st[3]), st[4], st[5], st[1].entries[st[2]][1]
+                    )
                 elif tag == "cd":
-                    u = st[1].entries[st[2]][1]
-                    view = chunk.reshape(st[3])
-                    if u[0, 0] != 1.0:
-                        view[st[4]] *= u[0, 0]
-                    if u[1, 1] != 1.0:
-                        view[st[5]] *= u[1, 1]
+                    counters["numpy_fallbacks"] += 1
+                    _K.cc_diag_view(
+                        chunk.reshape(st[3]), st[4], st[5], st[1].entries[st[2]][1]
+                    )
                 elif tag == "ss":
+                    counters["numpy_fallbacks"] += 1
                     u = st[1].entries[st[2]][1]
-                    sel = st[3]
-                    f = u[sel, sel]
+                    f = u[st[3], st[3]]
                     if f != 1.0:
-                        chunk *= f
+                        _K.imul(chunk, f)
                 elif tag == "cs":
+                    counters["numpy_fallbacks"] += 1
                     u = st[1].entries[st[2]][1]
-                    sel = st[5]
-                    f = u[sel, sel]
+                    f = u[st[5], st[5]]
                     if f != 1.0:
-                        chunk.reshape(st[3])[st[4]] *= f
+                        _K.imul(chunk.reshape(st[3])[st[4]], f)
                 elif tag == "g":
-                    apply_run(chunk, (st[1].entries[st[2]],), nl, ci)
+                    apply_run(chunk, (st[1].entries[st[2]],), nl, ci, kd)
                 else:  # "gp"
-                    apply_run(chunk, (st[1].entry,), nl, ci)
+                    apply_run(chunk, (st[1].entry,), nl, ci, kd)
 
     def execute_frozen(self, program) -> None:
         """Replay a frozen program (same arithmetic as the interpreter)."""
@@ -818,10 +911,11 @@ class ShardedStateVector:
             self._dispatch_stretch(stretch)
             return
         nl = self.n_local
+        kd = self._kernels
         for kind, payload in self._fold_stretch(stretch):
             if kind == "run":
                 for ci, c in enumerate(self._chunks):
-                    apply_run(c, payload, nl, ci)
+                    apply_run(c, payload, nl, ci, kd)
             else:
                 self._apply_diag_batch(payload)
 
@@ -847,7 +941,9 @@ class ShardedStateVector:
         """
         nl = self.n_local
         singles, pairs = self._batch_tables(batch)
-        _, vecs, sig_of = signature_vectors(singles, pairs, nl, len(self._chunks))
+        _, vecs, sig_of = signature_vectors(
+            singles, pairs, nl, len(self._chunks), kernels=self._kernels
+        )
         for ci, c in enumerate(self._chunks):
             # Leading -1 axis folds in any shot-branch rows; the phase
             # tensor (ndim nl) broadcasts over it right-aligned.
@@ -877,7 +973,7 @@ class ShardedStateVector:
                     continue
                 singles, pairs = self._batch_tables(payload)
                 high_bits, vecs, _ = signature_vectors(
-                    singles, pairs, nl, len(self._chunks)
+                    singles, pairs, nl, len(self._chunks), kernels=self._kernels
                 )
                 vec_map: dict[tuple[int, ...], tuple[str, tuple]] = {}
                 for sig, vec in vecs.items():
@@ -909,8 +1005,10 @@ class ShardedStateVector:
                     )
                 memo = ((n_chunks, n_tasks), tuple(parts))
                 self._partition_memo = memo
+            kargs = self._kernels.worker_args()
             tasks = [
-                ("segments", refs, nl, tuple(payloads)) for refs in memo[1]
+                ("segments", refs, nl, tuple(payloads), kargs)
+                for refs in memo[1]
             ]
             pool.run_tasks(tasks)
         finally:
@@ -1457,6 +1555,12 @@ class ShardedStateVector:
         pool or the shared-memory chunk backing.
         """
         out = ShardedStateVector.__new__(ShardedStateVector)
+        # Same mode/threshold, fresh counters: the copy's kernel hits
+        # are its own.
+        out._kernels = KernelDispatch(
+            self._kernels.mode, jit_min_amps=self._kernels.jit_min_amps
+        )
+        out._partition_memo = None
         out.n_shards = self.n_shards
         out._fabric = Fabric(self.n_shards)
         out._tags = itertools.count()

@@ -25,7 +25,8 @@ import numpy as np
 
 from . import gates as G
 from .diag import DiagBatch, chunk_phase
-from .schedule import DiagSegment, KernelRun, compile_segments
+from .kernels import KernelDispatch
+from .schedule import DEFAULT_COST_MODEL, DiagSegment, KernelRun, compile_segments
 from .shots import ShotBits, branch_mask, fork_outcomes
 
 __all__ = ["StateVector", "SimulationError"]
@@ -45,6 +46,14 @@ class StateVector:
         Number of qubits to allocate immediately (ids ``0..n-1``).
     seed:
         Seed or :class:`numpy.random.Generator` for measurement sampling.
+    kernels:
+        Kernel dispatch mode (``"auto"``/``"numpy"``/``"jit"``; ``None``
+        reads ``REPRO_QMPI_KERNELS``).  On the shared engine only the
+        diagonal phase-table materializer dispatches natively — the
+        dense axis kernels are single ``tensordot``/BLAS calls already,
+        and no native rewrite of those could stay bit-identical (see
+        :mod:`repro.sim.kernels`).  Amplitudes are bit-identical in
+        every mode.
 
     Examples
     --------
@@ -59,7 +68,10 @@ class StateVector:
     #: (forward-looking: the array dtype below is pinned to it).
     dtype = "complex128"
 
-    def __init__(self, n_qubits: int = 0, seed=None):
+    def __init__(self, n_qubits: int = 0, seed=None, kernels: str | None = None):
+        self._kernels = KernelDispatch(
+            kernels, jit_min_amps=DEFAULT_COST_MODEL.jit_min_amps
+        )
         self._psi = np.array(1.0 + 0j)  # shape () scalar == zero qubits
         self._axis_of: dict[int, int] = {}
         self._next_id = 0
@@ -429,7 +441,7 @@ class StateVector:
             ((n - 1 - self._axis(a), n - 1 - self._axis(b)), t)
             for (a, b), t in batch.phases2.items()
         ]
-        self._psi *= chunk_phase(singles, pairs, n)
+        self._psi *= chunk_phase(singles, pairs, n, kernels=self._kernels)
 
     # -- conveniences ---------------------------------------------------
     def h(self, q: int) -> None:
@@ -666,6 +678,11 @@ class StateVector:
     def copy(self) -> "StateVector":
         """Deep copy (shares no state, including a cloned RNG)."""
         out = StateVector.__new__(StateVector)
+        # Same mode/threshold, fresh counters: the copy's kernel hits
+        # are its own.
+        out._kernels = KernelDispatch(
+            self._kernels.mode, jit_min_amps=self._kernels.jit_min_amps
+        )
         out._psi = self._psi.copy()
         out._axis_of = dict(self._axis_of)
         out._next_id = self._next_id

@@ -1,4 +1,4 @@
-"""Differential fuzzing of the schedule cache.
+"""Differential fuzzing of the schedule cache and the kernel dispatch.
 
 Seeded random circuits (parameterized rz/ry/rx/crz/cphase + Clifford
 h/x/s/cnot/cz/swap + end-of-circuit measurement) run twice — backend
@@ -8,6 +8,14 @@ run must agree **bit-identically**: the same measured bits and
 cycle deterministically over shared/sharded × all four fusion modes ×
 1/2/4 ranks, so the quick-mode corpus covers the full 24-combination
 matrix several times over.
+
+A second sweep runs the corpus ``kernels="jit"`` vs ``kernels="numpy"``
+on top of the same configuration cycle (including cache on/off, so
+frozen-replay native blocks are fuzzed too) under the identical
+bit-equality bar — the acceptance contract of
+:mod:`repro.sim.kernels`.  When no native provider resolves in the
+environment (no numba, no C toolchain, or ``REPRO_QMPI_DISABLE_JIT``)
+the sweep skips with a notice rather than silently passing.
 
 Each circuit applies the same gate *shape* three times with fresh
 random angles, flushing between passes: on the cache-on side the
@@ -28,12 +36,15 @@ enough to replay one circuit in isolation.
 import os
 
 import numpy as np
+import pytest
 
 from repro.qmpi import qmpi_run
+from repro.sim.kernels import provider_name
 
 BASE_SEED = int(os.environ.get("QMPI_FUZZ_SEED", "20260808"))
 N_CIRCUITS = int(os.environ.get("QMPI_FUZZ_CIRCUITS", "200"))
 N_SHOT_CIRCUITS = max(4, N_CIRCUITS // 20)
+N_KERNEL_CIRCUITS = max(8, N_CIRCUITS // 2)
 
 # (gate, arity, n_params) — parameterized rotations + Cliffords.
 GATE_POOL = (
@@ -100,8 +111,9 @@ def _prog(qc, n_qubits, ops, measured, passes):
     return [qc.measure(q[i]) for i in measured]
 
 
-def _run(circ, passes, backend, fusion, n_ranks, cache, shots=None):
+def _run(circ, passes, backend, fusion, n_ranks, cache, shots=None, kernels=None):
     n_qubits, ops, measured = circ
+    kw = {} if kernels is None else {"kernels": kernels}
     w = qmpi_run(
         n_ranks,
         _prog,
@@ -111,6 +123,7 @@ def _run(circ, passes, backend, fusion, n_ranks, cache, shots=None):
         fusion=fusion,
         shots=shots,
         cache=cache,
+        **kw,
     )
     bits = w.results[0]
     if shots is not None:
@@ -119,12 +132,12 @@ def _run(circ, passes, backend, fusion, n_ranks, cache, shots=None):
     return bits, w.backend.statevector(order), w
 
 
-def _describe(i, circ, passes, backend, fusion, n_ranks, shots=None):
+def _describe(i, circ, passes, backend, fusion, n_ranks, shots=None, cache=None):
     n_qubits, ops, measured = circ
     return (
         f"fuzz circuit {i} (QMPI_FUZZ_SEED={BASE_SEED}): "
         f"backend={backend} fusion={fusion} n_ranks={n_ranks} "
-        f"shots={shots} n_qubits={n_qubits} measured={measured}\n"
+        f"shots={shots} cache={cache} n_qubits={n_qubits} measured={measured}\n"
         f"ops={ops!r}\n"
         f"passes={passes!r}"
     )
@@ -199,3 +212,68 @@ def test_fuzz_warm_replay_actually_hits():
         info = w_on.backend.cache_info()
         assert info["hits"] >= PASSES - 1, info
         assert info["bypasses"] == 0, info
+
+
+def _require_provider():
+    name = provider_name()
+    if name is None:
+        pytest.skip(
+            "kernels=jit sweep skipped: no native kernel provider resolves "
+            "in this environment (install the [jit] extra for numba, or a "
+            "C toolchain for the cffi fallback)"
+        )
+    return name
+
+
+def test_fuzz_kernels_jit_vs_numpy_bit_identical():
+    """jit-vs-numpy kernels over the cache/fusion/rank matrix, bitwise.
+
+    ``kernels="jit"`` dispatches native unconditionally (no break-even
+    gate), so even these small fuzz circuits exercise the compiled
+    driver; cycling ``cache`` alongside fuzzes the frozen-replay
+    native blocks as well as the interpreter path.
+    """
+    _require_provider()
+    caches = ("on", "off")
+    for i, circ, passes in _corpus(N_KERNEL_CIRCUITS, 3):
+        backend = BACKENDS[i % len(BACKENDS)]
+        fusion = FUSIONS[i % len(FUSIONS)]
+        n_ranks = RANKS[i % len(RANKS)]
+        cache = caches[i % len(caches)]
+        label = "kernels=jit vs numpy\n" + _describe(
+            i, circ, passes, backend, fusion, n_ranks, cache=cache
+        )
+        bits_j, sv_j, w_j = _run(
+            circ, passes, backend, fusion, n_ranks, cache, kernels="jit"
+        )
+        bits_n, sv_n, _ = _run(
+            circ, passes, backend, fusion, n_ranks, cache, kernels="numpy"
+        )
+        assert bits_j == bits_n, f"measured bits diverged\n{label}"
+        assert np.array_equal(sv_j, sv_n), f"amplitudes diverged\n{label}"
+        info = w_j.backend.kernel_info()
+        assert info["mode"] == "jit" and info["numpy_fallbacks"] == 0, (
+            f"jit run fell back to numpy\n{label}\n{info}"
+        )
+
+
+def test_fuzz_kernels_shots_per_shot_bits_identical():
+    """Shot-batched kernels sweep: per-shot bits and counts identical."""
+    _require_provider()
+    for i, circ, passes in _corpus(N_SHOT_CIRCUITS, 4):
+        if not circ[2]:  # need at least one measured qubit
+            circ = (circ[0], circ[1], (0,))
+        backend = BACKENDS[i % len(BACKENDS)]
+        fusion = FUSIONS[i % len(FUSIONS)]
+        n_ranks = RANKS[i % len(RANKS)]
+        label = "kernels=jit vs numpy\n" + _describe(
+            i, circ, passes, backend, fusion, n_ranks, shots=8
+        )
+        bits_j, _, w_j = _run(
+            circ, passes, backend, fusion, n_ranks, "on", shots=8, kernels="jit"
+        )
+        bits_n, _, w_n = _run(
+            circ, passes, backend, fusion, n_ranks, "on", shots=8, kernels="numpy"
+        )
+        assert bits_j == bits_n, f"per-shot bits diverged\n{label}"
+        assert w_j.counts == w_n.counts, f"shot counts diverged\n{label}"

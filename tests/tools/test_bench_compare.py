@@ -1,0 +1,172 @@
+"""Unit tests for the blocking bench gate (tools/bench_compare.py).
+
+The comparator gates CI merges, so its verdict semantics are pinned
+here: regressions beyond tolerance fail, improvements and one-sided
+rows never do, and degenerate inputs (missing sections, malformed
+sections, unloadable files) produce readable skip/fail lines instead
+of tracebacks.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare",
+    Path(__file__).resolve().parents[2] / "tools" / "bench_compare.py",
+)
+bench_compare = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("bench_compare", bench_compare)
+_SPEC.loader.exec_module(bench_compare)
+
+
+def _row(kernel="qft", n_qubits=12, **extra):
+    return {"kernel": kernel, "n_qubits": n_qubits, **extra}
+
+
+def _verdicts(baseline, fresh, tolerance=0.30):
+    return list(bench_compare.compare(baseline, fresh, tolerance))
+
+
+class TestRowVerdicts:
+    def test_within_tolerance_ok(self):
+        out = _verdicts(
+            {"sweep": [_row(speedup=2.0)]},
+            {"sweep": [_row(speedup=1.5)]},
+        )
+        assert [v for *_, v in out] == ["ok"]
+
+    def test_regression_beyond_tolerance_fails(self):
+        out = _verdicts(
+            {"sweep": [_row(speedup=2.0)]},
+            {"sweep": [_row(speedup=1.0)]},
+        )
+        (key, field, base_v, new_v, verdict) = out[0]
+        assert verdict == "FAIL"
+        assert (field, base_v, new_v) == ("speedup", 2.0, 1.0)
+
+    def test_improvement_never_fails(self):
+        out = _verdicts(
+            {"sweep": [_row(speedup=1.0)]},
+            {"sweep": [_row(speedup=9.0)]},
+        )
+        assert [v for *_, v in out] == ["ok"]
+
+    def test_rows_matched_on_identity_keys(self):
+        base = {"sweep": [_row(n_qubits=12, speedup=2.0), _row(n_qubits=16, speedup=2.0)]}
+        fresh = {"sweep": [_row(n_qubits=16, speedup=0.5), _row(n_qubits=12, speedup=2.0)]}
+        verdicts = {k: v for k, _, _, _, v in _verdicts(base, fresh)}
+        assert verdicts[("sweep", ("kernel", "qft"), ("n_qubits", 12))] == "ok"
+        assert verdicts[("sweep", ("kernel", "qft"), ("n_qubits", 16))] == "FAIL"
+
+    def test_one_sided_row_skips(self):
+        out = _verdicts(
+            {"sweep": [_row(n_qubits=12, speedup=2.0), _row(n_qubits=20, speedup=3.0)]},
+            {"sweep": [_row(n_qubits=12, speedup=2.0)]},
+        )
+        assert sorted(v for *_, v in out) == ["ok", "skip (no counterpart)"]
+
+    def test_nonpositive_baseline_skips(self):
+        out = _verdicts(
+            {"sweep": [_row(speedup=0.0)]}, {"sweep": [_row(speedup=1.0)]}
+        )
+        assert [v for *_, v in out] == ["skip"]
+
+    def test_info_fields_never_gate(self):
+        out = _verdicts(
+            {"fabric": [_row(mp_vs_inproc=10.0)]},
+            {"fabric": [_row(mp_vs_inproc=0.1)]},
+        )
+        assert [v for *_, v in out] == ["info"]
+
+    def test_kernels_and_replay_sections_are_gated(self):
+        for section in ("kernels", "replay"):
+            out = _verdicts(
+                {section: [_row(speedup=4.0)]},
+                {section: [_row(speedup=1.0)]},
+            )
+            assert [v for *_, v in out] == ["FAIL"], section
+
+
+class TestDegenerateInputs:
+    def test_section_missing_from_fresh_skips_with_warning(self):
+        out = _verdicts(
+            {"kernels": [_row(speedup=2.0), _row(n_qubits=16, speedup=2.0)]}, {}
+        )
+        assert len(out) == 1
+        key, field, *_, verdict = out[0]
+        assert key == ("kernels",) and field == "-"
+        assert verdict == "skip (section missing from fresh; 2 row(s) not gated)"
+
+    def test_section_missing_from_baseline_skips_with_warning(self):
+        out = _verdicts({}, {"kernels": [_row(speedup=2.0)]})
+        assert [v for *_, v in out] == [
+            "skip (section missing from baseline; 1 row(s) not gated)"
+        ]
+
+    def test_malformed_section_skips_not_crashes(self):
+        out = _verdicts({"sweep": {"oops": "a dict"}}, {"sweep": [_row(speedup=1.0)]})
+        (key, field, *_, verdict) = out[0]
+        assert key == ("sweep",)
+        assert verdict.startswith("skip (malformed baseline:")
+
+    def test_unknown_sections_ignored(self):
+        assert _verdicts({"meta": [{"host": "x"}]}, {"meta": []}) == []
+
+
+class TestMain:
+    def _write(self, tmp_path, name, payload):
+        p = tmp_path / name
+        p.write_text(json.dumps(payload))
+        return str(p)
+
+    def test_exit_zero_and_table(self, tmp_path, capsys):
+        b = self._write(tmp_path, "base.json", {"sweep": [_row(speedup=2.0)]})
+        f = self._write(tmp_path, "fresh.json", {"sweep": [_row(speedup=1.9)]})
+        assert bench_compare.main(["--baseline", b, "--fresh", f]) == 0
+        captured = capsys.readouterr().out
+        assert "sweep:qft/12" in captured and "ok" in captured
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        b = self._write(tmp_path, "base.json", {"sweep": [_row(speedup=2.0)]})
+        f = self._write(tmp_path, "fresh.json", {"sweep": [_row(speedup=0.1)]})
+        assert bench_compare.main(["--baseline", b, "--fresh", f]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_missing_section_prints_warning_and_passes(self, tmp_path, capsys):
+        b = self._write(tmp_path, "base.json", {"kernels": [_row(speedup=2.0)]})
+        f = self._write(tmp_path, "fresh.json", {})
+        assert bench_compare.main(["--baseline", b, "--fresh", f]) == 0
+        assert "section missing from fresh" in capsys.readouterr().out
+
+    def test_missing_file_fails_readably(self, tmp_path, capsys):
+        b = self._write(tmp_path, "base.json", {"sweep": [_row(speedup=2.0)]})
+        missing = str(tmp_path / "nope.json")
+        assert bench_compare.main(["--baseline", b, "--fresh", missing]) == 1
+        out = capsys.readouterr().out
+        assert "cannot load pair" in out and "Traceback" not in out
+
+    def test_corrupt_json_fails_readably(self, tmp_path, capsys):
+        b = self._write(tmp_path, "base.json", {"sweep": [_row(speedup=2.0)]})
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert bench_compare.main(["--baseline", b, "--fresh", str(bad)]) == 1
+        assert "cannot load pair" in capsys.readouterr().out
+
+    def test_unpaired_arguments_rejected(self, tmp_path):
+        b = self._write(tmp_path, "base.json", {})
+        with pytest.raises(SystemExit):
+            bench_compare.main(["--baseline", b, "--fresh", b, "--fresh", b])
+
+    def test_tolerance_flag(self, tmp_path):
+        b = self._write(tmp_path, "base.json", {"sweep": [_row(speedup=2.0)]})
+        f = self._write(tmp_path, "fresh.json", {"sweep": [_row(speedup=1.5)]})
+        assert bench_compare.main(
+            ["--baseline", b, "--fresh", f, "--tolerance", "0.1"]
+        ) == 1
+        assert bench_compare.main(
+            ["--baseline", b, "--fresh", f, "--tolerance", "0.5"]
+        ) == 0

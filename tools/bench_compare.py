@@ -15,6 +15,11 @@ Rules:
 * rows are matched on their identity keys; rows present on only one
   side (quick mode measures fewer sizes than full) are reported as
   ``skip`` and never gate;
+* whole sections present on only one side — or malformed ones — are
+  reported as a single section-level ``skip`` with the reason, never a
+  traceback (an unreadable crash in the blocking gate hides the diff);
+* an unreadable/unparsable file fails the pair with a message (the
+  bench step upstream did not produce what the gate was told to check);
 * *improvements* never fail, only regressions beyond tolerance do;
 * machine-dependent phases are excluded: the ``workers`` rows of
   BENCH_diag.json compare real processes against real cores, so their
@@ -62,13 +67,25 @@ SECTIONS = (
     "fabric",
     "flush",
     "sweep",
+    "kernels",
+    "replay",
 )
 
 
-def _rows(payload: dict):
-    for section in SECTIONS:
-        for row in payload.get(section, ()):
-            yield section, row
+def _section_rows(payload: dict, section: str):
+    """The section's row list, or ``None`` when absent/malformed.
+
+    Returns ``(rows, problem)``: ``problem`` is a human-readable string
+    when the section is present but not a list of dict rows (a corrupt
+    or hand-edited BENCH file) — the caller reports it instead of
+    crashing mid-table.
+    """
+    rows = payload.get(section)
+    if rows is None:
+        return None, None
+    if not isinstance(rows, list) or not all(isinstance(r, dict) for r in rows):
+        return None, f"section {section!r} is not a list of row objects"
+    return rows, None
 
 
 def _key(section: str, row: dict) -> tuple:
@@ -78,28 +95,55 @@ def _key(section: str, row: dict) -> tuple:
 
 
 def compare(baseline: dict, fresh: dict, tolerance: float):
-    """Yield ``(key, field, base, new, verdict)`` for every gated ratio."""
-    base_rows = {_key(s, r): r for s, r in _rows(baseline)}
-    fresh_rows = {_key(s, r): r for s, r in _rows(fresh)}
-    for key in sorted(set(base_rows) | set(fresh_rows), key=repr):
-        b, f = base_rows.get(key), fresh_rows.get(key)
-        if b is None or f is None:
-            yield key, "-", None, None, "skip"
+    """Yield ``(key, field, base, new, verdict)`` for every gated ratio.
+
+    A section present on only one side — a committed file carrying rows
+    the fresh (quick) run produced no section for at all, or a fresh
+    run measuring something not yet committed — yields a single
+    section-level ``skip`` verdict naming the missing side and the row
+    count, instead of one cryptic row per orphan.  Malformed sections
+    are likewise reported as skips, never tracebacks: the gate's
+    output must stay a readable diff whatever the inputs.
+    """
+    for section in SECTIONS:
+        b_rows, b_problem = _section_rows(baseline, section)
+        f_rows, f_problem = _section_rows(fresh, section)
+        if b_problem or f_problem:
+            where = "baseline" if b_problem else "fresh"
+            problem = b_problem or f_problem
+            yield (section,), "-", None, None, f"skip (malformed {where}: {problem})"
             continue
-        for field in RATIO_FIELDS:
-            if field not in b or field not in f:
+        if b_rows is None and f_rows is None:
+            continue
+        if b_rows is None or f_rows is None:
+            missing = "fresh" if f_rows is None else "baseline"
+            n = len(b_rows if f_rows is None else f_rows)
+            yield (
+                (section,), "-", None, None,
+                f"skip (section missing from {missing}; {n} row(s) not gated)",
+            )
+            continue
+        base_map = {_key(section, r): r for r in b_rows}
+        fresh_map = {_key(section, r): r for r in f_rows}
+        for key in sorted(set(base_map) | set(fresh_map), key=repr):
+            b, f = base_map.get(key), fresh_map.get(key)
+            if b is None or f is None:
+                yield key, "-", None, None, "skip (no counterpart)"
                 continue
-            base_v, new_v = float(b[field]), float(f[field])
-            if base_v <= 0:
-                verdict = "skip"
-            elif new_v < base_v * (1.0 - tolerance):
-                verdict = "FAIL"
-            else:
-                verdict = "ok"
-            yield key, field, base_v, new_v, verdict
-        for field in INFO_FIELDS:
-            if field in b and field in f:
-                yield key, field, float(b[field]), float(f[field]), "info"
+            for field in RATIO_FIELDS:
+                if field not in b or field not in f:
+                    continue
+                base_v, new_v = float(b[field]), float(f[field])
+                if base_v <= 0:
+                    verdict = "skip"
+                elif new_v < base_v * (1.0 - tolerance):
+                    verdict = "FAIL"
+                else:
+                    verdict = "ok"
+                yield key, field, base_v, new_v, verdict
+            for field in INFO_FIELDS:
+                if field in b and field in f:
+                    yield key, field, float(b[field]), float(f[field]), "info"
 
 
 def main(argv=None) -> int:
@@ -119,16 +163,21 @@ def main(argv=None) -> int:
     print(f"{'row':<{width}} {'field':<12} {'base':>8} {'fresh':>8}  verdict")
     print("-" * (width + 40))
     for base_path, fresh_path in zip(args.baseline, args.fresh):
-        baseline = json.loads(Path(base_path).read_text())
-        fresh = json.loads(Path(fresh_path).read_text())
         print(f"# {base_path} vs {fresh_path}")
+        try:
+            baseline = json.loads(Path(base_path).read_text())
+            fresh = json.loads(Path(fresh_path).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"  FAIL: cannot load pair: {exc}")
+            failures += 1
+            continue
         for key, field, base_v, new_v, verdict in compare(
             baseline, fresh, args.tolerance
         ):
             label = "/".join(str(v) for _, v in key[1:]) or key[0]
             label = f"{key[0]}:{label}"
-            if verdict == "skip" and field == "-":
-                print(f"{label:<{width}} {'-':<12} {'-':>8} {'-':>8}  skip (no counterpart)")
+            if field == "-":  # section-level or row-level skip
+                print(f"{label:<{width}} {'-':<12} {'-':>8} {'-':>8}  {verdict}")
                 continue
             failures += verdict == "FAIL"
             print(
@@ -136,8 +185,9 @@ def main(argv=None) -> int:
             )
     if failures:
         print(
-            f"\n{failures} ratio(s) regressed more than "
-            f"{args.tolerance:.0%} vs the committed baselines"
+            f"\n{failures} gate failure(s): ratios regressed more than "
+            f"{args.tolerance:.0%} vs the committed baselines, or files "
+            "the gate was pointed at could not be loaded"
         )
         return 1
     print("\nall compared ratios within tolerance")
