@@ -549,12 +549,17 @@ def qmpi_run(
         Backend constructor options as plain keywords, e.g.
         ``qmpi_run(..., backend="sharded", workers=2, n_shards=8)`` —
         ``n_shards``, ``workers``, ``parallel_min_chunk``,
-        ``enforce_locality``, ``kernels``. ``workers=N`` enables the
-        sharded engine's process-parallel chunk executor (close the
-        backend when done: ``with qmpi_run(...) as world:`` does so
-        automatically). ``kernels="auto"/"numpy"/"jit"`` selects the
-        native-kernel dispatch mode (see :mod:`repro.sim.kernels`);
-        results are bit-identical across modes.
+        ``enforce_locality``, ``kernels``, ``dtype``, ``spill``,
+        ``spill_budget``. ``workers=N`` enables the sharded engine's
+        process-parallel chunk executor (close the backend when done:
+        ``with qmpi_run(...) as world:`` does so automatically).
+        ``kernels="auto"/"numpy"/"jit"`` selects the native-kernel
+        dispatch mode (see :mod:`repro.sim.kernels`); results are
+        bit-identical across modes. ``dtype="complex64"`` selects the
+        half-footprint mixed-precision tier, and ``spill=`` backs
+        sharded chunks with memory-mapped files past the
+        ``spill_budget`` RAM budget (see
+        :class:`~repro.sim.sharded.ShardedStateVector`).
     """
     if backend_opts is not None:
         warnings.warn(

@@ -453,6 +453,9 @@ class SharedBackend(QuantumBackend):
     ``kernels`` selects the native-kernel dispatch mode
     (``"auto"``/``"numpy"``/``"jit"``, default from
     ``REPRO_QMPI_KERNELS``); see :mod:`repro.sim.kernels`.
+    ``dtype`` selects the amplitude precision (``"complex128"`` default
+    / ``"complex64"`` for the half-footprint tier, default from
+    ``REPRO_QMPI_DTYPE``).
     """
 
     def __init__(
@@ -461,9 +464,12 @@ class SharedBackend(QuantumBackend):
         enforce_locality: bool = True,
         cache: str = "on",
         kernels: str | None = None,
+        dtype: str | None = None,
     ):
         super().__init__(
-            StateVector(seed=seed, kernels=kernels), enforce_locality, cache=cache
+            StateVector(seed=seed, kernels=kernels, dtype=dtype),
+            enforce_locality,
+            cache=cache,
         )
 
 
@@ -485,7 +491,14 @@ class ShardedBackend(QuantumBackend):
     ``kernels`` selects the native-kernel dispatch mode
     (``"auto"``/``"numpy"``/``"jit"``, default from
     ``REPRO_QMPI_KERNELS``); see :mod:`repro.sim.kernels`. Worker
-    processes inherit the mode and warm the provider once per process.
+    processes inherit the mode and warm the provider once per process
+    (at pool spawn, outside any timed stretch).
+
+    ``dtype`` selects the amplitude precision (``"complex128"`` default
+    / ``"complex64"``, default from ``REPRO_QMPI_DTYPE``); ``spill``
+    and ``spill_budget`` configure the out-of-core memory-mapped chunk
+    store for registers past RAM (see
+    :class:`~repro.sim.sharded.ShardedStateVector`).
     """
 
     def __init__(
@@ -497,6 +510,9 @@ class ShardedBackend(QuantumBackend):
         parallel_min_chunk: int = PARALLEL_MIN_CHUNK,
         cache: str = "on",
         kernels: str | None = None,
+        dtype: str | None = None,
+        spill: str | None = None,
+        spill_budget: int | None = None,
     ):
         super().__init__(
             ShardedStateVector(
@@ -505,6 +521,9 @@ class ShardedBackend(QuantumBackend):
                 workers=workers,
                 parallel_min_chunk=parallel_min_chunk,
                 kernels=kernels,
+                dtype=dtype,
+                spill=spill,
+                spill_budget=spill_budget,
             ),
             enforce_locality,
             cache=cache,

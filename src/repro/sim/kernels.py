@@ -26,19 +26,33 @@ expression per step.  Three loop families are covered:
 amplitudes (enforced by tests/integration/test_differential_fuzz.py).
 numpy's complex-multiply ufunc is free to use FMA-contracted SIMD
 paths that neither gcc (``-ffp-contract=off``) nor LLVM/numba will
-reproduce, so the contract is defined in **planar float64 arithmetic**:
-every kernel computes separate real/imaginary parts through the fixed
+reproduce, so the contract is defined in **planar arithmetic**: every
+kernel computes separate real/imaginary parts through the fixed
 expression tree
 
     re = (ur*ar - ui*ai) + ...    im = (ur*ai + ui*ar) + ...
 
 with one IEEE-754 multiply/add per node and no fused operations.  The
-numpy fallbacks evaluate that tree with float64 array ops (each ufunc
+numpy fallbacks evaluate that tree with float array ops (each ufunc
 call is one exactly-rounded IEEE op per element); the native kernels
 evaluate it scalar-by-scalar with contraction disabled.  Equality is
 then guaranteed by IEEE semantics on any host — and re-verified at
 provider warm-up by :func:`_self_check`, which demotes a provider that
 fails to reproduce the reference driver bit-for-bit.
+
+The tree exists in two precisions: float64 for ``complex128`` chunks
+and float32 for ``complex64`` chunks (the PR 10 mixed-precision tier).
+The contract is *within* a dtype — a complex64 run is bit-identical
+between jit and numpy arms, never to a complex128 run.  To keep the
+float32 arms aligned, every 2x2 matrix / scalar factor is rounded to
+the chunk's precision exactly **once**, at the dispatch boundary in
+this module (and at the frozen-step build sites in the engines), so
+both arms consume identical pre-rounded operands; the compiled float
+loops run in SSE single precision (``FLT_EVAL_METHOD == 0``), one
+rounding per node, matching numpy's float32 ufuncs.  Diagonal *phase
+tables* (:mod:`repro.sim.diag`) stay complex128 in every mode: their
+application is an in-place same-kind multiply whose rounding is
+dtype-independent, so no float32 phase arm exists.
 
 **Providers.**  ``numba`` when importable (the ``pip install -e
 .[jit]`` extra; the CI jit leg), else a small C module compiled once
@@ -431,6 +445,117 @@ void qk_drive(double *af, long long n_amps,
     }
 }
 
+/* Single-precision twin of qk_drive for complex64 chunks: the same
+ * expression tree, evaluated in SSE float (FLT_EVAL_METHOD == 0, no
+ * promotion to double, contraction off) so each node is one exactly
+ * rounded float32 operation, matching numpy's float32 ufuncs. */
+void qk_drive_f(float *af, long long n_amps,
+                const long long *codes, const long long *arg0,
+                const long long *arg1, const float *mats,
+                long long n_steps)
+{
+    for (long long s = 0; s < n_steps; s++) {
+        long long code = codes[s];
+        const float *u = mats + 8 * s;
+        float u00r = u[0], u00i = u[1], u01r = u[2], u01i = u[3];
+        float u10r = u[4], u10i = u[5], u11r = u[6], u11i = u[7];
+        if (code == 0) {
+            long long b = arg0[s];
+            long long stride = 1LL << b;
+            long long half = n_amps >> 1;
+            for (long long i = 0; i < half; i++) {
+                long long lo = ((((i >> b) << (b + 1)) | (i & (stride - 1)))) << 1;
+                long long hi = lo + (stride << 1);
+                float ar = af[lo], ai = af[lo + 1];
+                float br = af[hi], bi = af[hi + 1];
+                af[lo] = (u00r * ar - u00i * ai) + (u01r * br - u01i * bi);
+                af[lo + 1] = (u00r * ai + u00i * ar) + (u01r * bi + u01i * br);
+                af[hi] = (u10r * ar - u10i * ai) + (u11r * br - u11i * bi);
+                af[hi + 1] = (u10r * ai + u10i * ar) + (u11r * bi + u11i * br);
+            }
+        } else if (code == 1) {
+            long long tbit = 1LL << arg0[s];
+            int g0 = (u00r != 1.0f) || (u00i != 0.0f);
+            int g1 = (u11r != 1.0f) || (u11i != 0.0f);
+            if (g0 || g1) {
+                for (long long i = 0; i < n_amps; i++) {
+                    if (i & tbit) {
+                        if (g1) {
+                            float r = af[2 * i], m = af[2 * i + 1];
+                            af[2 * i] = u11r * r - u11i * m;
+                            af[2 * i + 1] = u11r * m + u11i * r;
+                        }
+                    } else if (g0) {
+                        float r = af[2 * i], m = af[2 * i + 1];
+                        af[2 * i] = u00r * r - u00i * m;
+                        af[2 * i + 1] = u00r * m + u00i * r;
+                    }
+                }
+            }
+        } else if (code == 2) {
+            long long lmask = arg0[s];
+            long long tbit = 1LL << arg1[s];
+            for (long long i = 0; i < n_amps; i++) {
+                if ((i & lmask) == lmask && (i & tbit) == 0) {
+                    long long lo = i << 1;
+                    long long hi = (i | tbit) << 1;
+                    float ar = af[lo], ai = af[lo + 1];
+                    float br = af[hi], bi = af[hi + 1];
+                    af[lo] = (u00r * ar - u00i * ai) + (u01r * br - u01i * bi);
+                    af[lo + 1] = (u00r * ai + u00i * ar) + (u01r * bi + u01i * br);
+                    af[hi] = (u10r * ar - u10i * ai) + (u11r * br - u11i * bi);
+                    af[hi + 1] = (u10r * ai + u10i * ar) + (u11r * bi + u11i * br);
+                }
+            }
+        } else if (code == 3) {
+            long long lmask = arg0[s];
+            long long tbit = 1LL << arg1[s];
+            int g0 = (u00r != 1.0f) || (u00i != 0.0f);
+            int g1 = (u11r != 1.0f) || (u11i != 0.0f);
+            if (g0 || g1) {
+                for (long long i = 0; i < n_amps; i++) {
+                    if ((i & lmask) == lmask) {
+                        if (i & tbit) {
+                            if (g1) {
+                                float r = af[2 * i], m = af[2 * i + 1];
+                                af[2 * i] = u11r * r - u11i * m;
+                                af[2 * i + 1] = u11r * m + u11i * r;
+                            }
+                        } else if (g0) {
+                            float r = af[2 * i], m = af[2 * i + 1];
+                            af[2 * i] = u00r * r - u00i * m;
+                            af[2 * i + 1] = u00r * m + u00i * r;
+                        }
+                    }
+                }
+            }
+        } else if (code == 4) {
+            float fr = arg0[s] ? u11r : u00r;
+            float fi = arg0[s] ? u11i : u00i;
+            if ((fr != 1.0f) || (fi != 0.0f)) {
+                for (long long i = 0; i < n_amps; i++) {
+                    float r = af[2 * i], m = af[2 * i + 1];
+                    af[2 * i] = fr * r - fi * m;
+                    af[2 * i + 1] = fr * m + fi * r;
+                }
+            }
+        } else {
+            long long lmask = arg0[s];
+            float fr = arg1[s] ? u11r : u00r;
+            float fi = arg1[s] ? u11i : u00i;
+            if ((fr != 1.0f) || (fi != 0.0f)) {
+                for (long long i = 0; i < n_amps; i++) {
+                    if ((i & lmask) == lmask) {
+                        float r = af[2 * i], m = af[2 * i + 1];
+                        af[2 * i] = fr * r - fi * m;
+                        af[2 * i + 1] = fr * m + fi * r;
+                    }
+                }
+            }
+        }
+    }
+}
+
 void qk_phase(double *outf, long long n_live,
               const long long *lvl, const long long *kind,
               const long long *pa, const long long *pb,
@@ -469,6 +594,8 @@ void qk_phase(double *outf, long long n_live,
 _C_DECLS = """
 void qk_drive(double *, long long, const long long *, const long long *,
               const long long *, const double *, long long);
+void qk_drive_f(float *, long long, const long long *, const long long *,
+                const long long *, const float *, long long);
 void qk_phase(double *, long long, const long long *, const long long *,
               const long long *, const long long *, const long long *,
               const double *, long long, double, double);
@@ -504,10 +631,22 @@ class _CffiProvider:
     def _d(self, arr):
         return self._ffi.cast("double *", arr.ctypes.data)
 
+    def _f(self, arr):
+        return self._ffi.cast("float *", arr.ctypes.data)
+
     def _l(self, arr):
         return self._ffi.cast("long long *", arr.ctypes.data)
 
     def drive(self, af, codes, arg0, arg1, mats):
+        # af is the planar float view of the chunk; its dtype selects the
+        # single- or double-precision compiled driver (mats matches it).
+        if af.dtype == np.float32:
+            self._lib.qk_drive_f(
+                self._f(af), af.shape[0] >> 1,
+                self._l(codes), self._l(arg0), self._l(arg1),
+                self._f(mats), codes.shape[0],
+            )
+            return
         self._lib.qk_drive(
             self._d(af), af.shape[0] >> 1,
             self._l(codes), self._l(arg0), self._l(arg1),
@@ -605,6 +744,17 @@ def _self_check(provider) -> str | None:
         chunk.view(np.float64), ref.view(np.float64), equal_nan=True
     ):
         return "driver output is not bit-identical to the reference"
+    chunk4 = (
+        rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    ).astype(np.complex64)
+    ref4 = chunk4.copy()
+    mats4 = mats.astype(np.float32)
+    _drive_py(ref4.view(np.float32), codes, arg0, arg1, mats4)
+    provider.drive(chunk4.view(np.float32), codes, arg0, arg1, mats4)
+    if not np.array_equal(
+        chunk4.view(np.float32), ref4.view(np.float32), equal_nan=True
+    ):
+        return "float32 driver output is not bit-identical to the reference"
     n_live = 3
     lvl = np.array([0, 1, 2], dtype=np.int64)
     kind = np.array([1, 2, 1], dtype=np.int64)
@@ -721,6 +871,7 @@ class KernelDispatch:
         "_arg0_1",
         "_arg1_1",
         "_mats1",
+        "_mats1_f4",
     )
 
     def __init__(self, kernels: str | None = None, jit_min_amps: int | None = None):
@@ -748,6 +899,7 @@ class KernelDispatch:
         self._arg0_1 = np.empty(1, dtype=np.int64)
         self._arg1_1 = np.empty(1, dtype=np.int64)
         self._mats1 = np.empty((1, 8), dtype=np.float64)
+        self._mats1_f4 = np.empty((1, 8), dtype=np.float32)
 
     # -- selection ------------------------------------------------------
     def _ensure(self):
@@ -793,19 +945,28 @@ class KernelDispatch:
         return (self.mode, self.jit_min_amps)
 
     # -- native entry points -------------------------------------------
-    def _flat64(self, chunk):
-        return chunk.reshape(-1).view(np.float64)
+    def _flat(self, chunk):
+        """The planar float view matching the chunk's precision."""
+        f = np.float32 if chunk.dtype == np.complex64 else np.float64
+        return chunk.reshape(-1).view(f)
 
-    def drive(self, chunk, codes, arg0, arg1, mats_f8) -> None:
-        """Walk one typed step block natively over ``chunk``."""
-        self._provider.drive(self._flat64(chunk), codes, arg0, arg1, mats_f8)
+    def drive(self, chunk, codes, arg0, arg1, mats_f) -> None:
+        """Walk one typed step block natively over ``chunk``.
+
+        ``mats_f`` is the planar float view of the per-step 2x2 table;
+        its precision must match the chunk's (the frozen-program build
+        sites round the matrices to the engine dtype exactly once).
+        """
+        self._provider.drive(self._flat(chunk), codes, arg0, arg1, mats_f)
         self.counters["jit_hits"] += 1
 
     def _one(self, chunk, code, a0, a1, u00, u01, u10, u11) -> None:
         self._codes1[0] = code
         self._arg0_1[0] = a0
         self._arg1_1[0] = a1
-        m = self._mats1
+        # The callers pre-round u/f to the chunk's precision, so filling
+        # the float32 scratch from them is exact (no second rounding).
+        m = self._mats1_f4 if chunk.dtype == np.complex64 else self._mats1
         m[0, 0] = u00.real
         m[0, 1] = u00.imag
         m[0, 2] = u01.real
@@ -815,13 +976,14 @@ class KernelDispatch:
         m[0, 6] = u11.real
         m[0, 7] = u11.imag
         self._provider.drive(
-            self._flat64(chunk), self._codes1, self._arg0_1, self._arg1_1, m
+            self._flat(chunk), self._codes1, self._arg0_1, self._arg1_1, m
         )
         self.counters["jit_hits"] += 1
 
     # -- dispatched kernels --------------------------------------------
     def sq(self, chunk, u, b: int, diag: bool) -> None:
         """Local-axis single-qubit pass (the "sq"/"sf"/"sd" kernel)."""
+        u = np.asarray(u, dtype=chunk.dtype)  # no-op for complex128
         if self.native(chunk.size):
             code = OP_SQ_DIAG if diag else OP_SQ_FULL
             self._one(chunk, code, b, 0, u[0, 0], u[0, 1], u[1, 0], u[1, 1])
@@ -836,6 +998,8 @@ class KernelDispatch:
     def scale(self, chunk, f) -> None:
         """Whole-chunk scale (shard-axis diagonal / scalar csel entry)."""
         f = complex(f)
+        if chunk.dtype == np.complex64:
+            f = complex(np.complex64(f))  # round once; exact thereafter
         if f == 1.0:
             return
         if self.native(chunk.size):
@@ -846,6 +1010,7 @@ class KernelDispatch:
 
     def cc(self, chunk, u, local_controls, t_bit: int, nl: int, diag: bool) -> None:
         """Locally-targeted controlled 2x2 (the "cc"/"cf"/"cd" kernel)."""
+        u = np.asarray(u, dtype=chunk.dtype)  # no-op for complex128
         if self.native(chunk.size):
             lmask = 0
             for b in local_controls:
@@ -870,6 +1035,8 @@ class KernelDispatch:
     def masked_scale(self, chunk, f, local_controls, nl: int) -> None:
         """Control-sliced scale (shard-axis-targeted "cc" diagonal)."""
         f = complex(f)
+        if chunk.dtype == np.complex64:
+            f = complex(np.complex64(f))  # round once; exact thereafter
         if f == 1.0:
             return
         if self.native(chunk.size):
@@ -913,7 +1080,12 @@ class KernelDispatch:
             self._csel_memo[key] = idx
         flat = chunk.reshape(-1)
         bt = flat[idx]
-        t = np.dot(np.ascontiguousarray(u).reshape(1 << k, 1 << k), bt)
+        # Cast u to the chunk's precision (a no-op for complex128) so
+        # the matmul runs in the chunk dtype — the same cgemm/zgemm and
+        # operands as contract_local's tensordot.
+        t = np.dot(
+            np.ascontiguousarray(u, dtype=chunk.dtype).reshape(1 << k, 1 << k), bt
+        )
         flat[idx] = t
         self.counters["csel_hits"] += 1
         return True

@@ -16,7 +16,7 @@ of the execution schedule (see :mod:`repro.sim.schedule`), so a stretch
 costs ``O(workers)`` queue round-trips instead of ``O(chunks x
 entries)``:
 
-* ``("segments", chunk_refs, n_local, payloads[, kernel_args])`` —
+* ``("segments", chunk_refs, n_local, payloads[, kernel_args[, dtype]])`` —
   ``chunk_refs`` is a tuple of ``(shm_name, size, chunk_index)`` for
   the worker's chunk slice; ``payloads`` is the stretch as
   ``("run", entries)`` kernel runs (:func:`apply_run`) and
@@ -32,10 +32,15 @@ entries)``:
 
 Two single-chunk kinds are kept for targeted dispatch and tests:
 
-* ``("run", chunk, size, n_local, ci, run[, kernel_args])`` — one
-  kernel run on one chunk;
-* ``("mul", chunk, size, n_local, vec_name, vec_shape)`` — one staged
-  phase tensor multiplied into one chunk.
+* ``("run", chunk, size, n_local, ci, run[, kernel_args[, dtype]])`` —
+  one kernel run on one chunk;
+* ``("mul", chunk, size, n_local, vec_name, vec_shape[, dtype])`` — one
+  staged phase tensor multiplied into one chunk.
+
+The optional trailing ``dtype`` (a dtype string, default
+``"complex128"``) is the amplitude precision of the referenced chunks —
+the mixed-precision tier ships complex64 registers through the same
+shm protocol.  Staged phase tensors stay complex128 in every mode.
 
 Workers are started with the ``spawn`` method: the engine lives inside
 multi-threaded SPMD programs (:mod:`repro.mpi.runtime`), where forking
@@ -69,7 +74,11 @@ __all__ = ["ChunkPool", "apply_run", "contract_local", "PARALLEL_MIN_CHUNK"]
 #: overhead that set the old threshold shrank by roughly the
 #: entries-per-stretch factor (measured by ``bench_diag_batching.py
 #: --only-workers`` and the CI multi-core remeasure job; see
-#: docs/benchmarks.md).
+#: docs/benchmarks.md).  The per-process native-kernel warm-up no
+#: longer enters this calibration at all: :class:`ChunkPool` passes the
+#: engine's ``worker_args`` spec at spawn, so each worker compiles its
+#: dispatch while the engine is still setting up, and the first timed
+#: stretch sees only steady-state cost.
 PARALLEL_MIN_CHUNK = 1 << 12
 
 
@@ -85,6 +94,10 @@ def contract_local(chunk: np.ndarray, u: np.ndarray, bits, n_local: int) -> None
     of ``2^n_local``, see :mod:`repro.sim.shots`): the leading ``-1``
     view axis folds them in and the contraction broadcasts over it.
     """
+    # Cast u to the chunk's precision (a no-op for complex128): the
+    # tensordot then runs cgemm/zgemm on the same rounded operands as
+    # KernelDispatch.contract, keeping the two arms bit-identical.
+    u = np.asarray(u, dtype=chunk.dtype)
     k = len(bits)
     axes = [1 + n_local - 1 - b for b in bits]
     v = chunk.reshape((-1,) + (2,) * n_local)
@@ -180,8 +193,10 @@ def _attach(name: str) -> shared_memory.SharedMemory:
         return shared_memory.SharedMemory(name=name)
 
 
-def _as_array(shm: shared_memory.SharedMemory, count: int) -> np.ndarray:
-    return np.ndarray((count,), dtype=np.complex128, buffer=shm.buf)
+def _as_array(
+    shm: shared_memory.SharedMemory, count: int, dtype=np.complex128
+) -> np.ndarray:
+    return np.ndarray((count,), dtype=dtype, buffer=shm.buf)
 
 
 def _worker_kernels(kernel_args):
@@ -205,8 +220,21 @@ def _worker_kernels(kernel_args):
 _WORKER_KERNELS: dict[tuple, KernelDispatch] = {}
 
 
-def _worker_main(tasks, results) -> None:
-    """Worker loop: pop a task, mutate the referenced chunk, acknowledge."""
+def _worker_main(tasks, results, warmup_args=None) -> None:
+    """Worker loop: pop a task, mutate the referenced chunk, acknowledge.
+
+    ``warmup_args`` is an optional
+    :meth:`~repro.sim.kernels.KernelDispatch.worker_args` spec warmed
+    *before* the first task is popped: the per-process native-provider
+    import/compile then happens during pool spawn, concurrently with the
+    engine's own work, instead of inside the first timed stretch — which
+    keeps ``parallel_min_chunk`` a pure steady-state break-even.
+    """
+    if warmup_args is not None:
+        try:
+            _worker_kernels(tuple(warmup_args))
+        except Exception:  # pragma: no cover - fall back to lazy warm-up
+            pass
     while True:
         task = tasks.get()
         if task is None:
@@ -216,13 +244,14 @@ def _worker_main(tasks, results) -> None:
             if kind == "segments":
                 _, chunk_refs, nl, payloads = task[:4]
                 kd = _worker_kernels(task[4] if len(task) > 4 else None)
+                dt = np.dtype(task[5]) if len(task) > 5 else np.complex128
                 vec_shms: dict[str, shared_memory.SharedMemory] = {}
                 vec_arrs: dict[str, np.ndarray] = {}
                 try:
                     for name, count, ci in chunk_refs:
                         shm = _attach(name)
                         try:
-                            arr = _as_array(shm, count)
+                            arr = _as_array(shm, count, dt)
                             for p in payloads:
                                 if p[0] == "run":
                                     apply_run(arr, p[1], nl, ci, kd)
@@ -253,20 +282,25 @@ def _worker_main(tasks, results) -> None:
             elif kind == "run":
                 _, name, count, nl, ci, run = task[:6]
                 kd = _worker_kernels(task[6] if len(task) > 6 else None)
+                dt = np.dtype(task[7]) if len(task) > 7 else np.complex128
                 shm = _attach(name)
                 try:
-                    apply_run(_as_array(shm, count), run, nl, ci, kd)
+                    apply_run(_as_array(shm, count, dt), run, nl, ci, kd)
                 finally:
                     shm.close()
             elif kind == "mul":
-                _, name, count, nl, vec_name, vec_shape = task
+                _, name, count, nl, vec_name, vec_shape = task[:6]
+                dt = np.dtype(task[6]) if len(task) > 6 else np.complex128
                 shm = _attach(name)
                 vshm = _attach(vec_name)
                 try:
+                    # Phase tensors are always complex128 (see
+                    # repro.sim.diag); the in-place multiply casts into
+                    # the chunk dtype identically in every mode.
                     vec = np.ndarray(
                         vec_shape, dtype=np.complex128, buffer=vshm.buf
                     )
-                    view = _as_array(shm, count).reshape((-1,) + (2,) * nl)
+                    view = _as_array(shm, count, dt).reshape((-1,) + (2,) * nl)
                     view *= vec
                     del vec, view
                 finally:
@@ -287,13 +321,18 @@ class ChunkPool:
     workers:
         Number of worker processes (must be >= 1).  Workers are spawned
         immediately and stay resident until :meth:`close`.
+    warmup_args:
+        Optional :meth:`~repro.sim.kernels.KernelDispatch.worker_args`
+        spec each worker warms at startup, so the one-off native
+        compile/import cost lands during spawn rather than inside the
+        first dispatched stretch.
     """
 
     #: Seconds to wait for any single task acknowledgement before
     #: declaring the pool wedged (a worker died mid-task).
     TIMEOUT = 120.0
 
-    def __init__(self, workers: int):
+    def __init__(self, workers: int, warmup_args=None):
         if workers < 1:
             raise SimulationError(f"workers must be >= 1, got {workers}")
         #: Total tasks ever dispatched (white-box dispatch accounting:
@@ -304,8 +343,11 @@ class ChunkPool:
         self._tasks = ctx.Queue()
         self._results = ctx.Queue()
         self._procs = [
-            ctx.Process(target=_worker_main, args=(self._tasks, self._results),
-                        daemon=True)
+            ctx.Process(
+                target=_worker_main,
+                args=(self._tasks, self._results, warmup_args),
+                daemon=True,
+            )
             for _ in range(workers)
         ]
         for p in self._procs:

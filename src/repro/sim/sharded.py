@@ -20,8 +20,11 @@ gate is applied cooperatively:
 
 Layout
 ------
-The state is a list of ``R`` flat contiguous complex128 arrays.  Global
-amplitude index ``g`` lives in ``chunks[g >> n_local][g & (csize - 1)]``
+The state is a list of ``R`` flat contiguous complex arrays (complex128
+by default; ``dtype="complex64"`` selects the half-footprint
+mixed-precision tier, and ``spill=`` backs the chunks with memory-mapped
+files once the register outgrows a RAM budget — see the constructor).
+Global amplitude index ``g`` lives in ``chunks[g >> n_local][g & (csize - 1)]``
 with ``csize = 2^n_local``.  Qubit handles are stable integer ids mapped
 to *bit positions*: a freshly allocated qubit is the least significant
 bit, pushing all existing qubits one bit up, which keeps both allocation
@@ -53,6 +56,8 @@ the two engines are drop-in interchangeable behind
 from __future__ import annotations
 
 import itertools
+import os
+import tempfile
 from multiprocessing import shared_memory
 from typing import Iterable, Sequence
 
@@ -149,6 +154,28 @@ class ShardedStateVector:
         ``REPRO_QMPI_KERNELS`` before defaulting to ``"auto"``.  All
         modes produce bit-identical amplitudes (see
         :mod:`repro.sim.kernels`).
+    dtype:
+        Amplitude precision: ``"complex128"`` (default) or
+        ``"complex64"`` (half the memory/bandwidth at float32
+        precision; kernel arms stay bit-identical *within* the dtype).
+        ``None`` reads ``REPRO_QMPI_DTYPE`` before defaulting to
+        ``"complex128"``.
+    spill:
+        Out-of-core chunk store: ``None`` (default, chunks stay in
+        RAM), ``"auto"`` (back chunks with ``np.memmap`` files under a
+        temporary directory once the register exceeds the RAM budget)
+        or a directory path (same, files created under that path).
+        Spilled runs execute each communication-free stretch chunk by
+        chunk in partition order, touching every chunk exactly once per
+        stretch.  Mutually exclusive with ``workers`` (the pool's
+        shared-memory backing is itself a storage tier).  Spill files
+        are removed when the register shrinks back under budget and on
+        :meth:`close`.
+    spill_budget:
+        RAM budget in bytes for the ``spill`` decision (default: the
+        ``REPRO_QMPI_SPILL_BUDGET`` environment variable, else 1 GiB).
+        The budget covers the register itself; transient working memory
+        stays O(chunk), so keep it at a few chunks minimum.
 
     Examples
     --------
@@ -158,10 +185,6 @@ class ShardedStateVector:
     0.4999...
     """
 
-    #: Amplitude dtype name; part of the engine layout key (see
-    #: :meth:`layout_key`) so cached schedules never cross precisions.
-    dtype = "complex128"
-
     def __init__(
         self,
         n_qubits: int = 0,
@@ -170,11 +193,41 @@ class ShardedStateVector:
         workers: int = 0,
         parallel_min_chunk: int = PARALLEL_MIN_CHUNK,
         kernels: str | None = None,
+        dtype: str | None = None,
+        spill: str | None = None,
+        spill_budget: int | None = None,
     ):
         if n_shards < 1 or (n_shards & (n_shards - 1)):
             raise SimulationError(f"n_shards must be a power of two, got {n_shards}")
         if workers < 0:
             raise SimulationError(f"workers must be >= 0, got {workers}")
+        if dtype is None:
+            dtype = os.environ.get("REPRO_QMPI_DTYPE") or "complex128"
+        if str(dtype) not in ("complex64", "complex128"):
+            raise SimulationError(
+                f'dtype must be "complex128" or "complex64", got {dtype!r}'
+            )
+        self._dtype = np.dtype(str(dtype))
+        # Tolerance knobs scale with the amplitude precision: float32
+        # rounding leaves ~1e-7 residuals where float64 leaves ~1e-16.
+        if self._dtype == np.complex64:
+            self._zero_atol, self._norm_eps, self._agree_eps = 1e-4, 1e-6, 1e-5
+        else:
+            self._zero_atol, self._norm_eps, self._agree_eps = 1e-9, 1e-12, 1e-9
+        if spill is not None and workers:
+            raise SimulationError(
+                "spill= and workers= are mutually exclusive storage tiers"
+            )
+        self._spill = str(spill) if spill is not None else None
+        if spill_budget is None:
+            spill_budget = int(
+                os.environ.get("REPRO_QMPI_SPILL_BUDGET") or (1 << 30)
+            )
+        self._spill_budget = int(spill_budget)
+        self._spill_dir: str | None = None
+        self._spill_files: list[str] = []
+        self._spill_seq = itertools.count()
+        self._mmapped = False
         self.n_shards = n_shards
         # Kernel dispatch (repro.sim.kernels): "auto"/"numpy"/"jit",
         # None = the REPRO_QMPI_KERNELS environment default.  Amplitudes
@@ -196,7 +249,7 @@ class ShardedStateVector:
         self._partition_memo: tuple | None = None
         # Zero qubits == one chunk holding the single amplitude 1.
         self._chunks: list[np.ndarray] = []
-        self._store_chunks([np.ones(1, dtype=np.complex128)])
+        self._store_chunks([np.ones(1, dtype=self._dtype)])
         self._bit_of: dict[int, int] = {}
         self._next_id = 0
         self._shots: int | None = None
@@ -242,7 +295,7 @@ class ShardedStateVector:
             # Empty engine (all qubits released): drop the leftover branch
             # rows (unobservable global phases) so a reused backend (job
             # runner) can start a new shot batch.
-            self._store_chunks([np.ones(1, dtype=np.complex128)])
+            self._store_chunks([np.ones(1, dtype=self._dtype)])
             self._n_branches = 1
         if shots < 1:
             raise SimulationError(f"shots must be >= 1, got {shots}")
@@ -303,18 +356,36 @@ class ShardedStateVector:
         """Worker-process count of the parallel chunk executor (0 = serial)."""
         return self._workers
 
+    @property
+    def dtype(self) -> str:
+        """Amplitude dtype name, derived from the live chunks.
+
+        Part of the engine :meth:`layout_key`, so cached schedules never
+        replay across precisions.
+        """
+        return self._chunks[0].dtype.name
+
     # ------------------------------------------------------------------
     # chunk storage (shared-memory backed when workers are enabled)
     # ------------------------------------------------------------------
-    def _store_chunks(self, arrs: Sequence[np.ndarray]) -> None:
-        """Install a new chunk list, preserving shared-memory backing.
+    def _store_chunks(self, arrs, layout: tuple[int, int] | None = None) -> None:
+        """Install a new chunk list, preserving the storage backing.
 
         With ``workers=0`` this is a plain rebind. With workers enabled,
         a same-layout update copies into the existing shared-memory
         buffers (chunk identity stays stable — no segment churn on
         high-axis gates), while a layout change (alloc/release/
-        rebalance) reallocates the segments.
+        rebalance) reallocates the segments.  With ``spill=`` set the
+        storage tier (RAM arrays vs ``np.memmap`` files) is re-decided
+        against the budget on every layout change.
+
+        ``arrs`` may be a lazy iterable when ``layout`` — the new
+        ``(n_chunks, flat_chunk_size)`` — is given, so alloc/release can
+        stream chunks through without holding two full registers in RAM.
         """
+        if self._spill is not None:
+            self._store_spill(arrs, layout)
+            return
         arrs = list(arrs)
         if self._shm is None:
             self._chunks = arrs
@@ -332,9 +403,11 @@ class ShardedStateVector:
         self._shm = []
         chunks = []
         for a in arrs:
-            shm = shared_memory.SharedMemory(create=True, size=max(16, 16 * a.size))
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(16, a.size * a.dtype.itemsize)
+            )
             self._shm.append(shm)
-            view = np.ndarray((a.size,), dtype=np.complex128, buffer=shm.buf)
+            view = np.ndarray((a.size,), dtype=a.dtype, buffer=shm.buf)
             view[:] = a
             chunks.append(view)
         self._chunks = chunks
@@ -342,9 +415,56 @@ class ShardedStateVector:
         for s in old:
             self._release_shm(s)
 
+    def _store_spill(self, arrs, layout: tuple[int, int] | None = None) -> None:
+        """Spill-aware chunk install: memmap files past the RAM budget.
+
+        The whole new generation is written before any old spill file is
+        removed (the inputs may read from the old files), so transient
+        disk usage peaks at two generations while RAM stays O(chunk).
+        """
+        if layout is None:
+            arrs = list(arrs)
+            layout = (len(arrs), arrs[0].size)
+        n_chunks, csize = layout
+        old_files = self._spill_files
+        if n_chunks * csize * self._dtype.itemsize <= self._spill_budget:
+            # RAM tier.  Copy defensively while the register is mmapped:
+            # inputs may be (views of) the spill files about to go away.
+            if self._mmapped:
+                self._chunks = [np.array(a, dtype=self._dtype) for a in arrs]
+                self._mmapped = False
+            else:
+                self._chunks = list(arrs)
+        else:
+            if self._spill_dir is None:
+                base = None if self._spill == "auto" else self._spill
+                if base is not None:
+                    os.makedirs(base, exist_ok=True)
+                self._spill_dir = tempfile.mkdtemp(prefix="qmpi-spill-", dir=base)
+            gen = next(self._spill_seq)
+            chunks: list[np.ndarray] = []
+            files: list[str] = []
+            for i, a in enumerate(arrs):
+                path = os.path.join(self._spill_dir, f"chunk-{gen}-{i}.dat")
+                m = np.memmap(path, dtype=self._dtype, mode="w+", shape=(csize,))
+                m[:] = a
+                chunks.append(m)
+                files.append(path)
+            self._chunks = chunks
+            self._spill_files = files
+            self._mmapped = True
+        if old_files and (not self._mmapped or old_files is not self._spill_files):
+            for p in old_files:
+                try:
+                    os.remove(p)
+                except OSError:  # pragma: no cover - already gone
+                    pass
+            if not self._mmapped:
+                self._spill_files = []
+
     def _set_chunk(self, i: int, arr: np.ndarray) -> None:
-        """Replace one same-size chunk (in place when shared-memory backed)."""
-        if self._shm is None:
+        """Replace one same-size chunk (in place when shm/memmap backed)."""
+        if self._shm is None and not self._mmapped:
             self._chunks[i] = arr
         else:
             self._chunks[i][:] = arr
@@ -372,7 +492,16 @@ class ShardedStateVector:
 
     def _get_pool(self) -> ChunkPool:
         if self._pool is None:
-            self._pool = ChunkPool(self._workers)
+            # Warm each worker's kernel dispatch at spawn: the one-off
+            # native provider import/compile then happens outside any
+            # timed stretch, so parallel_min_chunk stays a pure
+            # steady-state break-even (see repro.sim.parallel).
+            warm = (
+                self._kernels.worker_args()
+                if self._kernels.mode != "numpy"
+                else None
+            )
+            self._pool = ChunkPool(self._workers, warmup_args=warm)
         return self._pool
 
     def _parallel_ready(self, stretch_cost: float = DEFAULT_COST_MODEL.sq_flops) -> bool:
@@ -412,6 +541,22 @@ class ShardedStateVector:
             for s in shms:
                 self._release_shm(s)
             self._workers = 0
+        if self._mmapped:
+            self._chunks = [np.array(c) for c in self._chunks]
+            self._mmapped = False
+        if self._spill_dir is not None:
+            for p in self._spill_files:
+                try:
+                    os.remove(p)
+                except OSError:  # pragma: no cover - already gone
+                    pass
+            self._spill_files = []
+            try:
+                os.rmdir(self._spill_dir)
+            except OSError:  # pragma: no cover - user-owned dir not empty
+                pass
+            self._spill_dir = None
+        self._spill = None
         self._drain_retired()
 
     def __del__(self):  # pragma: no cover - GC safety net
@@ -434,26 +579,34 @@ class ShardedStateVector:
             for q in self._bit_of:
                 self._bit_of[q] += 1
             self._bit_of[qid] = 0
-            # New LSB in |0>: amplitudes interleave with zeros, chunk-locally.
-            grown = []
-            for c in self._chunks:
-                g = np.zeros(2 * c.size, dtype=np.complex128)
-                g[0::2] = c
-                grown.append(g)
-            if len(grown) < self.n_shards:
-                # Rebalance: split each doubled chunk at its top *local*
-                # bit so the active chunk count tracks min(n_shards, 2^n).
-                # The split is per branch row: each row's top-bit halves
-                # go to the two daughter chunks.
-                B = self._n_branches
-                half = grown[0].size // B // 2
-                grown = [
-                    np.ascontiguousarray(part).reshape(-1)
-                    for c in grown
-                    for v in (c.reshape(B, -1),)
-                    for part in (v[:, :half], v[:, half:])
-                ]
-            self._store_chunks(grown)
+            # New LSB in |0>: amplitudes interleave with zeros,
+            # chunk-locally.  When the active chunk count is still below
+            # n_shards the doubled chunk also splits at its top *local*
+            # bit (per branch row) so the count tracks min(n_shards, 2^n).
+            # Streamed through a generator: the spill store then never
+            # holds more than O(chunk) fresh arrays in RAM.
+            rebalance = len(self._chunks) < self.n_shards
+            B = self._n_branches
+            old_size = self._chunks[0].size
+
+            def grown_iter():
+                for c in self._chunks:
+                    g = np.zeros(2 * c.size, dtype=self._dtype)
+                    g[0::2] = c
+                    if rebalance:
+                        half = g.size // B // 2
+                        v = g.reshape(B, -1)
+                        yield np.ascontiguousarray(v[:, :half]).reshape(-1)
+                        yield np.ascontiguousarray(v[:, half:]).reshape(-1)
+                    else:
+                        yield g
+
+            layout = (
+                (2 * len(self._chunks), old_size)
+                if rebalance
+                else (len(self._chunks), 2 * old_size)
+            )
+            self._store_chunks(grown_iter(), layout)
             ids.append(qid)
         return ids
 
@@ -465,22 +618,23 @@ class ShardedStateVector:
         """
         b = self._bit(qubit)
         nl = self.n_local
+        atol = self._zero_atol
         if b < nl:
             stride = 1 << b
             views = [c.reshape(-1, 2, stride) for c in self._chunks]
-            if any(not np.allclose(v[:, 1, :], 0.0, atol=1e-9) for v in views):
+            if any(not np.allclose(v[:, 1, :], 0.0, atol=atol) for v in views):
                 self._raise_not_zero(qubit)
             self._store_chunks(
-                [np.ascontiguousarray(v[:, 0, :]).reshape(-1) for v in views]
+                (np.ascontiguousarray(v[:, 0, :]).reshape(-1) for v in views),
+                (len(self._chunks), self._chunks[0].size // 2),
             )
         else:
             mask = 1 << (b - nl)
             ones = [c for i, c in enumerate(self._chunks) if i & mask]
-            if any(not np.allclose(c, 0.0, atol=1e-9) for c in ones):
+            if any(not np.allclose(c, 0.0, atol=atol) for c in ones):
                 self._raise_not_zero(qubit)
-            self._store_chunks(
-                [c for i, c in enumerate(self._chunks) if not i & mask]
-            )
+            keep = [c for i, c in enumerate(self._chunks) if not i & mask]
+            self._store_chunks(keep, (len(keep), keep[0].size))
         del self._bit_of[qubit]
         for q, bb in self._bit_of.items():
             if bb > b:
@@ -773,73 +927,93 @@ class ShardedStateVector:
         return tuple(tuple(s) for s in per_chunk), native
 
     def _exec_frozen_run(self, frozen, nl) -> None:
-        """Run one frozen kernel fold chunk by chunk.
+        """Run one frozen kernel fold chunk by chunk."""
+        for ci, chunk in enumerate(self._chunks):
+            self._exec_frozen_chunk(frozen, nl, ci, chunk)
 
-        When the engine's dispatch goes native for a chunk, the typed
+    def _exec_frozen_chunk(self, frozen, nl, ci, chunk) -> None:
+        """Replay one chunk's frozen kernel-fold program.
+
+        When the engine's dispatch goes native for the chunk, the typed
         step blocks are walked by one compiled ``drive`` call each
         (matrices re-filled from the live ``(seg, i)`` refs, so cache
         rebinding flows through); otherwise each tagged python step
         replays the same planar expression tree through the
         :mod:`repro.sim.kernels` numpy helpers.  The two arms are
-        bit-identical by the planar kernel contract.
+        bit-identical by the planar kernel contract; scalars and
+        matrices are rounded to the chunk dtype exactly once here (the
+        rounding boundary) in both arms.
         """
         per_chunk, native = frozen
         kd = self._kernels
-        for ci, chunk in enumerate(self._chunks):
-            if kd.native(chunk.size):
-                for item in native[ci]:
-                    if item[0] == "blk":
-                        _, codes, arg0, arg1, refs = item
-                        mats = np.empty((len(refs), 4), dtype=np.complex128)
-                        for j, (src, i) in enumerate(refs):
-                            u = src.entries[i][1]
-                            mats[j, 0] = u[0, 0]
-                            mats[j, 1] = u[0, 1]
-                            mats[j, 2] = u[1, 0]
-                            mats[j, 3] = u[1, 1]
-                        kd.drive(chunk, codes, arg0, arg1, mats.view(np.float64))
-                    else:  # ("py", step): generic ct/csel entry
-                        st = item[1]
-                        if st[0] == "g":
-                            apply_run(chunk, (st[1].entries[st[2]],), nl, ci, kd)
-                        else:
-                            apply_run(chunk, (st[1].entry,), nl, ci, kd)
-                continue
-            counters = kd.counters
-            for st in per_chunk[ci]:
-                tag = st[0]
-                if tag == "sf":
-                    counters["numpy_fallbacks"] += 1
-                    _K.sq_full_view(chunk.reshape(st[3]), st[1].entries[st[2]][1])
-                elif tag == "sd":
-                    counters["numpy_fallbacks"] += 1
-                    _K.sq_diag_view(chunk.reshape(st[3]), st[1].entries[st[2]][1])
-                elif tag == "cf":
-                    counters["numpy_fallbacks"] += 1
-                    _K.cc_full_view(
-                        chunk.reshape(st[3]), st[4], st[5], st[1].entries[st[2]][1]
+        c64 = chunk.dtype == np.complex64
+        if kd.native(chunk.size):
+            for item in native[ci]:
+                if item[0] == "blk":
+                    _, codes, arg0, arg1, refs = item
+                    mats = np.empty((len(refs), 4), dtype=chunk.dtype)
+                    for j, (src, i) in enumerate(refs):
+                        u = src.entries[i][1]
+                        mats[j, 0] = u[0, 0]
+                        mats[j, 1] = u[0, 1]
+                        mats[j, 2] = u[1, 0]
+                        mats[j, 3] = u[1, 1]
+                    kd.drive(
+                        chunk,
+                        codes,
+                        arg0,
+                        arg1,
+                        mats.view(np.float32 if c64 else np.float64),
                     )
-                elif tag == "cd":
-                    counters["numpy_fallbacks"] += 1
-                    _K.cc_diag_view(
-                        chunk.reshape(st[3]), st[4], st[5], st[1].entries[st[2]][1]
-                    )
-                elif tag == "ss":
-                    counters["numpy_fallbacks"] += 1
-                    u = st[1].entries[st[2]][1]
-                    f = u[st[3], st[3]]
-                    if f != 1.0:
-                        _K.imul(chunk, f)
-                elif tag == "cs":
-                    counters["numpy_fallbacks"] += 1
-                    u = st[1].entries[st[2]][1]
-                    f = u[st[5], st[5]]
-                    if f != 1.0:
-                        _K.imul(chunk.reshape(st[3])[st[4]], f)
-                elif tag == "g":
-                    apply_run(chunk, (st[1].entries[st[2]],), nl, ci, kd)
-                else:  # "gp"
-                    apply_run(chunk, (st[1].entry,), nl, ci, kd)
+                else:  # ("py", step): generic ct/csel entry
+                    st = item[1]
+                    if st[0] == "g":
+                        apply_run(chunk, (st[1].entries[st[2]],), nl, ci, kd)
+                    else:
+                        apply_run(chunk, (st[1].entry,), nl, ci, kd)
+            return
+        counters = kd.counters
+        for st in per_chunk[ci]:
+            tag = st[0]
+            if tag == "sf":
+                counters["numpy_fallbacks"] += 1
+                _K.sq_full_view(chunk.reshape(st[3]), st[1].entries[st[2]][1])
+            elif tag == "sd":
+                counters["numpy_fallbacks"] += 1
+                _K.sq_diag_view(chunk.reshape(st[3]), st[1].entries[st[2]][1])
+            elif tag == "cf":
+                counters["numpy_fallbacks"] += 1
+                _K.cc_full_view(
+                    chunk.reshape(st[3]), st[4], st[5], st[1].entries[st[2]][1]
+                )
+            elif tag == "cd":
+                counters["numpy_fallbacks"] += 1
+                _K.cc_diag_view(
+                    chunk.reshape(st[3]), st[4], st[5], st[1].entries[st[2]][1]
+                )
+            elif tag == "ss":
+                counters["numpy_fallbacks"] += 1
+                u = st[1].entries[st[2]][1]
+                f = u[st[3], st[3]]
+                if c64:
+                    # Round once, like the native arm's mats staging
+                    # (multiplying by an exactly-1.0 rounded factor is
+                    # the identity, so the skip guard cannot diverge).
+                    f = complex(np.complex64(f))
+                if f != 1.0:
+                    _K.imul(chunk, f)
+            elif tag == "cs":
+                counters["numpy_fallbacks"] += 1
+                u = st[1].entries[st[2]][1]
+                f = u[st[5], st[5]]
+                if c64:
+                    f = complex(np.complex64(f))
+                if f != 1.0:
+                    _K.imul(chunk.reshape(st[3])[st[4]], f)
+            elif tag == "g":
+                apply_run(chunk, (st[1].entries[st[2]],), nl, ci, kd)
+            else:  # "gp"
+                apply_run(chunk, (st[1].entry,), nl, ci, kd)
 
     def execute_frozen(self, program) -> None:
         """Replay a frozen program (same arithmetic as the interpreter)."""
@@ -851,11 +1025,27 @@ class ShardedStateVector:
                 if self._parallel_ready(cost):
                     self._dispatch_stretch(stretch)
                     continue
-                for kind, payload in folds:
-                    if kind == "diag":
-                        self._apply_diag_batch(payload.batch)
-                    else:
-                        self._exec_frozen_run(payload, nl)
+                # Chunk-major: materialize every fold's phase tensors
+                # first, then touch each chunk exactly once for the whole
+                # stretch (chunks are independent between barriers, so
+                # the per-chunk op order — and the amplitudes — are
+                # identical to fold-major order).  Out-of-core registers
+                # then stream each chunk through the page cache once per
+                # stretch instead of once per fold.
+                prepped = [
+                    ("diag", self._prep_diag_batch(payload.batch))
+                    if kind == "diag"
+                    else ("run", payload)
+                    for kind, payload in folds
+                ]
+                for ci, chunk in enumerate(self._chunks):
+                    for kind, payload in prepped:
+                        if kind == "diag":
+                            vecs, sig_of = payload
+                            v = chunk.reshape((-1,) + (2,) * nl)
+                            v *= vecs[sig_of[ci]]
+                        else:
+                            self._exec_frozen_chunk(payload, nl, ci, chunk)
                 continue
             barrier = step[1]
             self.segments_executed += 1
@@ -912,12 +1102,24 @@ class ShardedStateVector:
             return
         nl = self.n_local
         kd = self._kernels
-        for kind, payload in self._fold_stretch(stretch):
-            if kind == "run":
-                for ci, c in enumerate(self._chunks):
+        # Chunk-major (see execute_frozen): prepare every fold, then one
+        # pass over the chunks applying all of them — each chunk is
+        # touched exactly once per communication-free stretch, which is
+        # what lets spilled registers stream through the page cache.
+        prepped = [
+            ("diag", self._prep_diag_batch(payload))
+            if kind == "diag"
+            else ("run", payload)
+            for kind, payload in self._fold_stretch(stretch)
+        ]
+        for ci, c in enumerate(self._chunks):
+            for kind, payload in prepped:
+                if kind == "run":
                     apply_run(c, payload, nl, ci, kd)
-            else:
-                self._apply_diag_batch(payload)
+                else:
+                    vecs, sig_of = payload
+                    v = c.reshape((-1,) + (2,) * nl)
+                    v *= vecs[sig_of[ci]]
 
     def _batch_tables(self, batch: DiagBatch):
         """A batch's phase tables keyed by bit position (chunk layout)."""
@@ -928,22 +1130,32 @@ class ShardedStateVector:
         ]
         return singles, pairs
 
+    def _prep_diag_batch(self, batch: DiagBatch):
+        """Materialize a diagonal batch's per-signature phase tensors.
+
+        The per-qubit/per-pair phase tables become one broadcastable
+        complex128 tensor per *shard-bit signature*
+        (:func:`repro.sim.diag.signature_vectors`) — computed once per
+        signature and shared by every chunk with it.  Phase tensors stay
+        complex128 in every register dtype: the in-place chunk multiply
+        casts on store, so a complex64 register still sees phases
+        accumulated at full precision.
+        """
+        singles, pairs = self._batch_tables(batch)
+        _, vecs, sig_of = signature_vectors(
+            singles, pairs, self.n_local, len(self._chunks), kernels=self._kernels
+        )
+        return vecs, sig_of
+
     def _apply_diag_batch(self, batch: DiagBatch) -> None:
         """Apply a coalesced diagonal batch as per-chunk phase vectors.
 
-        The per-qubit/per-pair phase tables are materialized into one
-        broadcastable tensor per *shard-bit signature*
-        (:func:`repro.sim.diag.signature_vectors`) — computed once per
-        signature and shared by every chunk with it.  Each chunk then
-        updates with a single vectorized in-place multiply; no chunk
-        ever exchanges amplitudes, regardless of which axes the batch
-        touches.
+        Each chunk updates with a single vectorized in-place multiply;
+        no chunk ever exchanges amplitudes, regardless of which axes the
+        batch touches.
         """
         nl = self.n_local
-        singles, pairs = self._batch_tables(batch)
-        _, vecs, sig_of = signature_vectors(
-            singles, pairs, nl, len(self._chunks), kernels=self._kernels
-        )
+        vecs, sig_of = self._prep_diag_batch(batch)
         for ci, c in enumerate(self._chunks):
             # Leading -1 axis folds in any shot-branch rows; the phase
             # tensor (ndim nl) broadcasts over it right-aligned.
@@ -1007,7 +1219,7 @@ class ShardedStateVector:
                 self._partition_memo = memo
             kargs = self._kernels.worker_args()
             tasks = [
-                ("segments", refs, nl, tuple(payloads), kargs)
+                ("segments", refs, nl, tuple(payloads), kargs, self.dtype)
                 for refs in memo[1]
             ]
             pool.run_tasks(tasks)
@@ -1024,7 +1236,10 @@ class ShardedStateVector:
         k = len(qubits)
         if len(set(qubits)) != k:
             raise SimulationError(f"duplicate qubits in {qubits}")
-        u = np.asarray(u, dtype=np.complex128)
+        # Rounding boundary: the matrix lands in the register dtype once,
+        # so all downstream arithmetic runs in-precision (and NEP 50
+        # never silently promotes a complex64 register to complex128).
+        u = np.asarray(u, dtype=self._dtype)
         if u.shape != (2**k, 2**k):
             raise SimulationError(
                 f"matrix shape {u.shape} does not match {k} qubits"
@@ -1064,17 +1279,21 @@ class ShardedStateVector:
                 v[:, 0, :] = u[0, 0] * a0 + u[0, 1] * a1
                 v[:, 1, :] = u[1, 0] * a0 + u[1, 1] * a1
             return
-        # High axis: pair-chunk exchange, then a local linear combination.
+        # High axis: pair-chunk exchange, then a local linear
+        # combination, one pair at a time so peak transient RAM is
+        # O(chunk) rather than a second full register.  The fabric
+        # payloads alias live peer chunks, so both halves of a pair are
+        # computed before either is written.
         mask = 1 << (b - nl)
         partners = self._pair_exchange(b - nl)
-        self._store_chunks(
-            [
-                u[1, 0] * partners[i] + u[1, 1] * c
-                if i & mask
-                else u[0, 0] * c + u[0, 1] * partners[i]
-                for i, c in enumerate(self._chunks)
-            ]
-        )
+        for i in range(len(self._chunks)):
+            if i & mask:
+                continue
+            j = i | mask
+            new_lo = u[0, 0] * self._chunks[i] + u[0, 1] * partners[i]
+            new_hi = u[1, 0] * partners[j] + u[1, 1] * self._chunks[j]
+            self._set_chunk(i, new_lo)
+            self._set_chunk(j, new_hi)
 
     def _apply_local(self, u: np.ndarray, bits: Sequence[int]) -> None:
         # All axes intra-chunk: tensor contraction per chunk, no traffic
@@ -1102,15 +1321,21 @@ class ShardedStateVector:
             (h - 1 - shard_bits.index(b - nl)) if b >= nl else (h + 1 + nl - 1 - b)
             for b in bits
         ]
-        new_chunks: list[np.ndarray] = [None] * len(self._chunks)  # type: ignore[list-item]
+        # Per-group compute-then-write: the gathered payloads alias live
+        # member chunks, so every member's new slice is computed before
+        # any member is mutated — and groups are disjoint, so finishing
+        # one group before starting the next keeps peak transient RAM at
+        # O(group) instead of a second full register.
         for members in groups.values():
+            new: dict[int, np.ndarray] = {}
             for dst in members:
                 t = np.stack(gathered[dst]).reshape((2,) * h + (-1,) + (2,) * nl)
                 t = np.tensordot(ut, t, axes=(range(k, 2 * k), axes))
                 t = np.moveaxis(t, range(k), axes)
                 own = tuple((dst >> shard_bits[h - 1 - i]) & 1 for i in range(h))
-                new_chunks[dst] = np.ascontiguousarray(t[own]).reshape(-1)
-        self._store_chunks(new_chunks)
+                new[dst] = np.ascontiguousarray(t[own]).reshape(-1)
+            for dst in members:
+                self._set_chunk(dst, new[dst])
 
     def apply_controlled(
         self, u: np.ndarray, controls: Sequence[int], targets: Sequence[int]
@@ -1130,7 +1355,7 @@ class ShardedStateVector:
         if set(controls) & set(targets):
             raise SimulationError("control and target qubits overlap")
         k = len(targets)
-        u = np.asarray(u, dtype=np.complex128)
+        u = np.asarray(u, dtype=self._dtype)
         if u.shape != (2**k, 2**k):
             raise SimulationError(
                 f"matrix shape {u.shape} does not match {k} targets"
@@ -1345,7 +1570,7 @@ class ShardedStateVector:
         if self._shots is None:
             return float(self._branch_prob_one(qubit)[0])
         p = self._branch_prob_one(qubit)
-        if np.ptp(p) < 1e-9:
+        if np.ptp(p) < self._agree_eps:
             return float(p[0])
         return p[self._shot_of]
 
@@ -1371,14 +1596,16 @@ class ShardedStateVector:
         new_chunks = []
         for ci, c in enumerate(self._chunks):
             v = c.reshape(B_old, csize)
-            out = np.zeros((len(spec), csize), dtype=np.complex128)
+            out = np.zeros((len(spec), csize), dtype=self._dtype)
             for i, (src, outcome, scale) in enumerate(spec):
+                # float(scale) keeps the scalar weak under NEP 50 so a
+                # complex64 register is not promoted (exact for float64).
                 if b < nl:
-                    row = v[src] * scale
+                    row = v[src] * float(scale)
                     row.reshape(-1, 2, 1 << b)[:, 1 - outcome, :] = 0.0
                     out[i] = row
                 elif ((ci >> (b - nl)) & 1) == outcome:
-                    out[i] = v[src] * scale
+                    out[i] = v[src] * float(scale)
                 # else: this chunk holds the projected-away half — zero.
             new_chunks.append(out.reshape(-1))
         self._n_branches = len(spec)
@@ -1462,7 +1689,7 @@ class ShardedStateVector:
                     c[:] = 0.0
         if self._shots is None:
             norm = self.norm()
-            if norm < 1e-12:
+            if norm < self._norm_eps:
                 raise SimulationError(
                     f"postselecting qubit {qubit} on {bit}: outcome has zero "
                     "probability"
@@ -1475,7 +1702,7 @@ class ShardedStateVector:
         for c in self._chunks:
             sq += (np.abs(c.reshape(B, -1)) ** 2).sum(axis=1)
         norms = np.sqrt(sq)
-        if np.any(norms < 1e-12):
+        if np.any(norms < self._norm_eps):
             raise SimulationError(
                 f"postselecting qubit {qubit} on {bit}: outcome has zero "
                 "probability in some branch"
@@ -1566,6 +1793,18 @@ class ShardedStateVector:
         out._tags = itertools.count()
         out._workers = 0
         out._parallel_min_chunk = self._parallel_min_chunk
+        out._dtype = self._dtype
+        out._zero_atol = self._zero_atol
+        out._norm_eps = self._norm_eps
+        out._agree_eps = self._agree_eps
+        # The copy is always a plain in-RAM register (like workers, the
+        # spill tier is not inherited).
+        out._spill = None
+        out._spill_budget = self._spill_budget
+        out._spill_dir = None
+        out._spill_files = []
+        out._spill_seq = itertools.count()
+        out._mmapped = False
         out._pool = None
         out._shm = None
         out._retired = []

@@ -19,6 +19,7 @@ Design notes
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -54,6 +55,11 @@ class StateVector:
         and no native rewrite of those could stay bit-identical (see
         :mod:`repro.sim.kernels`).  Amplitudes are bit-identical in
         every mode.
+    dtype:
+        Amplitude precision: ``"complex128"`` (default) or
+        ``"complex64"`` (half the memory/bandwidth at float32
+        precision).  ``None`` reads ``REPRO_QMPI_DTYPE`` before
+        defaulting to ``"complex128"``.
 
     Examples
     --------
@@ -63,16 +69,30 @@ class StateVector:
     0.4999...
     """
 
-    #: Amplitude dtype name; part of the engine layout key so a cached
-    #: schedule compiled for one precision is never replayed on another
-    #: (forward-looking: the array dtype below is pinned to it).
-    dtype = "complex128"
-
-    def __init__(self, n_qubits: int = 0, seed=None, kernels: str | None = None):
+    def __init__(
+        self,
+        n_qubits: int = 0,
+        seed=None,
+        kernels: str | None = None,
+        dtype: str | None = None,
+    ):
         self._kernels = KernelDispatch(
             kernels, jit_min_amps=DEFAULT_COST_MODEL.jit_min_amps
         )
-        self._psi = np.array(1.0 + 0j)  # shape () scalar == zero qubits
+        if dtype is None:
+            dtype = os.environ.get("REPRO_QMPI_DTYPE") or "complex128"
+        if str(dtype) not in ("complex64", "complex128"):
+            raise SimulationError(
+                f'dtype must be "complex128" or "complex64", got {dtype!r}'
+            )
+        self._dtype = np.dtype(str(dtype))
+        # Tolerance knobs scale with the amplitude precision: float32
+        # rounding leaves ~1e-7 residuals where float64 leaves ~1e-16.
+        if self._dtype == np.complex64:
+            self._zero_atol, self._norm_eps, self._agree_eps = 1e-4, 1e-6, 1e-5
+        else:
+            self._zero_atol, self._norm_eps, self._agree_eps = 1e-9, 1e-12, 1e-9
+        self._psi = np.ones((), dtype=self._dtype)  # shape () == zero qubits
         self._axis_of: dict[int, int] = {}
         self._next_id = 0
         self._shots: int | None = None
@@ -115,7 +135,7 @@ class StateVector:
             # Empty engine (all qubits released): the leftover per-branch
             # global phases are unobservable — reset to a fresh run so a
             # reused backend (job runner) can start a new shot batch.
-            self._psi = np.array(1.0 + 0j)
+            self._psi = np.ones((), dtype=self._dtype)
         if shots < 1:
             raise SimulationError(f"shots must be >= 1, got {shots}")
         self._shots = int(shots)
@@ -140,6 +160,15 @@ class StateVector:
         return len(self._axis_of)
 
     @property
+    def dtype(self) -> str:
+        """Amplitude dtype name, derived from the live state array.
+
+        Part of the engine :meth:`layout_key`, so cached schedules never
+        replay across precisions.
+        """
+        return self._psi.dtype.name
+
+    @property
     def qubit_ids(self) -> tuple[int, ...]:
         """Allocated qubit ids in axis order (allocation order)."""
         order = sorted(self._axis_of, key=self._axis_of.__getitem__)
@@ -154,7 +183,7 @@ class StateVector:
             qid = self._next_id
             self._next_id += 1
             self._axis_of[qid] = self._psi.ndim
-            pad = np.zeros((2,), dtype=np.complex128)
+            pad = np.zeros((2,), dtype=self._dtype)
             pad[0] = 1.0
             self._psi = np.multiply.outer(self._psi, pad)
             ids.append(qid)
@@ -168,7 +197,7 @@ class StateVector:
         """
         ax = self._axis(qubit)
         moved = np.moveaxis(self._psi, ax, 0)
-        if not np.allclose(moved[1], 0.0, atol=1e-9):
+        if not np.allclose(moved[1], 0.0, atol=self._zero_atol):
             raise SimulationError(
                 f"qubit {qubit} is not in |0> (or is entangled); "
                 "measure/uncompute before releasing"
@@ -207,7 +236,10 @@ class StateVector:
         k = len(qubits)
         if len(set(qubits)) != k:
             raise SimulationError(f"duplicate qubits in {qubits}")
-        u = np.asarray(u, dtype=np.complex128)
+        # Rounding boundary: the matrix lands in the register dtype once,
+        # so the contraction runs in-precision (NEP 50 would otherwise
+        # promote a complex64 state to complex128).
+        u = np.asarray(u, dtype=self._dtype)
         if u.shape != (2**k, 2**k):
             raise SimulationError(
                 f"matrix shape {u.shape} does not match {k} qubits"
@@ -232,7 +264,7 @@ class StateVector:
         if set(controls) & set(targets):
             raise SimulationError("control and target qubits overlap")
         k = len(targets)
-        u = np.asarray(u, dtype=np.complex128)
+        u = np.asarray(u, dtype=self._dtype)
         if u.shape != (2**k, 2**k):
             raise SimulationError(
                 f"matrix shape {u.shape} does not match {k} targets"
@@ -396,7 +428,7 @@ class StateVector:
                 if op is cell[0]:
                     u = cell[1]
                 else:
-                    u = np.asarray(op.target_matrix(), dtype=np.complex128)
+                    u = np.asarray(op.target_matrix(), dtype=self._dtype)
                     cell[0], cell[1] = op, u
                 psi = self._psi
                 st = psi.transpose(perm_in).reshape(rows, -1)
@@ -408,7 +440,7 @@ class StateVector:
                 if op is cell[0]:
                     u = cell[1]
                 else:
-                    u = np.asarray(op.target_matrix(), dtype=np.complex128)
+                    u = np.asarray(op.target_matrix(), dtype=self._dtype)
                     cell[0], cell[1] = op, u
                 view = self._psi
                 sub = view[idx]
@@ -419,7 +451,7 @@ class StateVector:
                 self._apply_diag_batch(step[1].batch)
             else:  # "p"
                 _, seg, k, rows, notin, perm_in, perm_out = step
-                u = np.asarray(seg.plan.u, dtype=np.complex128)
+                u = np.asarray(seg.plan.u, dtype=self._dtype)
                 psi = self._psi
                 st = psi.transpose(perm_in).reshape(rows, -1)
                 shape = (2,) * k + tuple(psi.shape[a] for a in notin)
@@ -518,7 +550,7 @@ class StateVector:
             moved = np.moveaxis(self._psi, ax, 0)
             return float(np.sum(np.abs(moved[1]) ** 2))
         p = self._branch_prob_one(qubit)
-        if np.ptp(p) < 1e-9:
+        if np.ptp(p) < self._agree_eps:
             return float(p[0])
         return p[self._shot_of]
 
@@ -541,7 +573,9 @@ class StateVector:
         moved = np.moveaxis(self._psi, ax, 1)  # (B, 2, ...)
         new = np.zeros((len(spec),) + moved.shape[1:], dtype=moved.dtype)
         for i, (b, outcome, scale) in enumerate(spec):
-            new[i, outcome] = moved[b, outcome] * scale
+            # float(scale) keeps the scalar weak under NEP 50 so a
+            # complex64 state is not promoted (exact for float64).
+            new[i, outcome] = moved[b, outcome] * float(scale)
         self._psi = np.moveaxis(new, 1, ax)
         return bits
 
@@ -586,7 +620,7 @@ class StateVector:
         moved[1 - bit] = 0.0
         if self._shots is None:
             norm = np.linalg.norm(self._psi)
-            if norm < 1e-12:
+            if norm < self._norm_eps:
                 raise SimulationError(
                     f"postselecting qubit {qubit} on {bit}: outcome has zero "
                     "probability"
@@ -595,7 +629,7 @@ class StateVector:
             return
         flat = np.abs(self._psi.reshape(self._psi.shape[0], -1)) ** 2
         norms = np.sqrt(flat.sum(axis=1))
-        if np.any(norms < 1e-12):
+        if np.any(norms < self._norm_eps):
             raise SimulationError(
                 f"postselecting qubit {qubit} on {bit}: outcome has zero "
                 "probability in some branch"
@@ -683,6 +717,10 @@ class StateVector:
         out._kernels = KernelDispatch(
             self._kernels.mode, jit_min_amps=self._kernels.jit_min_amps
         )
+        out._dtype = self._dtype
+        out._zero_atol = self._zero_atol
+        out._norm_eps = self._norm_eps
+        out._agree_eps = self._agree_eps
         out._psi = self._psi.copy()
         out._axis_of = dict(self._axis_of)
         out._next_id = self._next_id

@@ -17,17 +17,18 @@ from repro.apps.tfim import tfim_program
 from repro.exact import evolve, fidelity, pauli_matrix, tfim_hamiltonian
 from repro.qmpi import qmpi_run
 from repro.sim import StateVector
+from tests._precision import PROB_ABS
 
 
 def test_teleport_demo():
     p1, snap = run_teleport_demo(theta=1.234, phi=0.5)
-    assert p1 == pytest.approx(math.sin(0.617) ** 2, abs=1e-9)
+    assert p1 == pytest.approx(math.sin(0.617) ** 2, abs=PROB_ABS)
     assert (snap.epr_pairs, snap.classical_bits) == (1, 2)
 
 
 def test_relay_resources_scale_with_hops():
     p1, snap = run_relay_demo(theta=0.777, n_ranks=4)
-    assert p1 == pytest.approx(math.sin(0.777 / 2) ** 2, abs=1e-9)
+    assert p1 == pytest.approx(math.sin(0.777 / 2) ** 2, abs=PROB_ABS)
     assert (snap.epr_pairs, snap.classical_bits) == (3, 6)
 
 
@@ -36,7 +37,7 @@ def test_ghz_agreement_and_fidelity(algo):
     outs, snap = run_ghz(5, algo, seed=11)
     assert len(set(outs)) == 1
     assert snap.epr_pairs == 4
-    assert run_ghz_fidelity(5, algo, seed=3) == pytest.approx(1.0, abs=1e-9)
+    assert run_ghz_fidelity(5, algo, seed=3) == pytest.approx(1.0, abs=PROB_ABS)
 
 
 def _parity_prog(qc, method, theta):
@@ -66,7 +67,7 @@ def test_fig6_methods_match_exact(method, k):
     expect = expm(-1j * t * zz) @ ref
     w = qmpi_run(k, _parity_prog, args=(method, 2 * t), seed=5)
     vec = w.backend.statevector(list(w.results))
-    assert abs(np.vdot(expect, vec)) ** 2 > 1 - 1e-9
+    assert abs(np.vdot(expect, vec)) ** 2 > 1 - PROB_ABS
 
 
 @pytest.mark.parametrize(

@@ -5,6 +5,7 @@ import pytest
 
 from repro.apps.qft import _dft_column, inverse_qft, qft, run_qft
 from repro.qmpi import qmpi_run
+from tests._precision import DEEP_ATOL
 
 
 @pytest.mark.parametrize("backend", ["shared", "sharded"])
@@ -12,7 +13,7 @@ from repro.qmpi import qmpi_run
 def test_qft_matches_dft_column(backend, n_qubits, value):
     w = run_qft(1, n_qubits, value=value, backend=backend)
     vec = w.backend.statevector(w.results[0])
-    np.testing.assert_allclose(vec, _dft_column(n_qubits, value), atol=1e-10)
+    np.testing.assert_allclose(vec, _dft_column(n_qubits, value), atol=DEEP_ATOL)
 
 
 @pytest.mark.parametrize("fusion", ["auto", "off"])
@@ -29,7 +30,7 @@ def test_qft_inverse_roundtrip(fusion):
     vec = w.backend.statevector(w.results[0])
     expected = np.zeros(8)
     expected[2] = 1.0
-    np.testing.assert_allclose(vec, expected, atol=1e-10)
+    np.testing.assert_allclose(vec, expected, atol=DEEP_ATOL)
 
 
 def test_each_rank_qfts_its_own_register():
@@ -43,4 +44,4 @@ def test_each_rank_qfts_its_own_register():
         col = _dft_column(2, 1 + rank)
         # project out the other rank's register
         other = _dft_column(2, 2 - rank)
-        np.testing.assert_allclose(marginal @ other.conj(), col, atol=1e-10)
+        np.testing.assert_allclose(marginal @ other.conj(), col, atol=DEEP_ATOL)

@@ -22,6 +22,12 @@ random angles, flushing between passes: on the cache-on side the
 second and third passes replay the compiled schedule with rebound
 parameters, which is exactly the path the cache must prove safe.
 
+A third sweep adds the **dtype axis**: the same differential bars
+(cache on/off, jit vs numpy, per-shot bits) cycled over
+``dtype="complex128"`` / ``"complex64"``.  Bit-identity is asserted
+*within* a dtype — the mixed-precision contract of
+:mod:`repro.sim.kernels` — never across dtypes.
+
 Environment knobs (used by CI):
 
 * ``QMPI_FUZZ_SEED`` — base corpus seed (fixed default for PRs; CI
@@ -45,6 +51,7 @@ BASE_SEED = int(os.environ.get("QMPI_FUZZ_SEED", "20260808"))
 N_CIRCUITS = int(os.environ.get("QMPI_FUZZ_CIRCUITS", "200"))
 N_SHOT_CIRCUITS = max(4, N_CIRCUITS // 20)
 N_KERNEL_CIRCUITS = max(8, N_CIRCUITS // 2)
+N_DTYPE_CIRCUITS = max(8, N_CIRCUITS // 4)
 
 # (gate, arity, n_params) — parameterized rotations + Cliffords.
 GATE_POOL = (
@@ -65,6 +72,7 @@ GATE_POOL = (
 BACKENDS = ("shared", "sharded")
 FUSIONS = ("auto", "noplan", "nodiag", "off")
 RANKS = (1, 2, 4)
+DTYPES = ("complex128", "complex64")
 PASSES = 3  # same shape, fresh angles — passes 2..3 replay warm
 
 
@@ -111,9 +119,14 @@ def _prog(qc, n_qubits, ops, measured, passes):
     return [qc.measure(q[i]) for i in measured]
 
 
-def _run(circ, passes, backend, fusion, n_ranks, cache, shots=None, kernels=None):
+def _run(
+    circ, passes, backend, fusion, n_ranks, cache,
+    shots=None, kernels=None, dtype=None,
+):
     n_qubits, ops, measured = circ
     kw = {} if kernels is None else {"kernels": kernels}
+    if dtype is not None:
+        kw["dtype"] = dtype
     w = qmpi_run(
         n_ranks,
         _prog,
@@ -132,12 +145,16 @@ def _run(circ, passes, backend, fusion, n_ranks, cache, shots=None, kernels=None
     return bits, w.backend.statevector(order), w
 
 
-def _describe(i, circ, passes, backend, fusion, n_ranks, shots=None, cache=None):
+def _describe(
+    i, circ, passes, backend, fusion, n_ranks,
+    shots=None, cache=None, dtype=None,
+):
     n_qubits, ops, measured = circ
     return (
         f"fuzz circuit {i} (QMPI_FUZZ_SEED={BASE_SEED}): "
         f"backend={backend} fusion={fusion} n_ranks={n_ranks} "
-        f"shots={shots} cache={cache} n_qubits={n_qubits} measured={measured}\n"
+        f"shots={shots} cache={cache} dtype={dtype} "
+        f"n_qubits={n_qubits} measured={measured}\n"
         f"ops={ops!r}\n"
         f"passes={passes!r}"
     )
@@ -277,3 +294,78 @@ def test_fuzz_kernels_shots_per_shot_bits_identical():
         )
         assert bits_j == bits_n, f"per-shot bits diverged\n{label}"
         assert w_j.counts == w_n.counts, f"shot counts diverged\n{label}"
+
+
+def test_fuzz_dtype_axis_cache_bit_identical():
+    """Dtype sweep: cache replay stays bit-identical within each dtype.
+
+    Cycles ``dtype`` alongside the backend/fusion/rank matrix; the
+    cache-on vs cache-off comparison is within one dtype, so the bar
+    stays exact bit-equality even for complex64.
+    """
+    for i, circ, passes in _corpus(N_DTYPE_CIRCUITS, 5):
+        backend = BACKENDS[i % len(BACKENDS)]
+        fusion = FUSIONS[i % len(FUSIONS)]
+        n_ranks = RANKS[i % len(RANKS)]
+        dtype = DTYPES[i % len(DTYPES)]
+        label = _describe(i, circ, passes, backend, fusion, n_ranks, dtype=dtype)
+        bits_on, sv_on, w_on = _run(
+            circ, passes, backend, fusion, n_ranks, "on", dtype=dtype
+        )
+        bits_off, sv_off, _ = _run(
+            circ, passes, backend, fusion, n_ranks, "off", dtype=dtype
+        )
+        assert bits_on == bits_off, f"measured bits diverged\n{label}"
+        assert np.array_equal(sv_on, sv_off), f"amplitudes diverged\n{label}"
+        assert sv_on.dtype == np.dtype(dtype), f"wrong state dtype\n{label}"
+
+
+def test_fuzz_dtype_kernels_jit_vs_numpy_bit_identical():
+    """Dtype sweep: jit vs numpy stays bit-identical within each dtype."""
+    _require_provider()
+    caches = ("on", "off")
+    for i, circ, passes in _corpus(N_DTYPE_CIRCUITS, 6):
+        backend = BACKENDS[i % len(BACKENDS)]
+        fusion = FUSIONS[i % len(FUSIONS)]
+        n_ranks = RANKS[i % len(RANKS)]
+        cache = caches[i % len(caches)]
+        dtype = DTYPES[i % len(DTYPES)]
+        label = "kernels=jit vs numpy\n" + _describe(
+            i, circ, passes, backend, fusion, n_ranks, cache=cache, dtype=dtype
+        )
+        bits_j, sv_j, w_j = _run(
+            circ, passes, backend, fusion, n_ranks, cache,
+            kernels="jit", dtype=dtype,
+        )
+        bits_n, sv_n, _ = _run(
+            circ, passes, backend, fusion, n_ranks, cache,
+            kernels="numpy", dtype=dtype,
+        )
+        assert bits_j == bits_n, f"measured bits diverged\n{label}"
+        assert np.array_equal(sv_j, sv_n), f"amplitudes diverged\n{label}"
+        info = w_j.backend.kernel_info()
+        assert info["mode"] == "jit" and info["numpy_fallbacks"] == 0, (
+            f"jit run fell back to numpy\n{label}\n{info}"
+        )
+
+
+def test_fuzz_dtype_shots_per_shot_bits_identical():
+    """Shot-batched dtype sweep: per-shot bits identical within a dtype."""
+    for i, circ, passes in _corpus(N_SHOT_CIRCUITS, 7):
+        if not circ[2]:  # need at least one measured qubit
+            circ = (circ[0], circ[1], (0,))
+        backend = BACKENDS[i % len(BACKENDS)]
+        fusion = FUSIONS[i % len(FUSIONS)]
+        n_ranks = RANKS[i % len(RANKS)]
+        dtype = DTYPES[i % len(DTYPES)]
+        label = _describe(
+            i, circ, passes, backend, fusion, n_ranks, shots=8, dtype=dtype
+        )
+        bits_on, _, w_on = _run(
+            circ, passes, backend, fusion, n_ranks, "on", shots=8, dtype=dtype
+        )
+        bits_off, _, w_off = _run(
+            circ, passes, backend, fusion, n_ranks, "off", shots=8, dtype=dtype
+        )
+        assert bits_on == bits_off, f"per-shot bits diverged\n{label}"
+        assert w_on.counts == w_off.counts, f"shot counts diverged\n{label}"

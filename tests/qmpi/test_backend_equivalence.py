@@ -21,6 +21,7 @@ import numpy as np
 import pytest
 
 from repro.apps.tfim import tfim_time_evolution
+from tests._precision import DEEP_ATOL, PROB_ABS
 from repro.qmpi import cat_state_chain, cat_state_tree, qmpi_run
 
 BACKEND_SPECS = ["shared", "sharded"]
@@ -43,7 +44,7 @@ def _ordered_alloc(qc, n=1):
     return out
 
 
-def assert_same_up_to_phase(vec_a, vec_b, atol=1e-10):
+def assert_same_up_to_phase(vec_a, vec_b, atol=DEEP_ATOL):
     """Amplitude-identical up to one global phase."""
     assert vec_a.shape == vec_b.shape
     pivot = int(np.argmax(np.abs(vec_a)))
@@ -117,8 +118,8 @@ def test_teleport_amplitude_exact(n_ranks):
         half = vec.reshape(2, -1)[1]
         return float(np.sum(np.abs(half) ** 2))
 
-    assert prob(shared) == pytest.approx(p1, abs=1e-10)
-    assert prob(sharded) == pytest.approx(p1, abs=1e-10)
+    assert prob(shared) == pytest.approx(p1, abs=PROB_ABS)
+    assert prob(sharded) == pytest.approx(p1, abs=PROB_ABS)
 
 
 @pytest.mark.parametrize("n_ranks", RANK_COUNTS)
@@ -180,7 +181,7 @@ def test_teleport_scenario_both_backends(backend_spec):
         return qc.prob_one(t[0])
 
     w = qmpi_run(2, prog, seed=0, backend=backend_spec)
-    assert w.results[1] == pytest.approx(math.sin(theta / 2) ** 2, abs=1e-9)
+    assert w.results[1] == pytest.approx(math.sin(theta / 2) ** 2, abs=PROB_ABS)
     snap = w.ledger.snapshot()
     assert (snap.epr_pairs, snap.classical_bits) == (1, 2)  # Table 1: move
 
@@ -202,7 +203,7 @@ def test_ghz_scenario_both_backends(backend_spec, algo, n):
     vec = w.backend.statevector(list(w.results))
     ideal = np.zeros(2**n, dtype=complex)
     ideal[0] = ideal[-1] = 2**-0.5
-    assert abs(np.vdot(ideal, vec)) ** 2 == pytest.approx(1.0, abs=1e-9)
+    assert abs(np.vdot(ideal, vec)) ** 2 == pytest.approx(1.0, abs=PROB_ABS)
     assert w.ledger.epr_pairs == n - 1
 
 
@@ -220,4 +221,4 @@ def test_copy_roundtrip_scenario_both_backends(backend_spec):
         return None
 
     w = qmpi_run(2, prog, seed=0, backend=backend_spec)
-    assert w.results[0] == pytest.approx(math.sin(0.65) ** 2, abs=1e-9)
+    assert w.results[0] == pytest.approx(math.sin(0.65) ** 2, abs=PROB_ABS)

@@ -18,6 +18,7 @@ from repro.qmpi import (
     type_vector,
     uncat,
 )
+from tests._precision import PROB_ABS
 
 
 @pytest.mark.parametrize("algo", ["chain", "tree"])
@@ -36,7 +37,7 @@ def test_cat_state_is_ghz(algo, n):
     vec = w.backend.statevector(list(w.results))
     ideal = np.zeros(2**n, dtype=complex)
     ideal[0] = ideal[-1] = 2**-0.5
-    assert abs(np.vdot(ideal, vec)) ** 2 == pytest.approx(1.0, abs=1e-9)
+    assert abs(np.vdot(ideal, vec)) ** 2 == pytest.approx(1.0, abs=PROB_ABS)
     assert w.ledger.epr_pairs == n - 1
 
 
@@ -71,7 +72,7 @@ def test_cat_single_rank_is_plus():
         cat_state_chain(qc, q[0])
         return qc.prob_one(q[0])
 
-    assert qmpi_run(1, prog, seed=0).results[0] == pytest.approx(0.5)
+    assert qmpi_run(1, prog, seed=0).results[0] == pytest.approx(0.5, abs=PROB_ABS)
 
 
 # ----------------------------------------------------------------------
@@ -142,7 +143,7 @@ def test_persistent_channel_zero_epr_at_send_time():
         return (out, after - before)
 
     w = qmpi_run(2, prog, seed=0)
-    assert w.results[1][0] == pytest.approx(math.sin(0.45) ** 2, abs=1e-9)
+    assert w.results[1][0] == pytest.approx(math.sin(0.45) ** 2, abs=PROB_ABS)
     assert w.results[0][1] == 0 and w.results[1][1] == 0
 
 

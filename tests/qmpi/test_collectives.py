@@ -5,6 +5,7 @@ import math
 import pytest
 
 from repro.qmpi import PARITY, SUM, qmpi_run
+from tests._precision import PROB_ABS
 
 
 @pytest.mark.parametrize("algorithm", ["tree", "cat"])
@@ -22,8 +23,8 @@ def test_bcast_unbcast(algorithm, n):
 
     w = qmpi_run(n, prog, seed=5)
     for p, _ in w.results:
-        assert p == pytest.approx(math.sin(0.3) ** 2, abs=1e-9)
-    assert w.results[0][1] == pytest.approx(math.sin(0.3) ** 2, abs=1e-9)
+        assert p == pytest.approx(math.sin(0.3) ** 2, abs=PROB_ABS)
+    assert w.results[0][1] == pytest.approx(math.sin(0.3) ** 2, abs=PROB_ABS)
     # N-1 EPR pairs per broadcast qubit, independent of algorithm
     assert w.ledger.snapshot().epr_pairs == n - 1
 
@@ -184,7 +185,7 @@ def test_gather_move_collects_rotation_qubits():
 
     w = qmpi_run(3, prog, seed=0)
     for i, p in enumerate(w.results[0]):
-        assert p == pytest.approx(math.sin(0.2 * (i + 1)) ** 2, abs=1e-9)
+        assert p == pytest.approx(math.sin(0.2 * (i + 1)) ** 2, abs=PROB_ABS)
 
 
 def test_scatter_and_unscatter():

@@ -30,6 +30,7 @@ from repro.qmpi import (
     qmpi_run,
 )
 from repro.sim import ShardedStateVector, StateVector, plan_contractions
+from tests._precision import DEEP_ATOL, STATE_ATOL
 
 
 # ----------------------------------------------------------------------
@@ -128,7 +129,7 @@ def test_plan_matrix_equals_in_order_product():
     got = ref.copy()
     got.apply(plan.u, *plan.qubits)
     ref.apply_ops(ops)
-    np.testing.assert_allclose(ref.statevector(), got.statevector(), atol=1e-12)
+    np.testing.assert_allclose(ref.statevector(), got.statevector(), atol=STATE_ATOL)
 
 
 def test_plan_quacks_like_an_op():
@@ -214,7 +215,7 @@ def test_all_local_plan_is_one_in_chunk_matmul():
     sv.apply_ops(plan_contractions(ops))
     ref.apply_ops(ops)
     assert sends == []
-    np.testing.assert_allclose(sv.statevector(), ref.statevector(), atol=1e-12)
+    np.testing.assert_allclose(sv.statevector(), ref.statevector(), atol=STATE_ATOL)
 
 
 def test_block_diagonal_high_axis_plan_is_communication_free():
@@ -231,7 +232,7 @@ def test_block_diagonal_high_axis_plan_is_communication_free():
     sv.apply_ops(planned)
     ref.apply_ops(ops)
     assert sends == []
-    np.testing.assert_allclose(sv.statevector(), ref.statevector(), atol=1e-12)
+    np.testing.assert_allclose(sv.statevector(), ref.statevector(), atol=STATE_ATOL)
 
 
 def test_identity_plan_sub_blocks_are_skipped_exactly():
@@ -243,7 +244,7 @@ def test_identity_plan_sub_blocks_are_skipped_exactly():
     assert [type(o) for o in planned] == [ContractionPlan]
     sv.apply_ops(planned)
     assert sends == []
-    np.testing.assert_allclose(sv.statevector(), before, atol=1e-12)
+    np.testing.assert_allclose(sv.statevector(), before, atol=STATE_ATOL)
 
 
 def test_mixing_high_axis_plan_exchanges_once_for_the_whole_plan():
@@ -261,7 +262,7 @@ def test_mixing_high_axis_plan_exchanges_once_for_the_whole_plan():
     ref.apply_ops(ops)
     n_plan_sends = len(sends)
     assert 0 < n_plan_sends
-    np.testing.assert_allclose(sv.statevector(), ref.statevector(), atol=1e-12)
+    np.testing.assert_allclose(sv.statevector(), ref.statevector(), atol=STATE_ATOL)
     # The per-op path pays at least one exchange per high-axis op; the
     # plan paid for the whole run at most what one such op pays.
     per_op = ShardedStateVector(4, seed=0, n_shards=4)
@@ -285,7 +286,7 @@ def test_all_shard_window_reduces_to_per_chunk_scalars():
     sv.apply_ops([plan])
     ref.apply_ops(ops)
     assert sends == []
-    np.testing.assert_allclose(sv.statevector(), ref.statevector(), atol=1e-12)
+    np.testing.assert_allclose(sv.statevector(), ref.statevector(), atol=STATE_ATOL)
 
 
 # ----------------------------------------------------------------------
@@ -337,7 +338,7 @@ def test_epr_and_p2p_mid_plan(fusion):
 
     got = qmpi_run(2, prog, seed=0, backend="sharded", fusion=fusion)
     ref = qmpi_run(2, prog, seed=0, backend="shared", fusion="off")
-    np.testing.assert_allclose(got.results, ref.results, atol=1e-10)
+    np.testing.assert_allclose(got.results, ref.results, atol=DEEP_ATOL)
 
 
 # ----------------------------------------------------------------------
@@ -365,7 +366,7 @@ def _dense_program(qc, seed):
     return list(q)
 
 
-def _assert_same_up_to_phase(vec_a, vec_b, atol=1e-10):
+def _assert_same_up_to_phase(vec_a, vec_b, atol=DEEP_ATOL):
     pivot = int(np.argmax(np.abs(vec_a)))
     phase = vec_b[pivot] / vec_a[pivot]
     assert abs(abs(phase) - 1.0) < atol

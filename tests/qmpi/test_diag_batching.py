@@ -28,6 +28,7 @@ from repro.qmpi import (
 )
 from repro.sim import StateVector, coalesce_diagonals
 from repro.sim import gates as G
+from tests._precision import DEEP_ATOL, STATE_ATOL
 
 
 # ----------------------------------------------------------------------
@@ -45,12 +46,12 @@ def test_from_ops_merges_repeated_operands():
     assert set(batch.phases2) == {(1, 2)}
     assert batch.n_ops == 2
     np.testing.assert_allclose(
-        batch.phases1[3], np.diagonal(G.rz(0.7)), atol=1e-12
+        batch.phases1[3], np.diagonal(G.rz(0.7)), atol=STATE_ATOL
     )
     np.testing.assert_allclose(
         batch.phases2[(1, 2)],
         np.diagonal(G.controlled(G.rz(0.7))),
-        atol=1e-12,
+        atol=STATE_ATOL,
     )
 
 
@@ -62,7 +63,7 @@ def test_from_ops_permutes_reversed_pair_key():
     assert set(batch.phases2) == {(2, 5)}
     # cphase is symmetric in control/target, so the tables just multiply.
     expected = np.diagonal(G.controlled(G.phase(0.3)) @ G.controlled(G.phase(0.8)))
-    np.testing.assert_allclose(batch.phases2[(2, 5)], expected, atol=1e-12)
+    np.testing.assert_allclose(batch.phases2[(2, 5)], expected, atol=STATE_ATOL)
 
 
 def test_from_ops_permutes_asymmetric_pair():
@@ -75,7 +76,7 @@ def test_from_ops_permutes_asymmetric_pair():
     # reversed op, expressed on (qubit0, qubit1) axes via the swap matrix
     rev = G.SWAP @ G.controlled(G.rz(1.1)) @ G.SWAP
     np.testing.assert_allclose(
-        batch.phases2[(0, 1)], np.diagonal(fwd @ rev), atol=1e-12
+        batch.phases2[(0, 1)], np.diagonal(fwd @ rev), atol=STATE_ATOL
     )
 
 
@@ -105,7 +106,7 @@ def test_terms_roundtrip_matches_sequential_application():
             ref.apply(op.target_matrix(), *op.targets)
     for qs, table in batch.terms():
         got.apply(np.diag(table), *qs)
-    np.testing.assert_allclose(ref.statevector(), got.statevector(), atol=1e-12)
+    np.testing.assert_allclose(ref.statevector(), got.statevector(), atol=STATE_ATOL)
 
 
 def test_coalesce_splits_on_non_diagonal_and_keeps_singletons():
@@ -199,7 +200,7 @@ def test_nodiag_and_off_bypass_diag_batching(fusion):
     qr = list(ref.alloc(0, 3))
     _diag_heavy(OpStream(ref, 0, fusion="auto"), qr)
     np.testing.assert_allclose(
-        be.statevector(q), ref.statevector(qr), atol=1e-12
+        be.statevector(q), ref.statevector(qr), atol=STATE_ATOL
     )
 
 
@@ -277,7 +278,7 @@ def _diag_heavy_program(qc, seed):
     return list(q)
 
 
-def _assert_same_up_to_phase(vec_a, vec_b, atol=1e-10):
+def _assert_same_up_to_phase(vec_a, vec_b, atol=DEEP_ATOL):
     pivot = int(np.argmax(np.abs(vec_a)))
     phase = vec_b[pivot] / vec_a[pivot]
     assert abs(abs(phase) - 1.0) < atol
@@ -314,7 +315,8 @@ def test_qft_batched_matches_unbatched(backend):
     np.testing.assert_allclose(
         batched.backend.statevector(order),
         plain.backend.statevector(order),
-        atol=1e-10,
+        rtol=0,
+        atol=DEEP_ATOL,
     )
 
 
@@ -357,7 +359,7 @@ def test_dp_materializer_matches_naive_reference(seed, n_axes):
         got = chunk_phase(singles, pairs, n_axes, ci)
         want = _naive_phase(singles, pairs, n_axes, ci)
         np.testing.assert_allclose(
-            np.broadcast_to(got, (2,) * n_axes), want, atol=1e-12
+            np.broadcast_to(got, (2,) * n_axes), want, atol=STATE_ATOL
         )
 
 
@@ -376,7 +378,7 @@ def test_dp_materializer_all_distinct_pair_ladder():
     assert len(pairs) >= 24
     got = chunk_phase([], pairs, n_axes)
     want = _naive_phase([], pairs, n_axes)
-    np.testing.assert_allclose(np.broadcast_to(got, (2,) * n_axes), want, atol=1e-11)
+    np.testing.assert_allclose(np.broadcast_to(got, (2,) * n_axes), want, atol=STATE_ATOL)
 
 
 def test_dp_materializer_non_unit_tables_fall_back_exactly():
@@ -395,4 +397,4 @@ def test_dp_materializer_non_unit_tables_fall_back_exactly():
     assert len(pairs) + len(singles) >= 24
     got = chunk_phase(singles, pairs, n_axes)
     want = _naive_phase(singles, pairs, n_axes)
-    np.testing.assert_allclose(np.broadcast_to(got, (2,) * n_axes), want, atol=1e-11)
+    np.testing.assert_allclose(np.broadcast_to(got, (2,) * n_axes), want, atol=STATE_ATOL)

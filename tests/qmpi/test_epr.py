@@ -3,6 +3,7 @@
 import pytest
 
 from repro.qmpi import EprBufferFull, qmpi_run
+from tests._precision import PROB_ABS
 
 
 def test_symmetric_prepare_both_orders():
@@ -81,8 +82,8 @@ def test_buffer_freed_by_protocols():
     import math
 
     p0, p1 = w.results[1]
-    assert abs(p0 - math.sin(0.15) ** 2) < 1e-9
-    assert abs(p1 - math.sin(0.3) ** 2) < 1e-9
+    assert abs(p0 - math.sin(0.15) ** 2) < PROB_ABS
+    assert abs(p1 - math.sin(0.3) ** 2) < PROB_ABS
 
 
 def test_self_epr_rejected():

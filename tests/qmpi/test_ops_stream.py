@@ -28,6 +28,7 @@ from repro.qmpi import (
 )
 from repro.sim import SimulationError
 from repro.sim import gates as G
+from tests._precision import DEEP_ATOL, PROB_ABS, STATE_ATOL
 
 
 # ----------------------------------------------------------------------
@@ -85,7 +86,7 @@ def test_same_qubit_rotations_fuse():
     assert st.pending == 1  # one fused 2x2
     st.flush()
     np.testing.assert_allclose(
-        be.statevector(q), _dense([G.rx(0.1) @ G.rz(0.5)], q, 3), atol=1e-12
+        be.statevector(q), _dense([G.rx(0.1) @ G.rz(0.5)], q, 3), atol=STATE_ATOL
     )
 
 
@@ -196,7 +197,7 @@ def _ordered_alloc(qc, n=1):
     return out
 
 
-def _assert_same_up_to_phase(vec_a, vec_b, atol=1e-10):
+def _assert_same_up_to_phase(vec_a, vec_b, atol=DEEP_ATOL):
     pivot = int(np.argmax(np.abs(vec_a)))
     assert abs(vec_a[pivot]) > 1e-6
     phase = vec_b[pivot] / vec_a[pivot]
@@ -282,7 +283,7 @@ def test_prob_one_mid_stream_flushes(backend):
         return qc.prob_one(q[0])
 
     w = qmpi_run(1, prog, seed=0, backend=backend)
-    assert w.results[0] == pytest.approx(math.sin(0.5) ** 2, abs=1e-12)
+    assert w.results[0] == pytest.approx(math.sin(0.5) ** 2, abs=PROB_ABS)
 
 
 @pytest.mark.parametrize("backend", ["shared", "sharded"])
@@ -337,7 +338,7 @@ def test_barrier_and_program_exit_flush():
     assert seen == [0]
     vec = w.backend.statevector([w.results[0]])
     expected = (G.T @ G.H) @ np.array([1.0, 0.0])
-    np.testing.assert_allclose(vec, expected, atol=1e-12)
+    np.testing.assert_allclose(vec, expected, atol=STATE_ATOL)
 
 
 def test_statevector_mid_stream_flushes():

@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.qmpi import qmpi_run
+from tests._precision import PROB_ABS
 
 angle = st.floats(-3.0, 3.0, allow_nan=False)
 
@@ -25,7 +26,7 @@ def test_teleport_preserves_any_state(theta, phi):
         return qc.prob_one(t[0])
 
     w = qmpi_run(2, prog, seed=0)
-    assert w.results[1] == pytest.approx(math.sin(theta / 2) ** 2, abs=1e-9)
+    assert w.results[1] == pytest.approx(math.sin(theta / 2) ** 2, abs=PROB_ABS)
     snap = w.ledger.snapshot()
     assert (snap.epr_pairs, snap.classical_bits) == (1, 2)  # Table 1: move
 
@@ -46,7 +47,7 @@ def test_copy_uncopy_roundtrip(theta):
         return None
 
     w = qmpi_run(2, prog, seed=0)
-    assert w.results[0] == pytest.approx(math.sin(theta / 2) ** 2, abs=1e-9)
+    assert w.results[0] == pytest.approx(math.sin(theta / 2) ** 2, abs=PROB_ABS)
     snap = w.ledger.snapshot()
     # Table 1: copy = 1 EPR + 1 bit; uncopy = 0 EPR + 1 bit
     assert (snap.epr_pairs, snap.classical_bits) == (1, 2)
@@ -117,7 +118,7 @@ def test_unmove_roundtrip():
         return None
 
     w = qmpi_run(2, prog, seed=0)
-    assert w.results[0] == pytest.approx(math.sin(0.55) ** 2, abs=1e-9)
+    assert w.results[0] == pytest.approx(math.sin(0.55) ** 2, abs=PROB_ABS)
     snap = w.ledger.snapshot()
     # move + unmove: 2 EPR pairs, 4 classical bits (Table 1)
     assert (snap.epr_pairs, snap.classical_bits) == (2, 4)
@@ -137,7 +138,7 @@ def test_register_send_scales_per_qubit():
 
     w = qmpi_run(2, prog, seed=0)
     for i, p in enumerate(w.results[1]):
-        assert p == pytest.approx(math.sin(0.1 * (i + 1)) ** 2, abs=1e-9)
+        assert p == pytest.approx(math.sin(0.1 * (i + 1)) ** 2, abs=PROB_ABS)
     snap = w.ledger.snapshot()
     assert (snap.epr_pairs, snap.classical_bits) == (3, 3)
 
@@ -166,8 +167,8 @@ def test_sendrecv_replace_ring_rotation():
         return qc.prob_one(new[0])
 
     w = qmpi_run(3, prog, seed=0)
-    assert w.results[1] == pytest.approx(math.sin(0.5) ** 2, abs=1e-9)
-    assert w.results[0] == pytest.approx(0.0, abs=1e-9)
+    assert w.results[1] == pytest.approx(math.sin(0.5) ** 2, abs=PROB_ABS)
+    assert w.results[0] == pytest.approx(0.0, abs=PROB_ABS)
 
 
 def test_isend_nonblocking_and_alias_table2_ops():

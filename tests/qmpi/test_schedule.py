@@ -43,6 +43,7 @@ from repro.sim import (
     plan_contractions,
 )
 from repro.sim.schedule import BLOCKDIAG, LOCAL, MIXING, classify_matrix
+from tests._precision import DEEP_ATOL
 
 
 # ----------------------------------------------------------------------
@@ -243,7 +244,7 @@ def test_wide_windows_above_threshold():
         ref.h(q), got.h(q)
     ref.apply_ops(ops)
     got.apply_ops(wide)
-    np.testing.assert_allclose(ref.statevector(), got.statevector(), atol=1e-12)
+    np.testing.assert_allclose(ref.statevector(), got.statevector(), atol=DEEP_ATOL)
 
 
 def test_wide_windows_match_on_sharded_engine():
@@ -258,7 +259,7 @@ def test_wide_windows_match_on_sharded_engine():
         ref.h(q), got.h(q)
     ref.apply_ops(ops)
     got.apply_ops(wide)
-    np.testing.assert_allclose(ref.statevector(), got.statevector(), atol=1e-12)
+    np.testing.assert_allclose(ref.statevector(), got.statevector(), atol=DEEP_ATOL)
 
 
 # ----------------------------------------------------------------------
@@ -323,7 +324,7 @@ def test_dispatch_gate_is_cost_aware():
         serial.apply_ops([Op("rx", (2,), (0.1,))])
         serial.apply_ops(heavy)
         np.testing.assert_allclose(
-            serial.statevector(), sv.statevector(), atol=1e-12
+            serial.statevector(), sv.statevector(), atol=DEEP_ATOL
         )
     finally:
         sv.close()
@@ -337,7 +338,7 @@ def test_run_level_dispatch_matches_serial(pooled):
     serial.apply_ops(_stretch_ops())
     pooled.apply_ops(_stretch_ops())
     np.testing.assert_allclose(
-        serial.statevector(), pooled.statevector(), atol=1e-12
+        serial.statevector(), pooled.statevector(), atol=DEEP_ATOL
     )
 
 
@@ -356,7 +357,7 @@ def test_controlled_gates_ride_the_pool(pooled):
     serial.apply_ops(ops)
     pooled.apply_ops(ops)
     np.testing.assert_allclose(
-        serial.statevector(), pooled.statevector(), atol=1e-12
+        serial.statevector(), pooled.statevector(), atol=DEEP_ATOL
     )
 
 
@@ -374,7 +375,7 @@ def test_pooled_plans_and_wide_windows_match_serial(pooled):
     serial.apply_ops(lowered)
     pooled.apply_ops(lowered)
     np.testing.assert_allclose(
-        serial.statevector(), pooled.statevector(), atol=1e-12
+        serial.statevector(), pooled.statevector(), atol=DEEP_ATOL
     )
 
 
@@ -413,7 +414,7 @@ def _random_program(qc, seed):
     return list(q)
 
 
-def _assert_same_up_to_phase(vec_a, vec_b, atol=1e-10):
+def _assert_same_up_to_phase(vec_a, vec_b, atol=DEEP_ATOL):
     pivot = int(np.argmax(np.abs(vec_a)))
     phase = vec_b[pivot] / vec_a[pivot]
     assert abs(abs(phase) - 1.0) < atol

@@ -12,6 +12,7 @@ import pytest
 
 from repro.qmpi import Op, qmpi_run
 from repro.sim import ShardedStateVector, SimulationError, coalesce_diagonals
+from tests._precision import STATE_ATOL
 
 
 @pytest.fixture
@@ -43,7 +44,7 @@ def test_workers_match_serial_amplitudes(pooled):
     serial.apply_ops(_mixed_ops())
     pooled.apply_ops(coalesce_diagonals(_mixed_ops()))
     np.testing.assert_allclose(
-        serial.statevector(), pooled.statevector(), atol=1e-12
+        serial.statevector(), pooled.statevector(), atol=STATE_ATOL
     )
 
 
@@ -57,7 +58,7 @@ def test_workers_survive_alloc_release_and_measure(pooled):
         sv.postselect(ids[0], 0)
         sv.apply_ops(coalesce_diagonals([Op("t", (q,)) for q in (0, 1, 2, 3)]))
     np.testing.assert_allclose(
-        serial.statevector(), pooled.statevector(), atol=1e-12
+        serial.statevector(), pooled.statevector(), atol=STATE_ATOL
     )
 
 
@@ -69,7 +70,7 @@ def test_close_is_idempotent_and_engine_stays_usable(pooled):
     assert pooled.workers == 0
     np.testing.assert_allclose(before, pooled.statevector(), atol=1e-15)
     pooled.apply_ops([Op("h", (0,))])  # serial fallback still works
-    assert abs(pooled.amplitude([0, 0, 0, 0]) - 1.0) < 1e-10
+    assert abs(pooled.amplitude([0, 0, 0, 0]) - 1.0) < STATE_ATOL
 
 
 def test_copy_is_serial_and_independent(pooled):
@@ -78,7 +79,7 @@ def test_copy_is_serial_and_independent(pooled):
     assert dup.workers == 0
     pooled.apply_ops([Op("x", (2,))])
     np.testing.assert_allclose(
-        abs(dup.amplitude([1, 1, 0, 0])) ** 2, 0.5, atol=1e-10
+        abs(dup.amplitude([1, 1, 0, 0])) ** 2, 0.5, atol=STATE_ATOL
     )
 
 
@@ -120,7 +121,7 @@ def test_qmpi_run_with_workers_matches_serial(n_ranks):
         np.testing.assert_allclose(
             base.backend.statevector(order),
             pooled.backend.statevector(order),
-            atol=1e-10,
+            atol=STATE_ATOL,
         )
     finally:
         pooled.backend.close()
@@ -144,5 +145,5 @@ def test_workers_apply_contraction_plans_in_place(pooled):
         assert [type(o) for o in planned] == [ContractionPlan]
         pooled.apply_ops(planned)
     np.testing.assert_allclose(
-        serial.statevector(), pooled.statevector(), atol=1e-12
+        serial.statevector(), pooled.statevector(), atol=STATE_ATOL
     )

@@ -14,6 +14,7 @@ from repro.sim.pauli import (
     undo_basis_change,
 )
 from repro.sim.statevector import SimulationError
+from tests._precision import STATE_ATOL
 
 
 def random_state(n, seed):
@@ -38,7 +39,7 @@ def test_rotation_matches_expm(mapping, theta):
     rotate_pauli_string(sv, mapping, theta)
     P = pauli_string_matrix(mapping, [0, 1, 2])
     expect = expm(-0.5j * theta * P) @ ref
-    assert np.allclose(sv.statevector(), expect, atol=1e-9)
+    assert np.allclose(sv.statevector(), expect, atol=STATE_ATOL)
 
 
 @given(pauli_mapping)
@@ -47,7 +48,7 @@ def test_apply_matches_dense(mapping):
     ref = sv.statevector()
     apply_pauli_string(sv, mapping)
     expect = pauli_string_matrix(mapping, [0, 1, 2]) @ ref
-    assert np.allclose(sv.statevector(), expect, atol=1e-9)
+    assert np.allclose(sv.statevector(), expect, atol=STATE_ATOL)
 
 
 @given(pauli_mapping)
@@ -56,7 +57,7 @@ def test_basis_change_roundtrip(mapping):
     ref = sv.statevector()
     basis_change(sv, mapping)
     undo_basis_change(sv, mapping)
-    assert np.allclose(sv.statevector(), ref, atol=1e-9)
+    assert np.allclose(sv.statevector(), ref, atol=STATE_ATOL)
 
 
 def test_empty_rotation_is_identity():

@@ -6,6 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.sim import ShardedStateVector, SimulationError, StateVector
 from repro.sim import gates as G
+from tests._precision import PROB_ABS, STATE_ATOL
 
 SHARDS = [1, 2, 4, 8]
 
@@ -23,7 +24,7 @@ def make_pair(n, n_shards, seed=0):
     return a, b
 
 
-def assert_same_state(a, b, atol=1e-12):
+def assert_same_state(a, b, atol=STATE_ATOL):
     np.testing.assert_allclose(a.statevector(), b.statevector(), atol=atol)
 
 
@@ -53,7 +54,7 @@ def test_chunk_layout_tracks_allocation(n_shards):
 def test_vacuum_statevector_is_scalar_one():
     sv = ShardedStateVector(n_shards=4)
     np.testing.assert_allclose(sv.statevector(), [1.0])
-    assert sv.num_qubits == 0 and sv.norm() == pytest.approx(1.0)
+    assert sv.num_qubits == 0 and sv.norm() == pytest.approx(1.0, abs=PROB_ABS)
 
 
 # ----------------------------------------------------------------------
@@ -101,7 +102,7 @@ def test_random_circuit_equivalence(n_shards, rng):
         a.apply(u, *qs)
         b.apply(u, *qs)
     assert_same_state(a, b)
-    assert b.norm() == pytest.approx(1.0)
+    assert b.norm() == pytest.approx(1.0, abs=PROB_ABS)
 
 
 @pytest.mark.parametrize("n_shards", [2, 4])
@@ -126,7 +127,7 @@ def test_rotation_angles_property(theta, q):
     b = ShardedStateVector(3, seed=0, n_shards=4)
     a.h(q), b.h(q)
     a.ry(q, theta), b.ry(q, theta)
-    np.testing.assert_allclose(a.statevector(), b.statevector(), atol=1e-12)
+    np.testing.assert_allclose(a.statevector(), b.statevector(), atol=STATE_ATOL)
 
 
 # ----------------------------------------------------------------------
@@ -158,11 +159,11 @@ def test_release_high_axis_qubit_compacts_chunks(n_shards):
     before = sv.num_chunks
     sv.release(0), ref.release(0)  # first-allocated == highest axis
     assert sv.num_chunks == before // 2
-    np.testing.assert_allclose(sv.statevector(), ref.statevector(), atol=1e-12)
+    np.testing.assert_allclose(sv.statevector(), ref.statevector(), atol=STATE_ATOL)
     # next alloc rebalances back up
     sv.alloc(1), ref.alloc(1)
     assert sv.num_chunks == min(n_shards, 8)
-    np.testing.assert_allclose(sv.statevector(), ref.statevector(), atol=1e-12)
+    np.testing.assert_allclose(sv.statevector(), ref.statevector(), atol=STATE_ATOL)
 
 
 def test_release_nonzero_qubit_raises():
@@ -217,11 +218,11 @@ def test_prob_one_and_postselect_axes(n_shards):
     a.ry(0, 0.7), b.ry(0, 0.7)
     a.ry(2, 1.3), b.ry(2, 1.3)
     for q in range(3):
-        assert b.prob_one(q) == pytest.approx(a.prob_one(q), abs=1e-12)
+        assert b.prob_one(q) == pytest.approx(a.prob_one(q), abs=PROB_ABS)
     a.postselect(0, 1), b.postselect(0, 1)
     a.postselect(2, 0), b.postselect(2, 0)
     assert_same_state(a, b)
-    assert b.norm() == pytest.approx(1.0)
+    assert b.norm() == pytest.approx(1.0, abs=PROB_ABS)
 
 
 def test_postselect_zero_probability_raises():
@@ -250,14 +251,14 @@ def test_amplitude_statevector_probabilities(n_shards):
     a.h(0), b.h(0)
     a.cnot(0, 2), b.cnot(0, 2)
     for bits in ([0, 0, 0], [1, 0, 1], [1, 1, 0]):
-        assert b.amplitude(bits) == pytest.approx(a.amplitude(bits), abs=1e-12)
+        assert b.amplitude(bits) == pytest.approx(a.amplitude(bits), abs=PROB_ABS)
     # permuted qubit order
     order = [2, 0, 1]
     np.testing.assert_allclose(
-        b.statevector(order), a.statevector(order), atol=1e-12
+        b.statevector(order), a.statevector(order), atol=STATE_ATOL
     )
     np.testing.assert_allclose(
-        b.probabilities(order), a.probabilities(order), atol=1e-12
+        b.probabilities(order), a.probabilities(order), atol=STATE_ATOL
     )
     with pytest.raises(SimulationError):
         b.amplitude([0, 1])
@@ -273,7 +274,7 @@ def test_expectation_pauli(n_shards):
     a.ry(2, 0.9), b.ry(2, 0.9)
     for mapping in ({0: "Z"}, {0: "X", 1: "X"}, {2: "Y"}, {0: "Z", 1: "Z", 2: "Z"}):
         assert b.expectation_pauli(mapping) == pytest.approx(
-            a.expectation_pauli(mapping), abs=1e-12
+            a.expectation_pauli(mapping), abs=PROB_ABS
         )
     # expectation must not perturb the state
     assert_same_state(a, b)
@@ -285,7 +286,7 @@ def test_copy_is_independent():
     dup = sv.copy()
     dup.x(1)
     assert sv.prob_one(1) == pytest.approx(0.0)
-    assert dup.prob_one(1) == pytest.approx(1.0)
+    assert dup.prob_one(1) == pytest.approx(1.0, abs=PROB_ABS)
 
 
 def test_exchange_traffic_goes_through_fabric():

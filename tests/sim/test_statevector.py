@@ -6,6 +6,7 @@ from hypothesis import given, strategies as st
 
 from repro.sim import StateVector, SimulationError
 from repro.sim import gates as G
+from tests._precision import PROB_ABS
 
 
 def test_bell_state():
@@ -146,7 +147,7 @@ def test_expectation_pauli():
     sv = StateVector(2, seed=0)
     sv.h(0)
     assert sv.expectation_pauli({0: "X"}) == pytest.approx(1.0)
-    assert sv.expectation_pauli({0: "Z"}) == pytest.approx(0.0)
+    assert sv.expectation_pauli({0: "Z"}) == pytest.approx(0.0, abs=PROB_ABS)
     sv.cnot(0, 1)
     assert sv.expectation_pauli({0: "Z", 1: "Z"}) == pytest.approx(1.0)
 

@@ -43,15 +43,18 @@ import json
 from pathlib import Path
 
 #: Fields that identify a row (whichever subset is present is the key).
-KEY_FIELDS = ("kernel", "n_qubits", "backend", "n_ranks", "transport")
+KEY_FIELDS = ("kernel", "n_qubits", "backend", "n_ranks", "transport",
+              "dtype", "tier")
 
 #: Ratio columns gated per benchmark row, by column name.
 RATIO_FIELDS = ("speedup", "fused_speedup", "sharded_fused_vs_shared")
 
 #: Ratio columns printed for matched rows but never gated: the mp/inproc
 #: wall ratio of BENCH_fabric.json measures process spawn + pickling
-#: against the host scheduler, not algorithmic quality.
-INFO_FIELDS = ("mp_vs_inproc",)
+#: against the host scheduler, not algorithmic quality; the peak-RSS
+#: column of BENCH_scale.json measures the host allocator + page cache,
+#: so it is reported for inspection but never drives the gate.
+INFO_FIELDS = ("mp_vs_inproc", "peak_rss_bytes")
 
 #: list-of-rows sections to compare, per file; anything else (scalars,
 #: machine-dependent phases like the "workers" sections of
@@ -69,6 +72,7 @@ SECTIONS = (
     "sweep",
     "kernels",
     "replay",
+    "scale",
 )
 
 
